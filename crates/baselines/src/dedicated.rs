@@ -1,0 +1,220 @@
+//! Dedicated (instance-aware) rendezvous algorithms used in the
+//! constructive directions of Theorem 3.1.
+//!
+//! Both agents still run the *same* program (anonymity!) — but the program
+//! may depend on the instance tuple, which both agents receive as input.
+//! The two boundary sets need exactly this:
+//!
+//! * [`beeline`] — for `χ = +1, φ = 0, τ = v = 1, t ≥ dist − r`
+//!   (covers `S1` and type 2, Lemma 3.8): walk straight toward the other
+//!   agent's initial position and stop `r` short. Because frames are
+//!   shifts, both agents compute the same absolute direction; the agent
+//!   that wakes first arrives at distance exactly `r` from the sleeping
+//!   agent's start no later than the latter's wake-up.
+//! * [`canonical_march`] — for `χ = −1, τ = v = 1,
+//!   t ≥ dist(proj_A, proj_B) − r` (covers `S2` and type 1, Lemma 3.9):
+//!   walk to the orthogonal projection of the start onto the canonical
+//!   line `L`, then march `t` along `L` and `t` back. Chirality makes the
+//!   mirrored local directions coincide in absolute terms, so both agents
+//!   march along `L` in the *same* absolute direction, and the delay
+//!   closes the projection gap to exactly `r`.
+
+use rv_geometry::{Angle, Chirality};
+use rv_model::Instance;
+use rv_numeric::Ratio;
+use rv_trajectory::Instr;
+
+/// The S1/type-2 dedicated algorithm (proof of Lemma 3.8; see module docs).
+///
+/// Exact when B lies on A's x-axis (`y = 0`); otherwise the direction and
+/// length are dyadic approximations with error ~1e-16, far below the
+/// simulator's detection slack.
+pub fn beeline(inst: &Instance) -> Vec<Instr> {
+    let dist_walk = if inst.y.is_zero() {
+        // Exact path: |x| − r along the signed x direction.
+        let dist = inst.x.abs();
+        if dist <= inst.r {
+            return Vec::new();
+        }
+        let walk = &dist - &inst.r;
+        let dir = if inst.x.is_positive() {
+            Angle::zero()
+        } else {
+            Angle::half()
+        };
+        return vec![Instr::go_angle(dir, walk)];
+    } else {
+        let d = inst.initial_dist();
+        let walk = d - inst.r.to_f64();
+        if walk <= 0.0 {
+            return Vec::new();
+        }
+        walk
+    };
+    let dir = Angle::from_radians(inst.y.to_f64().atan2(inst.x.to_f64()));
+    vec![Instr::go_angle(
+        dir,
+        Ratio::from_f64_exact(dist_walk).expect("finite walk length"),
+    )]
+}
+
+/// The S2/type-1 dedicated algorithm (proof of Lemma 3.9; see module docs).
+///
+/// Program (interpreted in each agent's own frame; identical for both):
+/// 1. `go` perpendicular to the canonical line `L`, by the common
+///    distance of the starts to `L`;
+/// 2. `go(t)` along `L` (the local direction `φ/2 + π` maps to the same
+///    absolute direction for both agents because `χ = −1`);
+/// 3. `go(t)` back.
+///
+/// Exact for `φ ∈ {0, π}`; dyadic-approximated distances otherwise.
+pub fn canonical_march(inst: &Instance) -> Vec<Instr> {
+    debug_assert_eq!(inst.chi, Chirality::Minus, "canonical march needs χ=−1");
+    let q = inst.phi.half_angle();
+    // Signed offset of B's start along the normal n = (−sin q, cos q):
+    // s = (x,y)·n. Both agents are |s|/2 from L, on opposite sides.
+    let (s_exact, d_perp) = match q.cos_sin_exact() {
+        Some((c, s)) => {
+            let signed = &(&inst.y * &c) - &(&inst.x * &s);
+            let d = &signed.abs() * &Ratio::frac(1, 2);
+            (signed.signum(), d)
+        }
+        None => {
+            let (c, s) = q.cos_sin();
+            let signed = inst.y.to_f64() * c - inst.x.to_f64() * s;
+            let d = Ratio::from_f64_exact(signed.abs() / 2.0).expect("finite offset");
+            (
+                if signed > 0.0 {
+                    1
+                } else if signed < 0.0 {
+                    -1
+                } else {
+                    0
+                },
+                d,
+            )
+        }
+    };
+    // Local direction toward L: q + π/2 when B is on the +n side,
+    // q − π/2 otherwise (the same local angle points each agent at L
+    // because χ = −1 mirrors it into opposite absolute normals).
+    let to_line = if s_exact >= 0 {
+        q.clone() + Angle::quarter()
+    } else {
+        q.clone() - Angle::quarter()
+    };
+    let march = q.clone() + Angle::half();
+    let back = q;
+    let mut prog = Vec::with_capacity(3);
+    if d_perp.is_positive() {
+        prog.push(Instr::go_angle(to_line, d_perp));
+    }
+    if inst.t.is_positive() {
+        prog.push(Instr::go_angle(march, inst.t.clone()));
+        prog.push(Instr::go_angle(back, inst.t.clone()));
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_numeric::ratio;
+
+    #[test]
+    fn beeline_exact_on_axis() {
+        let inst = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(ratio(1, 1))
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap();
+        let prog = beeline(&inst);
+        assert_eq!(prog, vec![Instr::go_angle(Angle::zero(), ratio(4, 1))]);
+    }
+
+    #[test]
+    fn beeline_negative_axis() {
+        let inst = Instance::builder()
+            .position(ratio(-5, 1), Ratio::zero())
+            .r(ratio(1, 1))
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap();
+        let prog = beeline(&inst);
+        assert_eq!(prog, vec![Instr::go_angle(Angle::half(), ratio(4, 1))]);
+    }
+
+    #[test]
+    fn beeline_generic_direction_points_at_target() {
+        let inst = Instance::builder()
+            .position(ratio(3, 1), ratio(4, 1))
+            .r(ratio(1, 1))
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap();
+        let prog = beeline(&inst);
+        assert_eq!(prog.len(), 1);
+        if let Instr::Go { dir, dist } = &prog[0] {
+            let u = dir.unit();
+            // Direction ≈ (3/5, 4/5); length ≈ 4.
+            assert!((u.x - 0.6).abs() < 1e-12);
+            assert!((u.y - 0.8).abs() < 1e-12);
+            assert!((dist.to_f64() - 4.0).abs() < 1e-12);
+        } else {
+            panic!("expected a go");
+        }
+    }
+
+    #[test]
+    fn beeline_empty_when_within_radius() {
+        let inst = Instance::builder()
+            .position(ratio(1, 2), Ratio::zero())
+            .r(ratio(1, 1))
+            .build()
+            .unwrap();
+        assert!(beeline(&inst).is_empty());
+    }
+
+    #[test]
+    fn march_exact_for_phi_zero() {
+        // φ=0, χ=−1: L horizontal through y/2 = 2; d_perp = 2; t = 2.
+        let inst = Instance::builder()
+            .position(ratio(3, 1), ratio(4, 1))
+            .chirality(Chirality::Minus)
+            .delay(ratio(2, 1))
+            .build()
+            .unwrap();
+        let prog = canonical_march(&inst);
+        assert_eq!(prog.len(), 3);
+        // Toward the line: q=0; s = y = 4 > 0 ⇒ local π/2 (north), 2 units.
+        assert_eq!(prog[0], Instr::go_angle(Angle::quarter(), ratio(2, 1)));
+        // March along L: local direction π, distance t.
+        assert_eq!(prog[1], Instr::go_angle(Angle::half(), ratio(2, 1)));
+        assert_eq!(prog[2], Instr::go_angle(Angle::zero(), ratio(2, 1)));
+    }
+
+    #[test]
+    fn march_handles_agents_on_line() {
+        // y = 0, φ = 0: both agents already on L; only the march remains.
+        let inst = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .chirality(Chirality::Minus)
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap();
+        let prog = canonical_march(&inst);
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn march_zero_delay_only_approaches_line() {
+        let inst = Instance::builder()
+            .position(ratio(1, 2), ratio(4, 1))
+            .chirality(Chirality::Minus)
+            .build()
+            .unwrap();
+        let prog = canonical_march(&inst);
+        assert_eq!(prog.len(), 1);
+    }
+}

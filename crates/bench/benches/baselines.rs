@@ -1,0 +1,65 @@
+//! B5 — specialist vs generalist (the F10 comparison as a wall-clock
+//! benchmark): CGKK and Latecomers on their home turf vs AUR.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rv_baselines::{cgkk, latecomers};
+use rv_core::{solve, solve_pair, Budget};
+use rv_model::{Angle, Instance};
+use rv_numeric::{ratio, Ratio};
+
+fn bench_cgkk_home_turf(c: &mut Criterion) {
+    // Simultaneous start, rotated frames (the CGKK contract case 2).
+    let inst = Instance::builder()
+        .position(ratio(4, 1), ratio(1, 1))
+        .phi(Angle::quarter())
+        .delay(Ratio::zero())
+        .build()
+        .unwrap();
+    let budget = Budget::default().segments(2_000_000);
+    let mut g = c.benchmark_group("cgkk_home");
+    g.sample_size(20);
+    g.bench_function("cgkk", |b| {
+        b.iter(|| {
+            let r = solve_pair(black_box(&inst), cgkk(), cgkk(), &budget);
+            assert!(r.met());
+            r.segments
+        })
+    });
+    g.bench_function("aur", |b| {
+        b.iter(|| {
+            let r = solve(black_box(&inst), &budget);
+            assert!(r.met());
+            r.segments
+        })
+    });
+    g.finish();
+}
+
+fn bench_latecomers_home_turf(c: &mut Criterion) {
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(1, 1))
+        .delay(ratio(4, 1))
+        .build()
+        .unwrap();
+    let budget = Budget::default().segments(2_000_000);
+    let mut g = c.benchmark_group("latecomers_home");
+    g.sample_size(20);
+    g.bench_function("latecomers", |b| {
+        b.iter(|| {
+            let r = solve_pair(black_box(&inst), latecomers(), latecomers(), &budget);
+            assert!(r.met());
+            r.segments
+        })
+    });
+    g.bench_function("aur", |b| {
+        b.iter(|| {
+            let r = solve(black_box(&inst), &budget);
+            assert!(r.met());
+            r.segments
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cgkk_home_turf, bench_latecomers_home_turf);
+criterion_main!(benches);

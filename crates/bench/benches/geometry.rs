@@ -1,0 +1,54 @@
+//! B2 — geometry benchmarks: the closest-approach solver (the per-interval
+//! kernel of the simulator) and exact-angle frame composition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rv_geometry::{first_within, min_dist_on_interval, Angle, Line, Vec2};
+
+fn bench_approach(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approach");
+    let rel0 = Vec2::new(10.0, 3.0);
+    let vel = Vec2::new(-1.0, -0.25);
+
+    g.bench_function("first_within_hit", |b| {
+        b.iter(|| first_within(black_box(rel0), black_box(vel), 2.0, 100.0))
+    });
+    g.bench_function("first_within_miss", |b| {
+        b.iter(|| first_within(black_box(rel0), black_box(Vec2::new(1.0, 0.0)), 2.0, 100.0))
+    });
+    g.bench_function("min_dist_on_interval", |b| {
+        b.iter(|| min_dist_on_interval(black_box(rel0), black_box(vel), 100.0))
+    });
+    g.finish();
+}
+
+fn bench_angles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("angle");
+    let phi = Angle::pi_frac(5, 7);
+    let theta = Angle::pi_frac(3, 16);
+    g.bench_function("compose_local", |b| {
+        b.iter(|| black_box(&phi).compose_local(black_box(&theta), false))
+    });
+    g.bench_function("unit_cardinal", |b| {
+        let east = Angle::zero();
+        b.iter(|| black_box(&east).unit())
+    });
+    g.bench_function("unit_generic", |b| {
+        b.iter(|| black_box(&theta).unit())
+    });
+    g.finish();
+}
+
+fn bench_lines(c: &mut Criterion) {
+    let line = Line::new(Vec2::new(1.0, 2.0), Angle::pi_frac(1, 3));
+    let p = Vec2::new(-4.0, 7.5);
+    let q = Vec2::new(3.0, -2.0);
+    let mut g = c.benchmark_group("line");
+    g.bench_function("project", |b| b.iter(|| black_box(&line).project(black_box(p))));
+    g.bench_function("proj_dist", |b| {
+        b.iter(|| black_box(&line).proj_dist(black_box(p), black_box(q)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_approach, bench_angles, bench_lines);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! B1 — substrate benchmarks: exact integer/rational arithmetic.
+//! Quantifies the small-int fast path (`i128` inline) against the big
+//! (limb-vector) path that the giant Algorithm 1 waits exercise.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rv_numeric::{Int, Ratio};
+
+fn bench_int(c: &mut Criterion) {
+    let mut g = c.benchmark_group("int");
+    let small_a = Int::from(123_456_789i64);
+    let small_b = Int::from(987_654_321i64);
+    let big_a = &Int::pow2(200) + &Int::from(12345i64);
+    let big_b = &Int::pow2(210) + &Int::from(6789i64);
+
+    g.bench_function("add_small", |b| {
+        b.iter(|| black_box(&small_a) + black_box(&small_b))
+    });
+    g.bench_function("add_big", |b| {
+        b.iter(|| black_box(&big_a) + black_box(&big_b))
+    });
+    g.bench_function("mul_small", |b| {
+        b.iter(|| black_box(&small_a) * black_box(&small_b))
+    });
+    g.bench_function("mul_big", |b| {
+        b.iter(|| black_box(&big_a) * black_box(&big_b))
+    });
+    g.bench_function("gcd_small", |b| {
+        b.iter(|| black_box(&small_a).gcd(black_box(&small_b)))
+    });
+    g.bench_function("gcd_big", |b| {
+        b.iter(|| black_box(&big_a).gcd(black_box(&big_b)))
+    });
+    g.bench_function("cmp_big", |b| {
+        b.iter(|| black_box(&big_a).cmp(black_box(&big_b)))
+    });
+    g.finish();
+}
+
+fn bench_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ratio");
+    let a = Ratio::frac(355, 113);
+    let b = Ratio::frac(-22, 7);
+    // The schedule-critical shape: giant wait plus unit-scale increments.
+    let giant = Ratio::pow2(540);
+    let tick = Ratio::frac(3, 7);
+
+    g.bench_function("add_small", |bch| {
+        bch.iter(|| black_box(&a) + black_box(&b))
+    });
+    g.bench_function("mul_small", |bch| {
+        bch.iter(|| black_box(&a) * black_box(&b))
+    });
+    g.bench_function("add_giant_plus_tick", |bch| {
+        bch.iter(|| black_box(&giant) + black_box(&tick))
+    });
+    g.bench_function("cmp_giant", |bch| {
+        let giant2 = &giant + &tick;
+        bch.iter(|| black_box(&giant).cmp(black_box(&giant2)))
+    });
+    g.bench_function("to_f64_small", |bch| {
+        bch.iter(|| black_box(&a).to_f64())
+    });
+    g.bench_function("to_f64_giant", |bch| {
+        bch.iter(|| black_box(&giant).to_f64())
+    });
+    g.bench_function("from_f64_exact", |bch| {
+        bch.iter(|| Ratio::from_f64_exact(black_box(0.123456789)))
+    });
+    g.finish();
+}
+
+fn bench_schedule_accumulation(c: &mut Criterion) {
+    // The simulator's hot loop in miniature: accumulate 1000 rational
+    // durations (mixed dyadic/clock-scaled), as each phase does.
+    let tau = Ratio::frac(3, 2);
+    let durations: Vec<Ratio> = (1..=1000)
+        .map(|k| &Ratio::frac(k % 7 + 1, 8) * &tau)
+        .collect();
+    c.bench_function("schedule/accumulate_1000_durations", |b| {
+        b.iter(|| {
+            let mut acc = Ratio::zero();
+            for d in &durations {
+                acc += black_box(d);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_int, bench_ratio, bench_schedule_accumulation);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! B4 — end-to-end rendezvous per instance type (the T2 families as
+//! wall-clock benchmarks): one representative instance per type.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rv_core::{solve, solve_dedicated, Budget};
+use rv_geometry::Chirality;
+use rv_model::{Angle, Instance};
+use rv_numeric::ratio;
+
+fn representatives() -> Vec<(&'static str, Instance)> {
+    vec![
+        (
+            "type1_mirror",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(1, 1))
+                .chirality(Chirality::Minus)
+                .delay(ratio(5, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type2_shift",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .delay(ratio(3, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type3_clock",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .tau(ratio(2, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type4_speed",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .speed(ratio(2, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type4_rotation",
+            Instance::builder()
+                .position(ratio(4, 1), ratio(0, 1))
+                .phi(Angle::half())
+                .build()
+                .unwrap(),
+        ),
+    ]
+}
+
+fn bench_aur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aur");
+    g.sample_size(20);
+    let budget = Budget::default().segments(2_000_000);
+    for (name, inst) in representatives() {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let report = solve(black_box(&inst), &budget);
+                assert!(report.met(), "{name} must meet");
+                report.segments
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dedicated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dedicated");
+    g.sample_size(20);
+    let budget = Budget::default().segments(2_000_000);
+    for (name, inst) in representatives() {
+        g.bench_function(name, |b| {
+            b.iter(|| solve_dedicated(black_box(&inst), &budget).segments)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aur, bench_dedicated);
+criterion_main!(benches);

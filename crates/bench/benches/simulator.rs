@@ -1,0 +1,62 @@
+//! B3 — simulator throughput: motion compilation and the event-merge loop,
+//! measured in processed segments per unit time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rv_baselines::planar_cow_walk;
+use rv_core::almost_universal_rv;
+use rv_model::Instance;
+use rv_numeric::{ratio, Ratio};
+use rv_sim::{simulate, SimConfig};
+use rv_trajectory::{AgentAttrs, Motion};
+
+fn bench_motion_compilation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("motion");
+    g.bench_function("compile_pcw2_full", |b| {
+        b.iter(|| {
+            Motion::new(AgentAttrs::reference(), planar_cow_walk(2))
+                .map(|seg| black_box(seg.from.x))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("compile_aur_10k_segments", |b| {
+        b.iter(|| {
+            Motion::new(AgentAttrs::reference(), almost_universal_rv())
+                .take(10_000)
+                .map(|seg| black_box(seg.from.x))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim_merge(c: &mut Criterion) {
+    // A non-meeting pair (far apart, strict radius): pure merge-loop cost
+    // for exactly `max_segments` segments.
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(20);
+    let far = Instance::builder()
+        .position(ratio(1000, 1), Ratio::zero())
+        .r(ratio(1, 2))
+        .tau(ratio(3, 2))
+        .build()
+        .unwrap();
+    for segs in [10_000u64, 100_000] {
+        let cfg = SimConfig::with_radius(far.r.clone()).max_segments(segs);
+        g.bench_function(format!("merge_{segs}_segments"), |b| {
+            b.iter(|| {
+                simulate(
+                    far.agent_a(),
+                    almost_universal_rv(),
+                    far.agent_b(),
+                    almost_universal_rv(),
+                    black_box(&cfg),
+                )
+                .segments
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_motion_compilation, bench_sim_merge);
+criterion_main!(benches);

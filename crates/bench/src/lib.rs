@@ -1,0 +1,12 @@
+//! # rv-bench — Criterion benchmarks
+//!
+//! Six bench targets (see `DESIGN.md` §5–6):
+//!
+//! * `numeric` — exact arithmetic substrate (small-int fast path vs big).
+//! * `geometry` — the per-interval closest-approach kernel.
+//! * `simulator` — motion compilation and merge-loop throughput.
+//! * `rendezvous` — end-to-end AUR per instance type.
+//! * `baselines` — specialist (CGKK/Latecomers) vs generalist (AUR).
+//! * `ablation` — exact vs f64 scheduling; lazy vs materialized streams.
+//!
+//! Run with `cargo bench --workspace`.

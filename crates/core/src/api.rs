@@ -1,0 +1,280 @@
+//! Top-level rendezvous API: run `AlmostUniversalRV` (or any program pair)
+//! on an instance under a budget.
+
+use crate::aur::almost_universal_rv;
+use rv_baselines::{beeline, canonical_march};
+use rv_model::{classify, Classification, Instance};
+use rv_numeric::Ratio;
+use rv_sim::{simulate, SimConfig, SimReport};
+use rv_trajectory::Instr;
+
+/// Resource budget for a simulation run.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Cap on processed motion segments (the real cost driver; phase `i`
+    /// of Algorithm 1 costs Θ(i·2^(3i)) segments).
+    pub max_segments: u64,
+    /// Optional cap on simulated absolute time.
+    pub max_time: Option<Ratio>,
+    /// Distance-trace samples to record (0 = off).
+    pub trace_samples: usize,
+    /// Relative detection slack (see `rv_sim::SimConfig`).
+    pub detection_slack: f64,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_segments: 3_000_000,
+            max_time: None,
+            trace_samples: 0,
+            detection_slack: 1e-9,
+        }
+    }
+}
+
+impl Budget {
+    /// Budget sized to reach (roughly) phase `i` of Algorithm 1.
+    pub fn for_phase(i: u32) -> Budget {
+        // Phase i costs ≈ (3i+1)·2^(3i+2) segments (block 1 dominates);
+        // sum over phases ≈ double the last one. ×2 agents.
+        let per_phase = (3 * i as u64 + 1) << (3 * i + 2);
+        Budget {
+            max_segments: per_phase.saturating_mul(8).max(10_000),
+            ..Budget::default()
+        }
+    }
+
+    /// Sets the segment cap.
+    pub fn segments(mut self, n: u64) -> Budget {
+        self.max_segments = n;
+        self
+    }
+
+    /// Sets the simulated-time cap.
+    pub fn time(mut self, t: Ratio) -> Budget {
+        self.max_time = Some(t);
+        self
+    }
+
+    /// Enables distance tracing.
+    pub fn trace(mut self, samples: usize) -> Budget {
+        self.trace_samples = samples;
+        self
+    }
+
+    fn sim_config(&self, r_a: Ratio, r_b: Ratio) -> SimConfig {
+        SimConfig {
+            radius_a: r_a,
+            radius_b: r_b,
+            detection_slack: self.detection_slack,
+            max_time: self.max_time.clone(),
+            max_segments: self.max_segments,
+            trace_samples: self.trace_samples,
+        }
+    }
+}
+
+/// Runs `AlmostUniversalRV` on both agents of `inst` (Theorem 3.2's
+/// algorithm) until rendezvous or budget exhaustion.
+pub fn solve(inst: &Instance, budget: &Budget) -> SimReport {
+    solve_pair(inst, almost_universal_rv(), almost_universal_rv(), budget)
+}
+
+/// Runs an arbitrary pair of programs on the two agents of `inst`.
+/// (Anonymous algorithms pass the *same* program twice; the two arguments
+/// exist so experiments can also explore asymmetric what-ifs.)
+pub fn solve_pair<PA, PB>(inst: &Instance, prog_a: PA, prog_b: PB, budget: &Budget) -> SimReport
+where
+    PA: Iterator<Item = Instr>,
+    PB: Iterator<Item = Instr>,
+{
+    let cfg = budget.sim_config(inst.r.clone(), inst.r.clone());
+    simulate(inst.agent_a(), prog_a, inst.agent_b(), prog_b, &cfg)
+}
+
+/// Section 5 extension: different visibility radii. `r_a`/`r_b` override
+/// the instance radius; rendezvous means reaching the smaller radius.
+pub fn solve_asymmetric<PA, PB>(
+    inst: &Instance,
+    r_a: Ratio,
+    r_b: Ratio,
+    prog_a: PA,
+    prog_b: PB,
+    budget: &Budget,
+) -> SimReport
+where
+    PA: Iterator<Item = Instr>,
+    PB: Iterator<Item = Instr>,
+{
+    let cfg = budget.sim_config(r_a, r_b);
+    simulate(inst.agent_a(), prog_a, inst.agent_b(), prog_b, &cfg)
+}
+
+/// The dedicated algorithm a full-knowledge solver would pick for this
+/// instance (the constructive side of Theorem 3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DedicatedChoice {
+    /// Nothing to do: the agents already see each other.
+    StayPut,
+    /// `beeline` (Lemma 3.8 construction) — shifted frames.
+    Beeline,
+    /// `canonical_march` (Lemma 3.9 construction) — mirrored frames.
+    CanonicalMarch,
+    /// `AlmostUniversalRV` (the Theorem 3.2 algorithm covers the rest).
+    Aur,
+}
+
+/// Picks the dedicated algorithm per the constructive proofs.
+pub fn dedicated_choice(inst: &Instance) -> DedicatedChoice {
+    match classify(inst) {
+        Classification::Trivial => DedicatedChoice::StayPut,
+        Classification::Type2 | Classification::ExceptionS1 => DedicatedChoice::Beeline,
+        Classification::Type1 | Classification::ExceptionS2 => DedicatedChoice::CanonicalMarch,
+        Classification::Type3 | Classification::Type4 => DedicatedChoice::Aur,
+        // Infeasible: no algorithm works; run AUR so callers can observe
+        // the (guaranteed) failure.
+        Classification::Infeasible => DedicatedChoice::Aur,
+    }
+}
+
+/// Runs the per-instance dedicated algorithm from the constructive side of
+/// Theorem 3.1 (both agents execute the same program, built from the
+/// instance they are both given).
+pub fn solve_dedicated(inst: &Instance, budget: &Budget) -> SimReport {
+    match dedicated_choice(inst) {
+        DedicatedChoice::StayPut => {
+            solve_pair(inst, std::iter::empty(), std::iter::empty(), budget)
+        }
+        DedicatedChoice::Beeline => {
+            let p = beeline(inst);
+            solve_pair(inst, p.clone().into_iter(), p.into_iter(), budget)
+        }
+        DedicatedChoice::CanonicalMarch => {
+            let p = canonical_march(inst);
+            solve_pair(inst, p.clone().into_iter(), p.into_iter(), budget)
+        }
+        DedicatedChoice::Aur => solve(inst, budget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_geometry::{Angle, Chirality};
+    use rv_numeric::ratio;
+
+    #[test]
+    fn trivial_instance_meets_instantly() {
+        let inst = Instance::builder()
+            .position(ratio(1, 2), Ratio::zero())
+            .r(Ratio::one())
+            .build()
+            .unwrap();
+        let report = solve(&inst, &Budget::default().segments(100));
+        assert!(report.met());
+        assert_eq!(report.meeting_time(), Some(0.0));
+    }
+
+    #[test]
+    fn dedicated_choice_dispatch() {
+        let s1 = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap();
+        assert_eq!(dedicated_choice(&s1), DedicatedChoice::Beeline);
+
+        let s2 = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .delay(ratio(4, 1))
+            .chirality(Chirality::Minus)
+            .build()
+            .unwrap();
+        assert_eq!(dedicated_choice(&s2), DedicatedChoice::CanonicalMarch);
+
+        let t3 = Instance::builder()
+            .position(ratio(3, 1), Ratio::zero())
+            .tau(ratio(2, 1))
+            .build()
+            .unwrap();
+        assert_eq!(dedicated_choice(&t3), DedicatedChoice::Aur);
+    }
+
+    #[test]
+    fn dedicated_beeline_meets_s1_boundary_exactly() {
+        // S1: dist = 5, r = 1, t = 4 = dist − r. Beeline: A walks 4 east,
+        // arrives at distance exactly 1 at time 4.
+        let inst = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap();
+        let report = solve_dedicated(&inst, &Budget::default());
+        let m = report.meeting().expect("beeline must meet S1");
+        assert!((m.time.to_f64() - 4.0).abs() < 1e-6);
+        assert!((m.dist - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dedicated_march_meets_s2_boundary_exactly() {
+        // S2: proj dist = 5 (x = 5, φ = 0, χ = −1), r = 1, t = 4.
+        let inst = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .delay(ratio(4, 1))
+            .chirality(Chirality::Minus)
+            .build()
+            .unwrap();
+        let report = solve_dedicated(&inst, &Budget::default());
+        let m = report.meeting().expect("canonical march must meet S2");
+        assert!((m.dist - 1.0).abs() < 1e-6, "meet at exactly r, got {}", m.dist);
+    }
+
+    #[test]
+    fn dedicated_march_meets_off_axis_s2() {
+        // χ = −1, φ = 0, B at (4, 3): proj dist = 4, r = 1, t = 3.
+        let inst = Instance::builder()
+            .position(ratio(4, 1), ratio(3, 1))
+            .r(Ratio::one())
+            .delay(ratio(3, 1))
+            .chirality(Chirality::Minus)
+            .build()
+            .unwrap();
+        assert_eq!(rv_model::classify(&inst), rv_model::Classification::ExceptionS2);
+        let report = solve_dedicated(&inst, &Budget::default());
+        let m = report.meeting().expect("march must meet off-axis S2");
+        assert!((m.dist - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aur_meets_type4_rotation_quickly() {
+        // Sync, χ = +1, φ = π, t = 0: fixed point at (2,0); phase-2 sweeps
+        // of block 1 must already meet.
+        let inst = Instance::builder()
+            .position(ratio(4, 1), Ratio::zero())
+            .phi(Angle::half())
+            .r(Ratio::one())
+            .build()
+            .unwrap();
+        let report = solve(&inst, &Budget::default().segments(100_000));
+        assert!(report.met(), "type-4 rotation should meet: {}", report.outcome);
+    }
+
+    #[test]
+    fn aur_respects_budget_on_infeasible() {
+        let inst = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .build()
+            .unwrap(); // sync, shifts, t = 0 < 4: infeasible
+        let report = solve(&inst, &Budget::default().segments(20_000));
+        assert!(!report.met());
+        // Infeasibility manifests as constant distance ≥ ... the mirror
+        // argument: equal programs keep the displacement constant.
+        assert!(report.min_dist >= 4.999999);
+    }
+}

@@ -1,0 +1,183 @@
+//! F9 — min-distance convergence to `r` (from above) on an `S2` boundary
+//! instance under AUR, and F10 — AUR vs. the specialised baselines on
+//! their home-turf instances.
+
+use crate::report::{Ctx, ExperimentOutput};
+use crate::runner::run_batch;
+use crate::svg::{Chart, Series};
+use crate::table::Table;
+use crate::workloads::sample;
+use rv_baselines::{cgkk, latecomers};
+use rv_core::{solve, solve_pair, Budget};
+use rv_geometry::Chirality;
+use rv_model::{Instance, TargetClass};
+use rv_numeric::{ratio, Ratio};
+
+/// F9: one S2 boundary instance, long AUR run with strict detection.
+pub fn f9(ctx: &Ctx) -> ExperimentOutput {
+    // Perpendicular offset 1/3 (non-dyadic): no sweep line ever lies on L.
+    let inst = Instance::builder()
+        .position(ratio(4, 1), ratio(2, 3))
+        .chirality(Chirality::Minus)
+        .r(Ratio::one())
+        .delay(ratio(3, 1))
+        .build()
+        .unwrap();
+    let mut budget = Budget::default()
+        .segments(ctx.scale.success_segments)
+        .trace(6000);
+    budget.detection_slack = -1e-9;
+    let report = solve(&inst, &budget);
+
+    // Running minimum of dist/r − 1 over time.
+    let r = inst.r.to_f64();
+    let mut running = f64::INFINITY;
+    let mut pts = Vec::new();
+    for s in &report.trace {
+        running = running.min(s.dist / r - 1.0);
+        if running > 0.0 && s.time > 0.0 && s.time.is_finite() {
+            pts.push((s.time, running));
+        }
+    }
+    let mut chart = Chart::new(
+        "Figure 9 — S2 boundary under AUR: min distance approaches r from above",
+        "simulated time",
+        "running min of dist/r − 1",
+    );
+    chart.log_x = true;
+    chart.log_y = true;
+    chart.push(Series::line("running min", pts));
+    ctx.write("f9_boundary_gap.svg", &chart.render());
+
+    let mut csv = Table::new(["time", "dist_over_r_minus_1"]);
+    let mut running = f64::INFINITY;
+    for s in &report.trace {
+        running = running.min(s.dist / r - 1.0);
+        csv.row([format!("{:.6e}", s.time), format!("{:.9e}", running)]);
+    }
+    ctx.write("f9_boundary_gap.csv", &csv.to_csv());
+
+    let gap = report.min_dist / r - 1.0;
+    ExperimentOutput {
+        id: "f9",
+        title: "Figure 9 — the S2 knife edge under AUR",
+        markdown: format!(
+            "Instance {inst}: the projection-gap invariant \
+             (Corollary 2.1) forbids any distance strictly below r; the \
+             run's global minimum was r·(1 + {gap:.3e}) and never crossed \
+             (outcome: {}).",
+            report.outcome
+        ),
+        artifacts: vec!["f9_boundary_gap.svg".into(), "f9_boundary_gap.csv".into()],
+    }
+}
+
+/// F10: AUR vs CGKK (t = 0 instances) and AUR vs Latecomers (type 2).
+pub fn f10(ctx: &Ctx) -> ExperimentOutput {
+    let n = (ctx.scale.per_family / 4).max(10);
+    let budget = Budget::default().segments(ctx.scale.success_segments);
+
+    // Home turf of CGKK: simultaneous-start type-4 rotation instances.
+    let cgkk_instances: Vec<Instance> = sample(TargetClass::Type4Rotation, n, 0xF10_001)
+        .into_iter()
+        .map(|i| Instance {
+            t: Ratio::zero(),
+            ..i
+        })
+        .collect();
+    let cgkk_times: Vec<(Option<f64>, Option<f64>)> = {
+        let base = run_batch(&cgkk_instances, |inst| {
+            solve_pair(inst, cgkk(), cgkk(), &budget)
+        });
+        let aur = run_batch(&cgkk_instances, |inst| solve(inst, &budget));
+        base.iter().zip(&aur).map(|(b, a)| (b.time, a.time)).collect()
+    };
+
+    // Home turf of Latecomers: type-2 instances.
+    let late_instances = sample(TargetClass::Type2, n, 0xF10_002);
+    let late_times: Vec<(Option<f64>, Option<f64>)> = {
+        let base = run_batch(&late_instances, |inst| {
+            solve_pair(inst, latecomers(), latecomers(), &budget)
+        });
+        let aur = run_batch(&late_instances, |inst| solve(inst, &budget));
+        base.iter().zip(&aur).map(|(b, a)| (b.time, a.time)).collect()
+    };
+
+    type TimePairs = [(Option<f64>, Option<f64>)];
+    let to_scatter = |pairs: &TimePairs| -> Vec<(f64, f64)> {
+        pairs
+            .iter()
+            .filter_map(|(b, a)| match (b, a) {
+                (Some(b), Some(a)) => Some((*b, *a)),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let mut chart = Chart::new(
+        "Figure 10 — specialist vs generalist: baseline time (x) vs AUR time (y)",
+        "baseline rendezvous time",
+        "AUR rendezvous time",
+    );
+    chart.log_x = true;
+    chart.log_y = true;
+    let s1 = to_scatter(&cgkk_times);
+    let s2 = to_scatter(&late_times);
+    // y = x guide line spanning the data.
+    let all: Vec<f64> = s1
+        .iter()
+        .chain(&s2)
+        .flat_map(|&(x, y)| [x, y])
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().cloned().fold(0.0, f64::max);
+    chart.push(Series::line("y = x", vec![(lo, lo), (hi, hi)]).dashed());
+    chart.push(Series::scatter("CGKK instances (t=0 rotation)", s1));
+    chart.push(Series::scatter("Latecomers instances (type 2)", s2));
+    ctx.write("f10_baseline_vs_aur.svg", &chart.render());
+
+    let mut table = Table::new(["family", "baseline met", "AUR met", "median baseline", "median AUR"]);
+    for (name, pairs) in [("CGKK home turf", &cgkk_times), ("Latecomers home turf", &late_times)] {
+        let bm = pairs.iter().filter(|(b, _)| b.is_some()).count();
+        let am = pairs.iter().filter(|(_, a)| a.is_some()).count();
+        type Pair = (Option<f64>, Option<f64>);
+        let med = |sel: fn(&Pair) -> Option<f64>| -> String {
+            let mut v: Vec<f64> = pairs.iter().filter_map(sel).collect();
+            v.sort_by(|a, b| a.total_cmp(b));
+            if v.is_empty() {
+                "—".into()
+            } else {
+                format!("{:.3}", v[v.len() / 2])
+            }
+        };
+        table.row([
+            name.to_string(),
+            format!("{bm}/{}", pairs.len()),
+            format!("{am}/{}", pairs.len()),
+            med(|p| p.0),
+            med(|p| p.1),
+        ]);
+    }
+    ctx.write("f10_baseline_vs_aur.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "f10",
+        title: "Figure 10 — AUR vs the specialised baselines",
+        markdown: format!(
+            "On each specialist's home turf both meet; the generalist \
+             pays its four-block phase overhead (points above the y = x \
+             line), which is the expected price of almost-universality.\n\n{}",
+            table.to_markdown()
+        ),
+        artifacts: vec![
+            "f10_baseline_vs_aur.svg".into(),
+            "f10_baseline_vs_aur.csv".into(),
+        ],
+    }
+}
+
+/// Runs F9 and F10.
+pub fn run(ctx: &Ctx) -> Vec<ExperimentOutput> {
+    vec![f9(ctx), f10(ctx)]
+}

@@ -1,0 +1,225 @@
+//! F6–F8 — parameter sweeps of `AlmostUniversalRV`:
+//! delay across the feasibility boundary (F6), clock ratio toward the
+//! synchronous limit (F7), orientation gap toward the aligned limit (F8).
+
+use crate::report::{Ctx, ExperimentOutput};
+use crate::runner::{run_batch, Summary};
+use crate::svg::{Chart, Series};
+use crate::table::Table;
+use rv_core::{solve, Budget};
+use rv_geometry::Chirality;
+use rv_model::{classify, Angle, Instance};
+use rv_numeric::{ratio, Ratio};
+
+/// F6: rendezvous time vs. delay ratio for shift (type 2) and mirror
+/// (type 1) families; the crossover sits exactly at the boundary.
+pub fn f6(ctx: &Ctx) -> ExperimentOutput {
+    let ratios: [(i64, i64); 7] = [(1, 2), (9, 10), (1, 1), (11, 10), (3, 2), (2, 1), (3, 1)];
+    let per_point = (ctx.scale.per_family / 10).max(5);
+
+    let mut chart = Chart::new(
+        "Figure 6 — AUR rendezvous time vs delay ratio t/(boundary)",
+        "t / boundary delay",
+        "median rendezvous time",
+    );
+    chart.log_y = true;
+    let mut table = Table::new(["family", "ratio", "met", "median time"]);
+
+    for (family, chi) in [("shift (χ=+1)", Chirality::Plus), ("mirror (χ=−1)", Chirality::Minus)] {
+        let mut pts = Vec::new();
+        for (p, q) in ratios {
+            let rho = ratio(p, q);
+            let instances: Vec<Instance> = (0..per_point)
+                .map(|k| {
+                    let x = &ratio(3, 1) + &(&ratio(1, 8) * &Ratio::from_int(k as i64));
+                    let y = &ratio(1, 1) + &(&ratio(1, 8) * &Ratio::from_int((k % 3) as i64));
+                    let base = Instance::builder()
+                        .position(x, y)
+                        .r(Ratio::one())
+                        .chirality(chi)
+                        .build()
+                        .unwrap();
+                    let boundary = match chi {
+                        Chirality::Plus => base.initial_dist() - 1.0,
+                        Chirality::Minus => (base.proj_dist() - 1.0).max(0.05),
+                    };
+                    let t = Ratio::from_f64_exact(boundary).unwrap() * &rho;
+                    Instance { t, ..base }
+                })
+                .collect();
+            let expect_meet = p > q;
+            let budget = if expect_meet {
+                Budget::default().segments(ctx.scale.success_segments)
+            } else {
+                Budget::default().segments(ctx.scale.failure_segments)
+            };
+            let results = run_batch(&instances, |inst| solve(inst, &budget));
+            let s = Summary::of(&results);
+            table.row([
+                family.to_string(),
+                format!("{p}/{q}"),
+                s.rate(),
+                s.median_time_str(),
+            ]);
+            if let Some(t) = s.median_time {
+                pts.push((p as f64 / q as f64, t));
+            }
+        }
+        chart.push(Series::marked(family, pts));
+    }
+
+    ctx.write("f6_delay_sweep.svg", &chart.render());
+    ctx.write("f6_delay_sweep.csv", &table.to_csv());
+    ExperimentOutput {
+        id: "f6",
+        title: "Figure 6 — delay sweep across the feasibility boundary",
+        markdown: format!(
+            "Below the boundary nothing meets; above it everything does. \
+             At ratio exactly 1 the families split: shift instances have \
+             off-grid directions and never touch r (the Theorem 4.1 \
+             obstruction), while many mirror instances have dyadic \
+             offsets, letting a sweep line lie exactly on the canonical \
+             line and touch r — boundary instances are feasible, and only \
+             covering *all* of them is impossible.\n\n{}",
+            table.to_markdown()
+        ),
+        artifacts: vec!["f6_delay_sweep.svg".into(), "f6_delay_sweep.csv".into()],
+    }
+}
+
+/// F7: rendezvous cost vs. clock ratio τ (type 3); blow-up toward τ = 1.
+pub fn f7(ctx: &Ctx) -> ExperimentOutput {
+    let taus: [(i64, i64); 6] = [(3, 1), (2, 1), (3, 2), (5, 4), (9, 8), (17, 16)];
+    let per_point = (ctx.scale.per_family / 10).max(5);
+
+    let mut time_pts = Vec::new();
+    let mut seg_pts = Vec::new();
+    let mut table = Table::new(["τ", "met", "median time", "median segments"]);
+
+    for (p, q) in taus {
+        let tau = ratio(p, q);
+        let instances: Vec<Instance> = (0..per_point)
+            .map(|k| {
+                Instance::builder()
+                    .position(
+                        &ratio(2, 1) + &(&ratio(1, 4) * &Ratio::from_int(k as i64)),
+                        ratio(1, 2),
+                    )
+                    .r(ratio(2, 1))
+                    .tau(tau.clone())
+                    .delay(ratio(1, 1))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let budget = Budget::default().segments(ctx.scale.success_segments * 2);
+        let results = run_batch(&instances, |inst| solve(inst, &budget));
+        let s = Summary::of(&results);
+        table.row([
+            format!("{p}/{q}"),
+            s.rate(),
+            s.median_time_str(),
+            s.median_segments.to_string(),
+        ]);
+        let x = p as f64 / q as f64;
+        if let Some(t) = s.median_time {
+            time_pts.push((x - 1.0, t));
+        }
+        seg_pts.push((x - 1.0, s.median_segments as f64));
+    }
+
+    let mut chart = Chart::new(
+        "Figure 7 — AUR cost vs clock-rate gap (τ − 1)",
+        "τ − 1",
+        "median rendezvous time / segments",
+    );
+    chart.log_x = true;
+    chart.log_y = true;
+    chart.push(Series::marked("median time", time_pts));
+    chart.push(Series::marked("median segments", seg_pts).dashed());
+    ctx.write("f7_tau_sweep.svg", &chart.render());
+    ctx.write("f7_tau_sweep.csv", &table.to_csv());
+    ExperimentOutput {
+        id: "f7",
+        title: "Figure 7 — clock-ratio sweep (type 3)",
+        markdown: format!(
+            "The worst-case bound of Lemma 3.4 needs phases with \
+             2^i ≳ τ/(τ−1), blowing up as τ → 1. Observed cost is flat: \
+             any clock mismatch desynchronises the agents within the very \
+             first phases, and the block-1/2 searches meet long before the \
+             calibrated type-3 wait is ever needed — the conservatism that \
+             experiment T7 quantifies.\n\n{}",
+            table.to_markdown()
+        ),
+        artifacts: vec!["f7_tau_sweep.svg".into(), "f7_tau_sweep.csv".into()],
+    }
+}
+
+/// F8: rendezvous cost vs. orientation gap φ (type 4); blow-up as φ → 0.
+pub fn f8(ctx: &Ctx) -> ExperimentOutput {
+    let phis: [i64; 6] = [1, 2, 4, 8, 16, 32]; // φ = π/k
+    let per_point = (ctx.scale.per_family / 10).max(5);
+
+    let mut pts = Vec::new();
+    let mut table = Table::new(["φ", "met", "median time", "median segments"]);
+
+    for k in phis {
+        let phi = Angle::pi_frac(1, k);
+        let instances: Vec<Instance> = (0..per_point)
+            .map(|j| {
+                Instance::builder()
+                    .position(
+                        &ratio(3, 1) + &(&ratio(1, 4) * &Ratio::from_int(j as i64)),
+                        ratio(1, 4),
+                    )
+                    .r(Ratio::one())
+                    .phi(phi.clone())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        for inst in &instances {
+            assert!(classify(inst).aur_guaranteed());
+        }
+        let budget = Budget::default().segments(ctx.scale.success_segments * 2);
+        let results = run_batch(&instances, |inst| solve(inst, &budget));
+        let s = Summary::of(&results);
+        table.row([
+            format!("π/{k}"),
+            s.rate(),
+            s.median_time_str(),
+            s.median_segments.to_string(),
+        ]);
+        if let Some(t) = s.median_time {
+            pts.push((std::f64::consts::PI / k as f64, t));
+        }
+    }
+
+    let mut chart = Chart::new(
+        "Figure 8 — AUR rendezvous time vs orientation gap φ (type 4, t = 0)",
+        "φ (radians)",
+        "median rendezvous time",
+    );
+    chart.log_x = true;
+    chart.log_y = true;
+    chart.push(Series::marked("median time", pts));
+    ctx.write("f8_phi_sweep.svg", &chart.render());
+    ctx.write("f8_phi_sweep.csv", &table.to_csv());
+    ExperimentOutput {
+        id: "f8",
+        title: "Figure 8 — orientation sweep (type 4)",
+        markdown: format!(
+            "With t = 0 and equal everything else, the agents' trajectories \
+             are rotations about a fixed point at distance ≈ |D|/(2 sin(φ/2)) \
+             — the sweep must reach it, so cost grows as φ → 0 (the \
+             aligned limit, which is infeasible at t = 0).\n\n{}",
+            table.to_markdown()
+        ),
+        artifacts: vec!["f8_phi_sweep.svg".into(), "f8_phi_sweep.csv".into()],
+    }
+}
+
+/// Runs F6–F8.
+pub fn run(ctx: &Ctx) -> Vec<ExperimentOutput> {
+    vec![f6(ctx), f7(ctx), f8(ctx)]
+}

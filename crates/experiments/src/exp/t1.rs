@@ -1,0 +1,68 @@
+//! T1 — Theorem 3.1: feasibility characterization.
+//!
+//! For every family of the taxonomy we run the *dedicated* algorithm from
+//! the constructive side of the theorem and check: feasible families meet,
+//! infeasible families never even get strictly inside the radius (their
+//! minimum distance over the whole run stays ≥ r, matching the
+//! impossibility arguments of Lemmas 3.8/3.9).
+
+use crate::report::{Ctx, ExperimentOutput};
+use crate::runner::{run_batch, Summary};
+use crate::table::Table;
+use crate::util::fnum;
+use crate::workloads::sample;
+use rv_core::{dedicated_choice, solve_dedicated, Budget};
+use rv_model::TargetClass;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) -> ExperimentOutput {
+    let mut table = Table::new([
+        "family",
+        "classification",
+        "feasible (Thm 3.1)",
+        "dedicated algorithm",
+        "met",
+        "median time",
+        "min dist / r",
+    ]);
+
+    for class in TargetClass::all() {
+        let instances = sample(class, ctx.scale.per_family, 0x71_0000 + class.expected() as u64);
+        let expected = class.expected();
+        let feasible = expected.feasible();
+        let budget = if feasible {
+            Budget::default().segments(ctx.scale.success_segments)
+        } else {
+            Budget::default().segments(ctx.scale.failure_segments)
+        };
+        let results = run_batch(&instances, |inst| solve_dedicated(inst, &budget));
+        let s = Summary::of(&results);
+        let alg = format!("{:?}", dedicated_choice(&instances[0]));
+        table.row([
+            format!("{class:?}"),
+            expected.to_string(),
+            if feasible { "yes".into() } else { "no".into() },
+            alg,
+            s.rate(),
+            s.median_time_str(),
+            fnum(s.min_dist_over_r),
+        ]);
+    }
+
+    ctx.write("t1_feasibility.md", &table.to_markdown());
+    ctx.write("t1_feasibility.csv", &table.to_csv());
+
+    let markdown = format!(
+        "Validates the feasibility characterization constructively: every \
+         feasible family is solved by its dedicated algorithm; the \
+         infeasible families never get strictly inside the visibility \
+         radius (min dist / r ≥ 1).\n\n{}",
+        table.to_markdown()
+    );
+    ExperimentOutput {
+        id: "t1",
+        title: "Theorem 3.1 — feasibility characterization",
+        markdown,
+        artifacts: vec!["t1_feasibility.md".into(), "t1_feasibility.csv".into()],
+    }
+}

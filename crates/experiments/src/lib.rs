@@ -1,0 +1,25 @@
+//! # rv-experiments — the evaluation harness
+//!
+//! Regenerates every table and figure of the reproduction (`EXPERIMENTS.md`
+//! and `DESIGN.md` §5): seeded workloads per instance family, a
+//! crossbeam-based parallel batch runner, Markdown/CSV table rendering and
+//! self-contained SVG charts/canvases, plus one module per experiment.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p rv-experiments --bin experiments -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod parallel;
+pub mod report;
+pub mod runner;
+pub mod svg;
+pub mod table;
+pub mod util;
+pub mod workloads;
+
+pub use report::{Ctx, ExperimentOutput};

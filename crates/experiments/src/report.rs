@@ -1,0 +1,65 @@
+//! Experiment context: scale knobs and artifact output.
+
+use crate::workloads::Scale;
+use std::fs;
+use std::path::PathBuf;
+
+/// Shared context passed to every experiment.
+#[derive(Clone, Debug)]
+pub struct Ctx {
+    /// Scale (instance counts, budgets).
+    pub scale: Scale,
+    /// Output directory for artifacts (`results/` by default).
+    pub out_dir: PathBuf,
+}
+
+impl Ctx {
+    /// Context writing into `out_dir` at the given scale.
+    pub fn new(out_dir: impl Into<PathBuf>, scale: Scale) -> Ctx {
+        Ctx {
+            scale,
+            out_dir: out_dir.into(),
+        }
+    }
+
+    /// Writes an artifact file, creating the directory as needed.
+    pub fn write(&self, name: &str, content: &str) {
+        fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(name);
+        fs::write(&path, content)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+}
+
+/// The result of one experiment: a Markdown section plus artifact names.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Experiment id ("t1", "f6", …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Markdown body (tables, key numbers, interpretation).
+    pub markdown: String,
+    /// Artifact files written under the context's output dir.
+    pub artifacts: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Renders the full Markdown section.
+    pub fn section(&self) -> String {
+        let mut s = format!("## {} — {}\n\n{}\n", self.id.to_uppercase(), self.title, self.markdown);
+        if !self.artifacts.is_empty() {
+            s.push_str("\nArtifacts: ");
+            s.push_str(
+                &self
+                    .artifacts
+                    .iter()
+                    .map(|a| format!("`{a}`"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            s.push('\n');
+        }
+        s
+    }
+}

@@ -1,0 +1,469 @@
+//! Minimal self-contained SVG rendering: line charts (for figure series)
+//! and plane canvases (for trajectories and geometric constructions).
+//! No external crates — the experiment harness emits plain SVG 1.1 text.
+
+use rv_geometry::Vec2;
+use std::fmt::Write as _;
+
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+/// One polyline series of a chart or canvas.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (chart: x/y values; canvas: plane coordinates).
+    pub points: Vec<(f64, f64)>,
+    /// Draw markers at each point.
+    pub markers: bool,
+    /// Dashed stroke.
+    pub dashed: bool,
+    /// Markers only, no connecting line (scatter plot).
+    pub scatter: bool,
+}
+
+impl Series {
+    /// A plain line series.
+    pub fn line<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+            markers: false,
+            dashed: false,
+            scatter: false,
+        }
+    }
+
+    /// A line series with point markers.
+    pub fn marked<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            markers: true,
+            ..Series::line(label, points)
+        }
+    }
+
+    /// Dashed variant of this series.
+    pub fn dashed(mut self) -> Series {
+        self.dashed = true;
+        self
+    }
+
+    /// A scatter series (markers only, no connecting line).
+    pub fn scatter<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            markers: true,
+            scatter: true,
+            ..Series::line(label, points)
+        }
+    }
+}
+
+/// A line chart with linear or log₁₀ axes.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale the x axis (data must be positive).
+    pub log_x: bool,
+    /// Log-scale the y axis (data must be positive).
+    pub log_y: bool,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// An empty chart with labels.
+    pub fn new<S: Into<String>>(title: S, x_label: S, y_label: S) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, s: Series) -> &mut Chart {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart to SVG text.
+    pub fn render(&self) -> String {
+        const W: f64 = 760.0;
+        const H: f64 = 480.0;
+        const ML: f64 = 70.0; // margins
+        const MR: f64 = 20.0;
+        const MT: f64 = 40.0;
+        const MB: f64 = 55.0;
+
+        let tx = |v: f64| if self.log_x { v.max(1e-300).log10() } else { v };
+        let ty = |v: f64| if self.log_y { v.max(1e-300).log10() } else { v };
+
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    xs.push(tx(x));
+                    ys.push(ty(y));
+                }
+            }
+        }
+        let (x0, x1) = span(&xs);
+        let (y0, y1) = span(&ys);
+        let sx = move |v: f64| ML + (tx(v) - x0) / (x1 - x0) * (W - ML - MR);
+        let sy = move |v: f64| H - MB - (ty(v) - y0) / (y1 - y0) * (H - MT - MB);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"#,
+            W / 2.0,
+            xml(&self.title)
+        );
+        // Axes box.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{ML}" y="{MT}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            W - ML - MR,
+            H - MT - MB
+        );
+        // Ticks: 5 per axis.
+        for k in 0..=4 {
+            let fx = x0 + (x1 - x0) * k as f64 / 4.0;
+            let px = ML + (W - ML - MR) * k as f64 / 4.0;
+            let label = if self.log_x {
+                sig3(10f64.powf(fx))
+            } else {
+                sig3(fx)
+            };
+            let _ = writeln!(
+                out,
+                r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#999"/><text x="{px}" y="{}" text-anchor="middle">{label}</text>"##,
+                H - MB,
+                H - MB + 5.0,
+                H - MB + 20.0
+            );
+            let fy = y0 + (y1 - y0) * k as f64 / 4.0;
+            let py = H - MB - (H - MT - MB) * k as f64 / 4.0;
+            let label = if self.log_y {
+                sig3(10f64.powf(fy))
+            } else {
+                sig3(fy)
+            };
+            let _ = writeln!(
+                out,
+                r##"<line x1="{}" y1="{py}" x2="{ML}" y2="{py}" stroke="#999"/><text x="{}" y="{}" text-anchor="end">{label}</text>"##,
+                ML - 5.0,
+                ML - 8.0,
+                py + 4.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            W / 2.0,
+            H - 12.0,
+            xml(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            H / 2.0,
+            H / 2.0,
+            xml(&self.y_label)
+        );
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let dash = if s.dashed { r#" stroke-dasharray="6 4""# } else { "" };
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+                .collect();
+            if pts.len() > 1 && !s.scatter {
+                let _ = writeln!(
+                    out,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"{dash}/>"#,
+                    pts.join(" ")
+                );
+            }
+            if s.markers {
+                for p in &pts {
+                    let mut it = p.split(',');
+                    let (px, py) = (it.next().unwrap(), it.next().unwrap());
+                    let _ = writeln!(out, r#"<circle cx="{px}" cy="{py}" r="3" fill="{color}"/>"#);
+                }
+            }
+            // Legend entry.
+            let ly = MT + 16.0 + i as f64 * 16.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"{dash}/><text x="{}" y="{}">{}</text>"#,
+                W - MR - 150.0,
+                W - MR - 120.0,
+                W - MR - 114.0,
+                ly + 4.0,
+                xml(&s.label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// An equal-aspect plane canvas for trajectories and geometric figures.
+#[derive(Clone, Debug)]
+pub struct Canvas {
+    /// Figure title.
+    pub title: String,
+    /// Polyline series in plane coordinates.
+    pub series: Vec<Series>,
+    /// Extra labelled points.
+    pub points: Vec<(Vec2, String)>,
+    /// Infinite lines, given as (point, direction-radians, label).
+    pub lines: Vec<(Vec2, f64, String)>,
+}
+
+impl Canvas {
+    /// An empty canvas.
+    pub fn new<S: Into<String>>(title: S) -> Canvas {
+        Canvas {
+            title: title.into(),
+            series: Vec::new(),
+            points: Vec::new(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Adds a trajectory polyline.
+    pub fn push(&mut self, s: Series) -> &mut Canvas {
+        self.series.push(s);
+        self
+    }
+
+    /// Adds a labelled point.
+    pub fn point<S: Into<String>>(&mut self, p: Vec2, label: S) -> &mut Canvas {
+        self.points.push((p, label.into()));
+        self
+    }
+
+    /// Adds an infinite line through `p` with inclination `radians`.
+    pub fn line<S: Into<String>>(&mut self, p: Vec2, radians: f64, label: S) -> &mut Canvas {
+        self.lines.push((p, radians, label.into()));
+        self
+    }
+
+    /// Renders the canvas to SVG text with equal aspect ratio.
+    pub fn render(&self) -> String {
+        const W: f64 = 640.0;
+        const H: f64 = 640.0;
+        const M: f64 = 60.0;
+
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+        }
+        for (p, _) in &self.points {
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        for (p, _, _) in &self.lines {
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        let (x0, x1) = span(&xs);
+        let (y0, y1) = span(&ys);
+        // Equal aspect: expand the smaller span.
+        let cx = (x0 + x1) / 2.0;
+        let cy = (y0 + y1) / 2.0;
+        let half = ((x1 - x0).max(y1 - y0)) / 2.0;
+        let (x0, x1) = (cx - half, cx + half);
+        let y0 = cy - half;
+        let scale = (W - 2.0 * M) / (x1 - x0);
+        let sx = move |x: f64| M + (x - x0) * scale;
+        let sy = move |y: f64| H - M - (y - y0) * scale;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="15">{}</text>"#,
+            W / 2.0,
+            xml(&self.title)
+        );
+        // Infinite lines clipped to the view.
+        for (i, (p, ang, label)) in self.lines.iter().enumerate() {
+            let d = Vec2::new(ang.cos(), ang.sin());
+            let reach = 4.0 * half.max(1.0);
+            let a = *p - d * reach;
+            let b = *p + d * reach;
+            let color = PALETTE[(self.series.len() + i) % PALETTE.len()];
+            let _ = writeln!(
+                out,
+                r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{color}" stroke-dasharray="8 5"/><text x="{:.2}" y="{:.2}" fill="{color}">{}</text>"#,
+                sx(a.x),
+                sy(a.y),
+                sx(b.x),
+                sy(b.y),
+                sx(p.x) + 6.0,
+                sy(p.y) - 6.0,
+                xml(label)
+            );
+        }
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let dash = if s.dashed { r#" stroke-dasharray="6 4""# } else { "" };
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+                .collect();
+            if pts.len() > 1 {
+                let _ = writeln!(
+                    out,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"{dash}/>"#,
+                    pts.join(" ")
+                );
+            }
+            let ly = 40.0 + i as f64 * 16.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"{dash}/><text x="{}" y="{}">{}</text>"#,
+                W - 190.0,
+                W - 160.0,
+                W - 154.0,
+                ly + 4.0,
+                xml(&s.label)
+            );
+        }
+        for (p, label) in &self.points {
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{:.2}" cy="{:.2}" r="4" fill="#111"/><text x="{:.2}" y="{:.2}">{}</text>"##,
+                sx(p.x),
+                sy(p.y),
+                sx(p.x) + 7.0,
+                sy(p.y) + 4.0,
+                xml(label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// Three-significant-digit tick label (Rust's format! has no `%g`).
+fn sig3(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(0.001..100_000.0).contains(&a) {
+        return format!("{v:.2e}");
+    }
+    let digits = (3 - a.log10().floor() as i32 - 1).max(0) as usize;
+    format!("{v:.digits$}")
+}
+
+fn span(vals: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in vals {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 1.0, hi + 1.0)
+    } else {
+        let pad = (hi - lo) * 0.05;
+        (lo - pad, hi + pad)
+    }
+}
+
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_valid_svg() {
+        let mut c = Chart::new("test", "x", "y");
+        c.push(Series::marked("s1", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]));
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("circle"));
+        assert!(svg.contains("s1"));
+    }
+
+    #[test]
+    fn log_chart_handles_positive_data() {
+        let mut c = Chart::new("log", "x", "y");
+        c.log_y = true;
+        c.push(Series::line("s", vec![(1.0, 10.0), (2.0, 1e6)]));
+        let svg = c.render();
+        assert!(svg.contains("1e6") || svg.contains("1e+06") || svg.contains("polyline"));
+    }
+
+    #[test]
+    fn canvas_equal_aspect() {
+        let mut c = Canvas::new("traj");
+        c.push(Series::line("path", vec![(0.0, 0.0), (10.0, 0.0)]));
+        c.point(Vec2::new(5.0, 1.0), "B");
+        c.line(Vec2::new(0.0, 0.5), 0.0, "L");
+        let svg = c.render();
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("B</text>"));
+    }
+
+    #[test]
+    fn degenerate_data_does_not_panic() {
+        let mut c = Chart::new("flat", "x", "y");
+        c.push(Series::line("s", vec![(1.0, 1.0), (1.0, 1.0)]));
+        let _ = c.render();
+        let empty = Chart::new("empty", "x", "y").render();
+        assert!(empty.contains("</svg>"));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+}

@@ -1,0 +1,95 @@
+//! Small helpers shared by the experiment modules.
+
+use rv_geometry::Vec2;
+use rv_numeric::Ratio;
+use rv_trajectory::{AgentAttrs, Instr, Motion};
+
+/// Extracts the polyline of an agent's trajectory: the positions at each
+/// motion breakpoint, up to `max_points` or absolute time `until`.
+pub fn polyline<P>(attrs: AgentAttrs, program: P, max_points: usize, until: &Ratio) -> Vec<Vec2>
+where
+    P: Iterator<Item = Instr>,
+{
+    let mut pts = vec![attrs.origin];
+    let motion = Motion::new(attrs, program);
+    for seg in motion {
+        if &seg.start > until || pts.len() >= max_points {
+            break;
+        }
+        match &seg.end {
+            None => break,
+            Some(end) => {
+                let capped = end.clone().min(until.clone());
+                let dur = (&capped - &seg.start).to_f64();
+                let p = seg.pos_at_offset(dur);
+                if pts.last() != Some(&p) {
+                    pts.push(p);
+                }
+            }
+        }
+    }
+    pts
+}
+
+/// Formats a float compactly for tables.
+pub fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return "∞".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_geometry::Compass;
+    use rv_numeric::ratio;
+
+    #[test]
+    fn polyline_of_square() {
+        let prog = vec![
+            Instr::go(Compass::East, ratio(2, 1)),
+            Instr::go(Compass::North, ratio(2, 1)),
+        ];
+        let pts = polyline(
+            AgentAttrs::reference(),
+            prog.into_iter(),
+            100,
+            &ratio(100, 1),
+        );
+        assert_eq!(
+            pts,
+            vec![
+                Vec2::ZERO,
+                Vec2::new(2.0, 0.0),
+                Vec2::new(2.0, 2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn polyline_respects_time_cap() {
+        let prog = vec![Instr::go(Compass::East, ratio(10, 1))];
+        let pts = polyline(AgentAttrs::reference(), prog.into_iter(), 100, &ratio(4, 1));
+        assert_eq!(pts.last(), Some(&Vec2::new(4.0, 0.0)));
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(7.3456789), "7.346");
+        assert_eq!(fnum(1234.5), "1234.5");
+        assert_eq!(fnum(f64::INFINITY), "∞");
+        assert!(fnum(1e9).contains('e'));
+    }
+}

@@ -1,0 +1,135 @@
+//! Lines in the plane and orthogonal projections.
+//!
+//! Used for the paper's *canonical line* (Definition 2.1) and the
+//! projection arguments of Section 3 (`proj_A`, `proj_B`, Lemma 2.1,
+//! Corollary 2.1).
+
+use crate::angle::Angle;
+use crate::vec2::Vec2;
+
+/// An (infinite) line given by a point and an exact direction angle.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// A point on the line.
+    pub point: Vec2,
+    /// Direction of the line as an exact angle (inclination).
+    pub dir: Angle,
+}
+
+impl Line {
+    /// Builds a line through `point` with inclination `dir`.
+    pub fn new(point: Vec2, dir: Angle) -> Line {
+        Line { point, dir }
+    }
+
+    /// Unit direction vector.
+    pub fn unit(&self) -> Vec2 {
+        self.dir.unit()
+    }
+
+    /// Unit normal (counterclockwise perpendicular of the direction).
+    pub fn normal(&self) -> Vec2 {
+        self.unit().perp()
+    }
+
+    /// Orthogonal projection of `p` onto the line.
+    pub fn project(&self, p: Vec2) -> Vec2 {
+        let u = self.unit();
+        let d = p - self.point;
+        self.point + u * d.dot(u)
+    }
+
+    /// Signed distance from `p` to the line (positive on the normal side).
+    pub fn signed_dist(&self, p: Vec2) -> f64 {
+        (p - self.point).dot(self.normal())
+    }
+
+    /// Unsigned distance from `p` to the line.
+    pub fn dist(&self, p: Vec2) -> f64 {
+        self.signed_dist(p).abs()
+    }
+
+    /// Signed coordinate of `p`'s projection along the line, measured from
+    /// `self.point` in the direction `dir`. The distance between the
+    /// projections of two points is the absolute difference of their
+    /// coordinates.
+    pub fn coord(&self, p: Vec2) -> f64 {
+        (p - self.point).dot(self.unit())
+    }
+
+    /// Distance between the projections of two points onto this line.
+    pub fn proj_dist(&self, p: Vec2, q: Vec2) -> f64 {
+        (self.coord(p) - self.coord(q)).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn x_axis() -> Line {
+        Line::new(Vec2::ZERO, Angle::zero())
+    }
+
+    #[test]
+    fn project_onto_x_axis() {
+        let l = x_axis();
+        let p = Vec2::new(3.0, 4.0);
+        assert!((l.project(p) - Vec2::new(3.0, 0.0)).norm() < EPS);
+        assert_eq!(l.dist(p), 4.0);
+        assert_eq!(l.signed_dist(p), 4.0);
+        assert_eq!(l.signed_dist(Vec2::new(3.0, -4.0)), -4.0);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let l = Line::new(Vec2::new(1.0, 2.0), Angle::pi_frac(1, 3));
+        let p = Vec2::new(-4.0, 7.0);
+        let pr = l.project(p);
+        assert!((l.project(pr) - pr).norm() < EPS);
+        assert!(l.dist(pr) < EPS);
+    }
+
+    #[test]
+    fn projection_minimizes_distance() {
+        let l = Line::new(Vec2::new(0.0, 1.0), Angle::pi_frac(1, 6));
+        let p = Vec2::new(2.0, -3.0);
+        let pr = l.project(p);
+        for s in [-2.0, -0.5, 0.5, 2.0] {
+            let other = pr + l.unit() * s;
+            assert!(p.dist(pr) <= p.dist(other) + EPS);
+        }
+    }
+
+    #[test]
+    fn proj_dist_on_diagonal() {
+        let l = Line::new(Vec2::ZERO, Angle::pi_frac(1, 4));
+        let p = Vec2::new(1.0, 0.0);
+        let q = Vec2::new(0.0, 1.0);
+        // Both project to the same point on the diagonal.
+        assert!(l.proj_dist(p, q) < EPS);
+        let r = Vec2::new(2.0, 2.0);
+        assert!((l.proj_dist(p, r) - (2.0 * 2f64.sqrt() - 2f64.sqrt() / 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coord_is_affine_along_line() {
+        let l = Line::new(Vec2::new(5.0, -1.0), Angle::pi_frac(2, 3));
+        let u = l.unit();
+        let p = l.point + u * 3.5;
+        assert!((l.coord(p) - 3.5).abs() < EPS);
+        assert!((l.coord(l.point)).abs() < EPS);
+    }
+
+    #[test]
+    fn pythagoras_decomposition() {
+        let l = Line::new(Vec2::new(1.0, 1.0), Angle::pi_frac(1, 5));
+        let p = Vec2::new(-3.0, 2.0);
+        let along = l.coord(p);
+        let across = l.signed_dist(p);
+        let d = p.dist(l.point);
+        assert!((along * along + across * across - d * d).abs() < 1e-9);
+    }
+}

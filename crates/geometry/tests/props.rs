@@ -1,0 +1,125 @@
+//! Property tests for `rv-geometry`.
+
+use proptest::prelude::*;
+use rv_geometry::{first_within, min_dist_on_interval, Angle, Chirality, Line, Orientation, Vec2};
+use rv_numeric::Ratio;
+
+fn angle_strategy() -> impl Strategy<Value = Angle> {
+    (-64i64..64, 1i64..64).prop_map(|(p, q)| Angle::pi_frac(p, q))
+}
+
+fn vec_strategy() -> impl Strategy<Value = Vec2> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn angle_normalized_range(a in angle_strategy()) {
+        let q = a.ratio_pi();
+        prop_assert!(*q >= Ratio::zero());
+        prop_assert!(*q < Ratio::from_int(2));
+    }
+
+    #[test]
+    fn angle_add_neg_cancels(a in angle_strategy()) {
+        prop_assert_eq!(a.clone() + (-a.clone()), Angle::zero());
+    }
+
+    #[test]
+    fn angle_unit_has_norm_one(a in angle_strategy()) {
+        prop_assert!((a.unit().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_add_matches_vector_rotation(a in angle_strategy(), b in angle_strategy()) {
+        let sum = a.clone() + b.clone();
+        let rotated = a.unit().rotated(b.radians());
+        prop_assert!((sum.unit() - rotated).norm() < 1e-9);
+    }
+
+    #[test]
+    fn orientation_preserves_norm(phi in angle_strategy(), v in vec_strategy(),
+                                  plus in any::<bool>()) {
+        let o = Orientation {
+            phi,
+            chi: if plus { Chirality::Plus } else { Chirality::Minus },
+        };
+        prop_assert!((o.apply_vec(v).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orientation_angle_vector_agree(phi in angle_strategy(), theta in angle_strategy(),
+                                      plus in any::<bool>()) {
+        let o = Orientation {
+            phi,
+            chi: if plus { Chirality::Plus } else { Chirality::Minus },
+        };
+        let via_angle = o.to_absolute(&theta).unit();
+        let via_vec = o.apply_vec(theta.unit());
+        prop_assert!((via_angle - via_vec).norm() < 1e-9);
+    }
+
+    #[test]
+    fn projection_is_idempotent_and_minimal(p in vec_strategy(), base in vec_strategy(),
+                                            dir in angle_strategy(), s in -10.0f64..10.0) {
+        let l = Line::new(base, dir);
+        let pr = l.project(p);
+        prop_assert!((l.project(pr) - pr).norm() < 1e-9);
+        // Any other point on the line is at least as far from p.
+        let other = pr + l.unit() * s;
+        prop_assert!(p.dist(pr) <= p.dist(other) + 1e-9);
+    }
+
+    #[test]
+    fn signed_dist_decomposition(p in vec_strategy(), base in vec_strategy(),
+                                 dir in angle_strategy()) {
+        let l = Line::new(base, dir);
+        let along = l.coord(p);
+        let across = l.signed_dist(p);
+        let d2 = p.dist_sq(l.point);
+        prop_assert!((along * along + across * across - d2).abs() < 1e-6 * (1.0 + d2));
+    }
+
+    #[test]
+    fn first_within_entry_is_on_boundary(rel0 in vec_strategy(), vel in vec_strategy(),
+                                         r in 0.01f64..5.0, dt in 0.0f64..50.0) {
+        if let Some(s) = first_within(rel0, vel, r, dt) {
+            let d = (rel0 + vel * s).norm();
+            // Either started inside (s=0) or entered exactly at the boundary.
+            if s == 0.0 {
+                prop_assert!(d <= r + 1e-9);
+            } else {
+                prop_assert!((d - r).abs() < 1e-6, "entry at {} has dist {} vs r {}", s, d, r);
+            }
+            // Nothing strictly before s is inside (sampled check; vacuous
+            // for the started-inside case s = 0).
+            if s > 0.0 {
+                for k in 1..20 {
+                    let pre = s * k as f64 / 20.0 * 0.999;
+                    prop_assert!((rel0 + vel * pre).norm() >= r - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_dist_is_global_min(rel0 in vec_strategy(), vel in vec_strategy(),
+                              dt in 0.0f64..50.0) {
+        let m = min_dist_on_interval(rel0, vel, dt);
+        for k in 0..=40 {
+            let s = dt * k as f64 / 40.0;
+            prop_assert!(m.min_dist <= (rel0 + vel * s).norm() + 1e-9);
+        }
+        prop_assert!((0.0..=dt).contains(&m.argmin));
+        prop_assert!(((rel0 + vel * m.argmin).norm() - m.min_dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compose_local_round_trips(phi in angle_strategy(), theta in angle_strategy()) {
+        // For χ=+1: (φ + θ) − φ = θ.
+        let abs = phi.compose_local(&theta, true);
+        prop_assert_eq!(abs - phi, theta);
+    }
+}

@@ -1,0 +1,363 @@
+//! Seeded random instance generators, one per taxonomy class.
+//!
+//! Every generated instance is post-validated against [`classify`], so the
+//! generators are correct by construction (a mis-sampled candidate is
+//! resampled). Parameters are kept in ranges where the simulator meets
+//! within small phase budgets, which is what the experiment harness and
+//! benches need.
+
+use crate::classify::{classify, Classification};
+use crate::instance::Instance;
+use rand::Rng;
+use rv_geometry::{Angle, Chirality};
+use rv_numeric::Ratio;
+
+/// Which class to sample.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TargetClass {
+    /// Synchronous, mirrored, generous delay.
+    Type1,
+    /// Synchronous, shifted frames, generous delay.
+    Type2,
+    /// Different clock rates.
+    Type3,
+    /// Different speeds (τ = 1).
+    Type4Speed,
+    /// Synchronous, rotated frames (χ = +1, φ ≠ 0).
+    Type4Rotation,
+    /// Boundary set S1 (`t = dist − r`, shifted frames).
+    S1,
+    /// Boundary set S2 (`t = dist(proj) − r`, mirrored).
+    S2,
+    /// Infeasible synchronous shifted-frame instance.
+    InfeasibleShift,
+    /// Infeasible synchronous mirrored instance.
+    InfeasibleMirror,
+}
+
+impl TargetClass {
+    /// The classification every sample of this target must have.
+    pub fn expected(self) -> Classification {
+        match self {
+            TargetClass::Type1 => Classification::Type1,
+            TargetClass::Type2 => Classification::Type2,
+            TargetClass::Type3 => Classification::Type3,
+            TargetClass::Type4Speed | TargetClass::Type4Rotation => Classification::Type4,
+            TargetClass::S1 => Classification::ExceptionS1,
+            TargetClass::S2 => Classification::ExceptionS2,
+            TargetClass::InfeasibleShift | TargetClass::InfeasibleMirror => {
+                Classification::Infeasible
+            }
+        }
+    }
+
+    /// All targets, in presentation order.
+    pub fn all() -> [TargetClass; 9] {
+        [
+            TargetClass::Type1,
+            TargetClass::Type2,
+            TargetClass::Type3,
+            TargetClass::Type4Speed,
+            TargetClass::Type4Rotation,
+            TargetClass::S1,
+            TargetClass::S2,
+            TargetClass::InfeasibleShift,
+            TargetClass::InfeasibleMirror,
+        ]
+    }
+}
+
+/// A dyadic rational `k/2^bits` uniformly in `[lo, hi)`.
+fn dyadic_in(rng: &mut impl Rng, lo: f64, hi: f64, bits: u32) -> Ratio {
+    let scale = (1u64 << bits) as f64;
+    let lo_k = (lo * scale).ceil() as i64;
+    let hi_k = (hi * scale).floor() as i64;
+    let k = rng.gen_range(lo_k..=hi_k.max(lo_k));
+    Ratio::new(k.into(), (1i64 << bits).into())
+}
+
+/// A random exact angle `jπ/2^k` with `k ≤ 4`, excluding zero when
+/// `nonzero` is set.
+fn random_angle(rng: &mut impl Rng, nonzero: bool) -> Angle {
+    loop {
+        let k = rng.gen_range(0u32..=4);
+        let j = rng.gen_range(0i64..(2i64 << k));
+        let a = Angle::pi_frac(j, 1i64 << k);
+        if !nonzero || !a.is_zero() {
+            return a;
+        }
+    }
+}
+
+/// A non-trivial starting position: `dist > r` guaranteed by re-sampling.
+fn random_position(rng: &mut impl Rng, r: &Ratio) -> (Ratio, Ratio) {
+    loop {
+        let x = dyadic_in(rng, -6.0, 6.0, 4);
+        let y = dyadic_in(rng, -6.0, 6.0, 4);
+        let d2 = &x.square() + &y.square();
+        if d2 > r.square() {
+            return (x, y);
+        }
+    }
+}
+
+/// Random radius in `[1/2, 2]`.
+fn random_radius(rng: &mut impl Rng) -> Ratio {
+    dyadic_in(rng, 0.5, 2.0, 3)
+}
+
+/// Random clock rate / speed in `[1/3, 3]`, never 1.
+fn random_rate_not_one(rng: &mut impl Rng) -> Ratio {
+    loop {
+        let p = rng.gen_range(1i64..=12);
+        let q = rng.gen_range(1i64..=12);
+        let r = Ratio::frac(p, q);
+        if !r.is_one() {
+            return r;
+        }
+    }
+}
+
+/// Samples an instance of the requested class. Panics only if 10 000
+/// attempts fail (indicating a generator bug, not bad luck).
+pub fn generate(rng: &mut impl Rng, class: TargetClass) -> Instance {
+    for _ in 0..10_000 {
+        let candidate = attempt(rng, class);
+        if let Some(inst) = candidate {
+            if classify(&inst) == class.expected() {
+                return inst;
+            }
+        }
+    }
+    panic!("generator failed to produce a {:?} instance", class);
+}
+
+fn attempt(rng: &mut impl Rng, class: TargetClass) -> Option<Instance> {
+    let r = random_radius(rng);
+    match class {
+        TargetClass::Type1 => {
+            let (x, y) = random_position(rng, &r);
+            let phi = random_angle(rng, false);
+            let inst0 = Instance::builder()
+                .r(r.clone())
+                .position(x, y)
+                .phi(phi)
+                .chirality(Chirality::Minus)
+                .build()
+                .ok()?;
+            // t > proj − r with comfortable slack (≥ 1/4 above boundary).
+            let slack = dyadic_in(rng, 0.25, 2.0, 3);
+            let boundary = inst0.proj_dist() - inst0.r.to_f64();
+            let t_min = Ratio::from_f64_exact(boundary.max(0.0))?;
+            let t = &t_min + &slack;
+            Some(Instance { t, ..inst0 })
+        }
+        TargetClass::Type2 => {
+            let (x, y) = random_position(rng, &r);
+            let inst0 = Instance::builder()
+                .r(r.clone())
+                .position(x, y)
+                .build()
+                .ok()?;
+            let slack = dyadic_in(rng, 0.25, 2.0, 3);
+            let boundary = inst0.initial_dist() - inst0.r.to_f64();
+            let t_min = Ratio::from_f64_exact(boundary.max(0.0))?;
+            let t = &t_min + &slack;
+            Some(Instance { t, ..inst0 })
+        }
+        TargetClass::Type3 => {
+            let (x, y) = random_position(rng, &r);
+            let tau = random_rate_not_one(rng);
+            let v = if rng.gen_bool(0.5) {
+                Ratio::one()
+            } else {
+                random_rate_not_one(rng)
+            };
+            let chi = if rng.gen_bool(0.5) {
+                Chirality::Plus
+            } else {
+                Chirality::Minus
+            };
+            Instance::builder()
+                .r(r)
+                .position(x, y)
+                .phi(random_angle(rng, false))
+                .tau(tau)
+                .speed(v)
+                .delay(dyadic_in(rng, 0.0, 4.0, 3))
+                .chirality(chi)
+                .build()
+                .ok()
+        }
+        TargetClass::Type4Speed => {
+            let (x, y) = random_position(rng, &r);
+            let chi = if rng.gen_bool(0.5) {
+                Chirality::Plus
+            } else {
+                Chirality::Minus
+            };
+            Instance::builder()
+                .r(r)
+                .position(x, y)
+                .phi(random_angle(rng, false))
+                .speed(random_rate_not_one(rng))
+                .delay(dyadic_in(rng, 0.0, 4.0, 3))
+                .chirality(chi)
+                .build()
+                .ok()
+        }
+        TargetClass::Type4Rotation => {
+            let (x, y) = random_position(rng, &r);
+            Instance::builder()
+                .r(r)
+                .position(x, y)
+                .phi(random_angle(rng, true))
+                .delay(dyadic_in(rng, 0.0, 4.0, 3))
+                .build()
+                .ok()
+        }
+        TargetClass::S1 => {
+            // Pythagorean displacement keeps dist rational: (3,4,5)·s.
+            let s = dyadic_in(rng, 0.25, 1.5, 3);
+            let (sx, sy) = if rng.gen_bool(0.5) { (3, 4) } else { (4, 3) };
+            let x = &Ratio::from_int(sx) * &s;
+            let y = &Ratio::from_int(sy) * &s;
+            let dist = &Ratio::from_int(5) * &s;
+            if r >= dist {
+                return None;
+            }
+            let t = &dist - &r;
+            Instance::builder()
+                .r(r)
+                .position(x, y)
+                .delay(t)
+                .build()
+                .ok()
+        }
+        TargetClass::S2 => {
+            // φ ∈ {0, π} keeps the projection distance rational (|x| or |y|).
+            let use_pi = rng.gen_bool(0.5);
+            let major = dyadic_in(rng, 2.5, 6.0, 3);
+            let minor = dyadic_in(rng, -6.0, 6.0, 3);
+            if r >= major {
+                return None;
+            }
+            let t = &major - &r;
+            let (x, y, phi) = if use_pi {
+                (minor, major, Angle::half())
+            } else {
+                (major, minor, Angle::zero())
+            };
+            Instance::builder()
+                .r(r)
+                .position(x, y)
+                .phi(phi)
+                .chirality(Chirality::Minus)
+                .delay(t)
+                .build()
+                .ok()
+        }
+        TargetClass::InfeasibleShift => {
+            let s = dyadic_in(rng, 1.0, 2.0, 3);
+            let x = &Ratio::from_int(3) * &s;
+            let y = &Ratio::from_int(4) * &s;
+            let dist = &Ratio::from_int(5) * &s;
+            let boundary = &dist - &r; // ≥ 5 − 2 = 3 > 0
+            let frac = dyadic_in(rng, 0.0, 0.9, 4);
+            let t = &boundary * &frac;
+            Instance::builder()
+                .r(r)
+                .position(x, y)
+                .delay(t)
+                .build()
+                .ok()
+        }
+        TargetClass::InfeasibleMirror => {
+            let major = dyadic_in(rng, 3.0, 6.0, 3);
+            let minor = dyadic_in(rng, -6.0, 6.0, 3);
+            let boundary = &major - &r; // ≥ 3 − 2 = 1 > 0
+            let frac = dyadic_in(rng, 0.0, 0.9, 4);
+            let t = &boundary * &frac;
+            let use_pi = rng.gen_bool(0.5);
+            let (x, y, phi) = if use_pi {
+                (minor, major, Angle::half())
+            } else {
+                (major, minor, Angle::zero())
+            };
+            Instance::builder()
+                .r(r)
+                .position(x, y)
+                .phi(phi)
+                .chirality(Chirality::Minus)
+                .delay(t)
+                .build()
+                .ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_generator_hits_its_class() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for class in TargetClass::all() {
+            for _ in 0..50 {
+                let inst = generate(&mut rng, class);
+                assert_eq!(
+                    classify(&inst),
+                    class.expected(),
+                    "{class:?} produced {inst}"
+                );
+                assert!(inst.validate().is_ok());
+                assert!(!inst.is_trivial());
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10)
+                .map(|_| generate(&mut rng, TargetClass::Type3).to_string())
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10)
+                .map(|_| generate(&mut rng, TargetClass::Type3).to_string())
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boundary_instances_sit_exactly_on_boundary() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let s1 = generate(&mut rng, TargetClass::S1);
+            // (t + r)² == x² + y² exactly.
+            assert_eq!((&s1.t + &s1.r).square(), s1.initial_dist_sq());
+            let s2 = generate(&mut rng, TargetClass::S2);
+            assert_eq!(
+                (&s2.t + &s2.r).square(),
+                s2.proj_dist_sq_exact().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn type1_has_strictly_positive_slack() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let i = generate(&mut rng, TargetClass::Type1);
+            let slack = (i.t.to_f64() + i.r.to_f64()) - i.proj_dist();
+            assert!(slack > 0.2, "slack {slack} too small: {i}");
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The rendezvous instance: `(r, x, y, φ, τ, v, t, χ)`.
+//!
+//! Section 1.2 of the paper: by convention agent A carries the absolute
+//! attributes (origin, frame Γ, unit clock and speed, wake-up 0) and an
+//! instance lists agent B's attributes relative to A, together with the
+//! visibility radius `r` (in A's length unit).
+
+use rv_geometry::{Angle, Chirality, Line, Vec2};
+use rv_numeric::Ratio;
+use rv_trajectory::AgentAttrs;
+use std::fmt;
+
+/// A rendezvous instance (Section 1.2).
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Visibility radius `r > 0`.
+    pub r: Ratio,
+    /// x-coordinate of B's start in A's system.
+    pub x: Ratio,
+    /// y-coordinate of B's start in A's system.
+    pub y: Ratio,
+    /// Rotation `φ ∈ [0, 2π)` between the agents' x-axes.
+    pub phi: Angle,
+    /// B's clock rate: absolute time units per B-tick (`τ > 0`).
+    pub tau: Ratio,
+    /// B's speed in absolute units (`v > 0`).
+    pub v: Ratio,
+    /// Wake-up delay of B (`t ≥ 0`).
+    pub t: Ratio,
+    /// Chirality of B's system w.r.t. A's.
+    pub chi: Chirality,
+}
+
+impl Instance {
+    /// A builder with the paper's "all attributes equal" defaults
+    /// (`φ = 0, τ = v = 1, t = 0, χ = +1, r = 1`) — callers override the
+    /// attributes that differ.
+    pub fn builder() -> InstanceBuilder {
+        InstanceBuilder::default()
+    }
+
+    /// Validates the domain constraints of Section 1.2.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.r.is_positive() {
+            return Err(format!("visibility radius r must be > 0, got {}", self.r));
+        }
+        if !self.tau.is_positive() {
+            return Err(format!("clock rate τ must be > 0, got {}", self.tau));
+        }
+        if !self.v.is_positive() {
+            return Err(format!("speed v must be > 0, got {}", self.v));
+        }
+        if self.t.is_negative() {
+            return Err(format!("delay t must be ≥ 0, got {}", self.t));
+        }
+        Ok(())
+    }
+
+    /// Attributes of reference agent A.
+    pub fn agent_a(&self) -> AgentAttrs {
+        AgentAttrs::reference()
+    }
+
+    /// Attributes of agent B.
+    pub fn agent_b(&self) -> AgentAttrs {
+        AgentAttrs {
+            origin: Vec2::new(self.x.to_f64(), self.y.to_f64()),
+            phi: self.phi.clone(),
+            chi: self.chi,
+            tau: self.tau.clone(),
+            speed: self.v.clone(),
+            wake: self.t.clone(),
+        }
+    }
+
+    /// Exact squared initial distance `x² + y²`.
+    pub fn initial_dist_sq(&self) -> Ratio {
+        &self.x.square() + &self.y.square()
+    }
+
+    /// Initial distance `dist((0,0), (x,y))` (f64).
+    pub fn initial_dist(&self) -> f64 {
+        self.initial_dist_sq().to_f64().sqrt()
+    }
+
+    /// True iff both clock rates and speeds agree (`τ = v = 1`).
+    pub fn is_synchronous(&self) -> bool {
+        self.tau.is_one() && self.v.is_one()
+    }
+
+    /// True iff `r ≥ dist((0,0),(x,y))`: the agents see each other at time
+    /// 0 and every instance is trivially feasible (Section 2). Decided
+    /// exactly by comparing squares.
+    pub fn is_trivial(&self) -> bool {
+        self.r.square() >= self.initial_dist_sq()
+    }
+
+    /// The canonical line of the instance (Definition 2.1): inclination
+    /// `φ/2` (which degenerates to the x-axis direction when `φ = 0`),
+    /// passing through the midpoint of the agents' origins — the unique
+    /// line of that inclination equidistant from both origins with the
+    /// agents on opposite sides.
+    pub fn canonical_line(&self) -> Line {
+        let mid = Vec2::new(self.x.to_f64() / 2.0, self.y.to_f64() / 2.0);
+        Line::new(mid, self.phi.half_angle())
+    }
+
+    /// `dist(proj_A, proj_B)`: distance between the projections of the two
+    /// origins onto the canonical line (f64).
+    pub fn proj_dist(&self) -> f64 {
+        let (c, s) = self.phi.half_angle().cos_sin();
+        (self.x.to_f64() * c + self.y.to_f64() * s).abs()
+    }
+
+    /// Exact squared projection distance, available whenever `cos φ` and
+    /// `sin φ` are rational (multiples of π/2, by Niven's theorem), via the
+    /// half-angle identities
+    /// `cos²(φ/2) = (1+cos φ)/2`, `sin²(φ/2) = (1−cos φ)/2`,
+    /// `cos(φ/2)sin(φ/2) = sin(φ)/2`.
+    pub fn proj_dist_sq_exact(&self) -> Option<Ratio> {
+        let (c, s) = self.phi.cos_sin_exact()?;
+        let half = Ratio::frac(1, 2);
+        let one = Ratio::one();
+        let c2 = &(&one + &c) * &half;
+        let s2 = &(&one - &c) * &half;
+        let cs = &s * &half;
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let xy = &self.x * &self.y;
+        Some(&(&(&xx * &c2) + &(&xy * &(&cs * &Ratio::from_int(2)))) + &(&yy * &s2))
+    }
+
+    /// The image `h(I)` used by Algorithm 1's block 4 (Section 3.1.1):
+    /// identical instance with the radius halved and the delay zeroed.
+    pub fn h_image(&self) -> Instance {
+        Instance {
+            r: &self.r * &Ratio::frac(1, 2),
+            t: Ratio::zero(),
+            ..self.clone()
+        }
+    }
+
+    /// Initial displacement vector from A to B (f64).
+    pub fn displacement(&self) -> Vec2 {
+        Vec2::new(self.x.to_f64(), self.y.to_f64())
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(r={}, x={}, y={}, φ={}, τ={}, v={}, t={}, χ={})",
+            self.r, self.x, self.y, self.phi, self.tau, self.v, self.t, self.chi
+        )
+    }
+}
+
+/// Fluent construction of instances; defaults are the all-equal attributes.
+#[derive(Clone)]
+pub struct InstanceBuilder {
+    inst: Instance,
+}
+
+impl Default for InstanceBuilder {
+    fn default() -> Self {
+        InstanceBuilder {
+            inst: Instance {
+                r: Ratio::one(),
+                x: Ratio::from_int(4),
+                y: Ratio::zero(),
+                phi: Angle::zero(),
+                tau: Ratio::one(),
+                v: Ratio::one(),
+                t: Ratio::zero(),
+                chi: Chirality::Plus,
+            },
+        }
+    }
+}
+
+impl InstanceBuilder {
+    /// Sets the visibility radius.
+    pub fn r(mut self, r: Ratio) -> Self {
+        self.inst.r = r;
+        self
+    }
+
+    /// Sets B's initial position in A's system.
+    pub fn position(mut self, x: Ratio, y: Ratio) -> Self {
+        self.inst.x = x;
+        self.inst.y = y;
+        self
+    }
+
+    /// Sets the orientation gap φ.
+    pub fn phi(mut self, phi: Angle) -> Self {
+        self.inst.phi = phi;
+        self
+    }
+
+    /// Sets B's clock rate τ.
+    pub fn tau(mut self, tau: Ratio) -> Self {
+        self.inst.tau = tau;
+        self
+    }
+
+    /// Sets B's speed v.
+    pub fn speed(mut self, v: Ratio) -> Self {
+        self.inst.v = v;
+        self
+    }
+
+    /// Sets B's wake-up delay t.
+    pub fn delay(mut self, t: Ratio) -> Self {
+        self.inst.t = t;
+        self
+    }
+
+    /// Sets the chirality χ.
+    pub fn chirality(mut self, chi: Chirality) -> Self {
+        self.inst.chi = chi;
+        self
+    }
+
+    /// Validates and returns the instance.
+    pub fn build(self) -> Result<Instance, String> {
+        self.inst.validate()?;
+        Ok(self.inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_numeric::ratio;
+
+    #[test]
+    fn builder_defaults_are_all_equal() {
+        let i = Instance::builder().build().unwrap();
+        assert!(i.is_synchronous());
+        assert!(i.phi.is_zero());
+        assert_eq!(i.chi, Chirality::Plus);
+        assert!(i.t.is_zero());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Instance::builder().r(Ratio::zero()).build().is_err());
+        assert!(Instance::builder().tau(ratio(-1, 2)).build().is_err());
+        assert!(Instance::builder().speed(Ratio::zero()).build().is_err());
+        assert!(Instance::builder().delay(ratio(-1, 1)).build().is_err());
+    }
+
+    #[test]
+    fn trivial_is_exact() {
+        // dist = 5 (3-4-5); r = 5 is trivial, r = 5 − ε is not.
+        let at = |r: Ratio| {
+            Instance::builder()
+                .position(ratio(3, 1), ratio(4, 1))
+                .r(r)
+                .build()
+                .unwrap()
+        };
+        assert!(at(ratio(5, 1)).is_trivial());
+        assert!(!at(&ratio(5, 1) - &Ratio::pow2(-40)).is_trivial());
+        assert!(at(ratio(6, 1)).is_trivial());
+    }
+
+    #[test]
+    fn agent_b_attrs_mirror_instance() {
+        let i = Instance::builder()
+            .position(ratio(3, 1), ratio(4, 1))
+            .tau(ratio(2, 1))
+            .speed(ratio(3, 1))
+            .delay(ratio(7, 1))
+            .chirality(Chirality::Minus)
+            .phi(Angle::quarter())
+            .build()
+            .unwrap();
+        let b = i.agent_b();
+        assert_eq!(b.origin, Vec2::new(3.0, 4.0));
+        assert_eq!(b.tau, ratio(2, 1));
+        assert_eq!(b.speed, ratio(3, 1));
+        assert_eq!(b.wake, ratio(7, 1));
+        assert_eq!(b.chi, Chirality::Minus);
+        assert_eq!(b.unit_len(), ratio(6, 1));
+    }
+
+    #[test]
+    fn canonical_line_phi_zero_is_horizontal_bisector() {
+        let i = Instance::builder()
+            .position(ratio(4, 1), ratio(2, 1))
+            .build()
+            .unwrap();
+        let l = i.canonical_line();
+        assert!(l.dir.is_zero());
+        // Equidistant from both origins.
+        let da = l.dist(Vec2::ZERO);
+        let db = l.dist(Vec2::new(4.0, 2.0));
+        assert!((da - db).abs() < 1e-12);
+        assert!((da - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_line_uses_bisectrix() {
+        let i = Instance::builder()
+            .position(ratio(2, 1), ratio(0, 1))
+            .phi(Angle::half()) // φ = π ⇒ inclination π/2
+            .build()
+            .unwrap();
+        let l = i.canonical_line();
+        assert_eq!(l.dir, Angle::quarter());
+        // proj distance along a vertical line for a horizontal displacement
+        // is 0... of the y-difference: here y = 0 so projections coincide… no:
+        // coord along dir (0,1): difference = y_B − y_A = 0.
+        assert!(i.proj_dist() < 1e-12);
+    }
+
+    #[test]
+    fn proj_dist_exact_matches_f64() {
+        for (phi, x, y) in [
+            (Angle::zero(), ratio(3, 1), ratio(4, 1)),
+            (Angle::quarter(), ratio(3, 1), ratio(4, 1)),
+            (Angle::half(), ratio(-2, 1), ratio(5, 1)),
+            (Angle::three_quarters(), ratio(1, 2), ratio(-7, 3)),
+        ] {
+            let i = Instance::builder()
+                .position(x, y)
+                .phi(phi.clone())
+                .build()
+                .unwrap();
+            let exact = i.proj_dist_sq_exact().expect("quarter multiples are exact");
+            let approx = i.proj_dist();
+            assert!(
+                (exact.to_f64() - approx * approx).abs() < 1e-9,
+                "φ={phi}: exact {} vs f64 {}",
+                exact.to_f64(),
+                approx * approx
+            );
+        }
+    }
+
+    #[test]
+    fn proj_dist_exact_unavailable_off_quarters() {
+        let i = Instance::builder()
+            .phi(Angle::pi_frac(1, 3))
+            .build()
+            .unwrap();
+        assert!(i.proj_dist_sq_exact().is_none());
+        // f64 fallback still works.
+        assert!(i.proj_dist().is_finite());
+    }
+
+    #[test]
+    fn h_image_halves_radius_and_zeroes_delay() {
+        let i = Instance::builder()
+            .r(ratio(3, 1))
+            .delay(ratio(5, 1))
+            .build()
+            .unwrap();
+        let h = i.h_image();
+        assert_eq!(h.r, ratio(3, 2));
+        assert!(h.t.is_zero());
+        assert_eq!(h.x, i.x);
+        assert_eq!(h.tau, i.tau);
+    }
+
+    #[test]
+    fn midpoint_equidistance_generic_phi() {
+        let i = Instance::builder()
+            .position(ratio(5, 1), ratio(-3, 1))
+            .phi(Angle::pi_frac(2, 5))
+            .build()
+            .unwrap();
+        let l = i.canonical_line();
+        let da = l.dist(Vec2::ZERO);
+        let db = l.dist(i.displacement());
+        assert!((da - db).abs() < 1e-9);
+    }
+}

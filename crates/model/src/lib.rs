@@ -1,0 +1,25 @@
+//! # rv-model — the rendezvous instance model
+//!
+//! [`Instance`] encodes the paper's tuple `(r, x, y, φ, τ, v, t, χ)`
+//! (Section 1.2), together with:
+//!
+//! * the canonical line of Definition 2.1 and projection distances,
+//! * the type 1–4 taxonomy of Section 3.1.1 ([`classify`]),
+//! * the Theorem 3.1 feasibility characterization ([`feasible`]) with
+//!   exact boundary decisions wherever rational arithmetic suffices,
+//! * the exception sets `S1`/`S2` of Section 4, and
+//! * seeded per-class random generators for the experiment harness.
+
+#![warn(missing_docs)]
+
+mod classify;
+mod gen;
+mod instance;
+mod parse;
+
+pub use classify::{aur_guaranteed, classify, classify_with_eps, feasible, Classification};
+pub use gen::{generate, TargetClass};
+pub use instance::{Instance, InstanceBuilder};
+
+// Re-export the geometric types that appear in the public API.
+pub use rv_geometry::{Angle, Chirality};

@@ -1,0 +1,140 @@
+//! Textual instance format: parse what [`Instance`]'s `Display` prints,
+//! plus a forgiving ASCII variant, so instances can round-trip through
+//! logs, CSV cells and the command line.
+//!
+//! Accepted forms (keys in any order, unknown keys rejected):
+//!
+//! ```text
+//! (r=1, x=3, y=4/3, φ=1/2π, τ=1, v=1, t=2, χ=-1)
+//! r=1 x=3 y=4/3 phi=1/2pi tau=1 v=1 t=2 chi=-1
+//! ```
+//!
+//! Missing keys default to the all-equal attributes (`r=1`, origin `(4,0)`
+//! replaced by `x`/`y` if given, `φ=0`, `τ=v=1`, `t=0`, `χ=+1`).
+
+use crate::instance::Instance;
+use rv_geometry::{Angle, Chirality};
+use rv_numeric::Ratio;
+use std::str::FromStr;
+
+impl FromStr for Instance {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Instance, String> {
+        let trimmed = s.trim().trim_start_matches('(').trim_end_matches(')');
+        let mut inst = Instance::builder().build().expect("defaults are valid");
+        // Tokens split on commas and/or whitespace.
+        for token in trimmed.split([',', ' ']).filter(|t| !t.trim().is_empty()) {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            let value = value.trim();
+            match key.trim() {
+                "r" => inst.r = parse_ratio(value)?,
+                "x" => inst.x = parse_ratio(value)?,
+                "y" => inst.y = parse_ratio(value)?,
+                "φ" | "phi" => inst.phi = parse_angle(value)?,
+                "τ" | "tau" => inst.tau = parse_ratio(value)?,
+                "v" => inst.v = parse_ratio(value)?,
+                "t" => inst.t = parse_ratio(value)?,
+                "χ" | "chi" => inst.chi = parse_chirality(value)?,
+                other => return Err(format!("unknown instance key {other:?}")),
+            }
+        }
+        inst.validate()?;
+        Ok(inst)
+    }
+}
+
+fn parse_ratio(s: &str) -> Result<Ratio, String> {
+    s.parse::<Ratio>()
+}
+
+fn parse_angle(s: &str) -> Result<Angle, String> {
+    let body = s
+        .strip_suffix('π')
+        .or_else(|| s.strip_suffix("pi"))
+        .unwrap_or(s);
+    let q = if body.is_empty() {
+        Ratio::one() // bare "π"
+    } else {
+        body.parse::<Ratio>()?
+    };
+    Ok(Angle::from_ratio_pi(q))
+}
+
+fn parse_chirality(s: &str) -> Result<Chirality, String> {
+    match s {
+        "+1" | "1" | "+" | "plus" => Ok(Chirality::Plus),
+        "-1" | "-" | "minus" => Ok(Chirality::Minus),
+        other => Err(format!("bad chirality {other:?} (want +1 or -1)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, Classification};
+    use rv_numeric::ratio;
+
+    #[test]
+    fn parses_display_output() {
+        let original = Instance::builder()
+            .r(ratio(3, 2))
+            .position(ratio(-5, 4), ratio(7, 3))
+            .phi(Angle::pi_frac(5, 8))
+            .tau(ratio(9, 7))
+            .speed(ratio(2, 3))
+            .delay(ratio(11, 5))
+            .chirality(Chirality::Minus)
+            .build()
+            .unwrap();
+        let text = original.to_string();
+        let parsed: Instance = text.parse().unwrap();
+        assert_eq!(parsed.to_string(), text);
+        assert_eq!(classify(&parsed), classify(&original));
+    }
+
+    #[test]
+    fn parses_ascii_form() {
+        let inst: Instance = "r=1 x=3 y=4 t=4 chi=+1".parse().unwrap();
+        assert_eq!(inst.x, ratio(3, 1));
+        assert_eq!(inst.t, ratio(4, 1));
+        assert_eq!(classify(&inst), Classification::ExceptionS1);
+    }
+
+    #[test]
+    fn parses_pi_forms() {
+        let a: Instance = "phi=1/2pi".parse().unwrap();
+        assert_eq!(a.phi, Angle::quarter());
+        let b: Instance = "phi=pi".parse().unwrap();
+        assert_eq!(b.phi, Angle::half());
+        let c: Instance = "phi=0".parse().unwrap();
+        assert!(c.phi.is_zero());
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let inst: Instance = "tau=2".parse().unwrap();
+        assert_eq!(inst.tau, ratio(2, 1));
+        assert!(inst.t.is_zero());
+        assert_eq!(inst.chi, Chirality::Plus);
+        assert_eq!(classify(&inst), Classification::Type3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("r=0".parse::<Instance>().is_err()); // invalid radius
+        assert!("bogus=1".parse::<Instance>().is_err());
+        assert!("r".parse::<Instance>().is_err());
+        assert!("chi=2".parse::<Instance>().is_err());
+        assert!("x=1/0".parse::<Instance>().is_err());
+    }
+
+    #[test]
+    fn decimal_values_are_exact() {
+        let inst: Instance = "x=1.25 y=-0.5".parse().unwrap();
+        assert_eq!(inst.x, ratio(5, 4));
+        assert_eq!(inst.y, ratio(-1, 2));
+    }
+}

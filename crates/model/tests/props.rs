@@ -1,0 +1,142 @@
+//! Property tests for `rv-model`: classification laws over random
+//! instances built directly from the parameter space (not only from the
+//! per-class generators).
+
+use proptest::prelude::*;
+use rv_geometry::{Chirality, Vec2};
+use rv_model::{classify, classify_with_eps, Angle, Classification, Instance};
+use rv_numeric::Ratio;
+
+fn ratio_pos() -> impl Strategy<Value = Ratio> {
+    (1i64..64, 1i64..16).prop_map(|(p, q)| Ratio::frac(p, q))
+}
+
+fn ratio_any() -> impl Strategy<Value = Ratio> {
+    (-64i64..64, 1i64..16).prop_map(|(p, q)| Ratio::frac(p, q))
+}
+
+fn ratio_nonneg() -> impl Strategy<Value = Ratio> {
+    (0i64..64, 1i64..16).prop_map(|(p, q)| Ratio::frac(p, q))
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        ratio_pos(),
+        ratio_any(),
+        ratio_any(),
+        (-16i64..16, 1i64..8),
+        ratio_pos(),
+        ratio_pos(),
+        ratio_nonneg(),
+        any::<bool>(),
+    )
+        .prop_map(|(r, x, y, (pp, pq), tau, v, t, plus)| Instance {
+            r,
+            x,
+            y,
+            phi: Angle::pi_frac(pp, pq),
+            tau,
+            v,
+            t,
+            chi: if plus { Chirality::Plus } else { Chirality::Minus },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn classification_is_total_and_deterministic(inst in instance_strategy()) {
+        let a = classify(&inst);
+        let b = classify(&inst);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_synchronous_always_feasible(inst in instance_strategy()) {
+        if !inst.is_synchronous() {
+            prop_assert!(classify(&inst).feasible(), "{}", inst);
+        }
+    }
+
+    #[test]
+    fn trivial_dominates_everything(mut inst in instance_strategy()) {
+        // Force triviality: radius above the distance.
+        inst.r = &Ratio::from_f64_exact(inst.initial_dist()).unwrap() + &Ratio::one();
+        prop_assert_eq!(classify(&inst), Classification::Trivial);
+    }
+
+    #[test]
+    fn tau_mismatch_is_always_type3_if_not_trivial(mut inst in instance_strategy()) {
+        inst.tau = Ratio::frac(7, 3);
+        if !inst.is_trivial() {
+            prop_assert_eq!(classify(&inst), Classification::Type3);
+        }
+    }
+
+    #[test]
+    fn aur_guaranteed_implies_feasible(inst in instance_strategy()) {
+        let c = classify(&inst);
+        if c.aur_guaranteed() {
+            prop_assert!(c.feasible());
+        }
+        if c.is_exception() {
+            prop_assert!(c.feasible());
+            prop_assert!(!c.aur_guaranteed());
+        }
+    }
+
+    #[test]
+    fn exact_proj_matches_f64(inst in instance_strategy()) {
+        if let Some(sq) = inst.proj_dist_sq_exact() {
+            let f = inst.proj_dist();
+            prop_assert!((sq.to_f64() - f * f).abs() < 1e-6 * (1.0 + f * f),
+                         "exact {} vs f64² {}", sq.to_f64(), f * f);
+        }
+    }
+
+    #[test]
+    fn canonical_line_is_equidistant(inst in instance_strategy()) {
+        let line = inst.canonical_line();
+        let da = line.dist(Vec2::ZERO);
+        let db = line.dist(inst.displacement());
+        prop_assert!((da - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eps_widening_only_moves_boundaries(inst in instance_strategy()) {
+        // A huge epsilon can only reclassify near-boundary instances into
+        // the exception sets; it must never flip feasible <-> infeasible
+        // *through* the boundary (monotone in eps).
+        let tight = classify_with_eps(&inst, 1e-12);
+        let loose = classify_with_eps(&inst, 1e-3);
+        if tight == loose {
+            return Ok(());
+        }
+        // Any disagreement must involve an exception set on the loose side.
+        prop_assert!(loose.is_exception(),
+                     "eps widening produced {tight} -> {loose} on {}", inst);
+    }
+
+    #[test]
+    fn delay_monotonicity_for_sync_instances(x in 2i64..16, r_num in 1i64..4,
+                                             t1 in 0i64..32, t2 in 0i64..32,
+                                             minus in any::<bool>()) {
+        // For synchronous shift/mirror instances, feasibility is monotone
+        // in the delay.
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let mk = |t: i64| Instance {
+            r: Ratio::frac(r_num, 2),
+            x: Ratio::frac(x, 1),
+            y: Ratio::zero(),
+            phi: Angle::zero(),
+            tau: Ratio::one(),
+            v: Ratio::one(),
+            t: Ratio::frac(t, 4),
+            chi: if minus { Chirality::Minus } else { Chirality::Plus },
+        };
+        if classify(&mk(lo)).feasible() {
+            prop_assert!(classify(&mk(hi)).feasible());
+        }
+    }
+}

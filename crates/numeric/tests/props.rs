@@ -1,0 +1,150 @@
+//! Property tests for `rv-numeric`: the arbitrary-precision types must
+//! agree with machine arithmetic wherever machine arithmetic is exact, and
+//! satisfy the field axioms everywhere.
+
+use proptest::prelude::*;
+use rv_numeric::{Int, Ratio};
+
+fn int_strategy() -> impl Strategy<Value = Int> {
+    prop_oneof![
+        any::<i64>().prop_map(|v| Int::from(v as i128)),
+        any::<i128>().prop_map(Int::from),
+        // Values guaranteed to live on the big path.
+        (any::<i64>(), 120u64..400).prop_map(|(v, s)| Int::from(v as i128).shl(s)),
+        (any::<i128>(), 1u64..200, any::<i64>())
+            .prop_map(|(v, s, w)| &Int::from(v).shl(s) + &Int::from(w as i128)),
+    ]
+}
+
+fn ratio_strategy() -> impl Strategy<Value = Ratio> {
+    (int_strategy(), int_strategy().prop_filter("nonzero", |d| !d.is_zero()))
+        .prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn int_add_matches_i128_where_exact(a in any::<i64>(), b in any::<i64>()) {
+        let sum = &Int::from(a as i128) + &Int::from(b as i128);
+        prop_assert_eq!(sum.to_i128(), Some(a as i128 + b as i128));
+    }
+
+    #[test]
+    fn int_mul_matches_i128_where_exact(a in any::<i64>(), b in any::<i64>()) {
+        let prod = &Int::from(a as i128) * &Int::from(b as i128);
+        prop_assert_eq!(prod.to_i128(), Some(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn int_ring_axioms(a in int_strategy(), b in int_strategy(), c in int_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Int::ZERO);
+        prop_assert_eq!(&a + &(-&a), Int::ZERO);
+    }
+
+    #[test]
+    fn int_div_rem_invariant(a in int_strategy(), b in int_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Remainder sign follows the dividend (truncated division).
+        prop_assert!(r.is_zero() || (r.is_negative() == a.is_negative()));
+    }
+
+    #[test]
+    fn int_gcd_divides_both(a in int_strategy(), b in int_strategy()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn int_shl_is_mul_by_pow2(a in int_strategy(), s in 0u64..300) {
+        prop_assert_eq!(a.shl(s), &a * &Int::pow2(s));
+    }
+
+    #[test]
+    fn int_ordering_antisymmetry(a in int_strategy(), b in int_strategy()) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => prop_assert_eq!(&a, &b),
+        }
+    }
+
+    #[test]
+    fn int_display_roundtrip(a in int_strategy()) {
+        prop_assert_eq!(Int::from_decimal(&a.to_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn ratio_field_axioms(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Ratio::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Ratio::one());
+        }
+    }
+
+    #[test]
+    fn ratio_sub_then_add_roundtrips(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(&(&a - &b) + &b, a);
+    }
+
+    #[test]
+    fn ratio_normalized(a in ratio_strategy()) {
+        prop_assert!(a.denom().is_positive());
+        prop_assert_eq!(a.numer().gcd(a.denom()), Int::ONE);
+    }
+
+    #[test]
+    fn ratio_cmp_matches_f64_when_far_apart(p in -1000i64..1000, q in 1i64..1000,
+                                            r in -1000i64..1000, s in 1i64..1000) {
+        let a = Ratio::frac(p, q);
+        let b = Ratio::frac(r, s);
+        let fa = p as f64 / q as f64;
+        let fb = r as f64 / s as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn ratio_f64_roundtrip_exact(v in any::<f64>()) {
+        prop_assume!(v.is_finite());
+        let r = Ratio::from_f64_exact(v).unwrap();
+        prop_assert_eq!(r.to_f64(), v);
+    }
+
+    #[test]
+    fn ratio_floor_ceil_bracket(a in ratio_strategy()) {
+        let f = Ratio::from_int(a.floor());
+        let c = Ratio::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(&c - &f <= Ratio::one());
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        }
+    }
+
+    #[test]
+    fn ratio_to_f64_monotone_on_small(p in -100i64..100, q in 1i64..100, d in 1i64..50) {
+        let a = Ratio::frac(p, q);
+        let b = &a + &Ratio::frac(1, d);
+        prop_assert!(a.to_f64() < b.to_f64());
+    }
+}

@@ -1,0 +1,614 @@
+//! The exact event-driven two-agent simulator.
+//!
+//! The two motions are merged on their exact rational event times; within
+//! each interval both agents move with constant velocity, so the first
+//! crossing of the visibility radius is found in closed form
+//! ([`rv_geometry::first_within`]). There is no time step: a wait of
+//! `2^(15·i²)` local units costs exactly one event, and event *ordering* —
+//! which every correctness argument in the paper depends on — is decided
+//! in exact arithmetic.
+//!
+//! Stop-on-sight: with equal radii the first crossing *is* the rendezvous
+//! (both agents see each other simultaneously and stop). With different
+//! radii (Section 5 of the paper), the agent with the larger radius `r1`
+//! sees first and freezes; the simulation continues until the distance
+//! reaches the smaller radius `r2`, which is the rendezvous.
+
+use crate::config::{BudgetReason, SimConfig};
+use crate::outcome::{Meeting, Outcome, SimReport, SimTime, TraceSample};
+use rv_geometry::{first_within, min_dist_on_interval, Vec2};
+use rv_numeric::Ratio;
+use rv_trajectory::{AgentAttrs, Instr, Motion, Segment};
+
+struct AgentState<P: Iterator<Item = Instr>> {
+    motion: Motion<P>,
+    seg: Segment,
+    frozen: bool,
+}
+
+impl<P: Iterator<Item = Instr>> AgentState<P> {
+    fn new(attrs: AgentAttrs, program: P) -> (AgentState<P>, u64) {
+        let mut motion = Motion::new(attrs, program);
+        let seg = motion
+            .next()
+            .expect("a motion always yields at least the halt segment");
+        (
+            AgentState {
+                motion,
+                seg,
+                frozen: false,
+            },
+            1,
+        )
+    }
+
+    /// Position at exact time `cur` (must lie within the current segment).
+    fn pos_at(&self, cur: &Ratio) -> Vec2 {
+        let offset = (cur - &self.seg.start).to_f64();
+        self.seg.pos_at_offset(offset)
+    }
+
+    /// Replaces the remaining motion with an eternal halt at `pos`/`time`.
+    fn freeze(&mut self, time: Ratio, pos: Vec2) {
+        self.seg = Segment {
+            start: time,
+            end: None,
+            from: pos,
+            vel: Vec2::ZERO,
+        };
+        self.frozen = true;
+    }
+}
+
+/// Tracing helper with bounded memory: on overflow it decimates by two and
+/// doubles its stride.
+struct Tracer {
+    cap: usize,
+    stride: u64,
+    counter: u64,
+    /// Timestamps are f64 projections of exact rationals; consecutive
+    /// projections can invert by an ULP (`f64(a) + f64(b−a) > f64(b)`), so
+    /// the tracer monotonizes them on record.
+    last_time: f64,
+    samples: Vec<TraceSample>,
+}
+
+impl Tracer {
+    fn new(cap: usize) -> Tracer {
+        Tracer {
+            cap,
+            stride: 1,
+            counter: 0,
+            last_time: f64::NEG_INFINITY,
+            samples: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, time: f64, pos_a: Vec2, pos_b: Vec2) {
+        if self.cap == 0 {
+            return;
+        }
+        let time = time.max(self.last_time);
+        self.last_time = time;
+        if self.counter.is_multiple_of(self.stride) {
+            self.samples.push(TraceSample {
+                time,
+                pos_a,
+                pos_b,
+                dist: pos_a.dist(pos_b),
+            });
+            if self.samples.len() >= self.cap {
+                let mut keep = Vec::with_capacity(self.cap / 2 + 1);
+                for (i, s) in self.samples.drain(..).enumerate() {
+                    if i % 2 == 0 {
+                        keep.push(s);
+                    }
+                }
+                self.samples = keep;
+                self.stride *= 2;
+            }
+        }
+        self.counter += 1;
+    }
+
+    /// Records unconditionally (used for the final/meeting sample).
+    fn record_final(&mut self, time: f64, pos_a: Vec2, pos_b: Vec2) {
+        if self.cap == 0 {
+            return;
+        }
+        let time = time.max(self.last_time);
+        self.last_time = time;
+        self.samples.push(TraceSample {
+            time,
+            pos_a,
+            pos_b,
+            dist: pos_a.dist(pos_b),
+        });
+    }
+}
+
+/// Simulates the two agents until rendezvous or budget exhaustion.
+pub fn simulate<PA, PB>(
+    attrs_a: AgentAttrs,
+    prog_a: PA,
+    attrs_b: AgentAttrs,
+    prog_b: PB,
+    cfg: &SimConfig,
+) -> SimReport
+where
+    PA: Iterator<Item = Instr>,
+    PB: Iterator<Item = Instr>,
+{
+    debug_assert!(attrs_a.validate().is_ok());
+    debug_assert!(attrs_b.validate().is_ok());
+    assert!(
+        cfg.radius_a.is_positive() && cfg.radius_b.is_positive(),
+        "visibility radii must be positive"
+    );
+
+    let (mut a, pulled_a) = AgentState::new(attrs_a, prog_a);
+    let (mut b, pulled_b) = AgentState::new(attrs_b, prog_b);
+    let mut segments: u64 = pulled_a + pulled_b;
+
+    let r_small = cfg.radius_small();
+    let r_big = cfg.radius_big();
+    let asymmetric = r_small != r_big;
+    // While `big_pending`, the next threshold to cross is r_big (the
+    // far-sighted agent's sight). Once crossed, that agent freezes and the
+    // hunt continues for r_small.
+    let mut big_pending = asymmetric;
+
+    let mut cur = Ratio::zero();
+    let mut min_dist = f64::INFINITY;
+    let mut min_dist_time = 0.0;
+    let mut tracer = Tracer::new(cfg.trace_samples);
+
+    let report = |outcome: Outcome,
+                  min_dist: f64,
+                  min_dist_time: f64,
+                  segments: u64,
+                  tracer: Tracer| SimReport {
+        outcome,
+        min_dist,
+        min_dist_time,
+        segments,
+        trace: tracer.samples,
+    };
+
+    loop {
+        // --- Time budget check at the interval boundary. ---
+        if let Some(mt) = &cfg.max_time {
+            if &cur >= mt {
+                return report(
+                    Outcome::Budget(BudgetReason::Time),
+                    min_dist,
+                    min_dist_time,
+                    segments,
+                    tracer,
+                );
+            }
+        }
+
+        // --- Interval end: earliest of the two segment ends and budget. ---
+        let mut bound: Option<Ratio> = match (&a.seg.end, &b.seg.end) {
+            (None, None) => None,
+            (Some(ea), None) => Some(ea.clone()),
+            (None, Some(eb)) => Some(eb.clone()),
+            (Some(ea), Some(eb)) => Some(ea.clone().min(eb.clone())),
+        };
+        let mut time_capped = false;
+        if let Some(mt) = &cfg.max_time {
+            match &bound {
+                Some(be) if be <= mt => {}
+                _ => {
+                    bound = Some(mt.clone());
+                    time_capped = true;
+                }
+            }
+        }
+
+        // --- Geometry of the interval. ---
+        let pa = a.pos_at(&cur);
+        let pb = b.pos_at(&cur);
+        let rel0 = pb - pa;
+        let rel_vel = b.seg.vel - a.seg.vel;
+        let dt = match &bound {
+            None => f64::INFINITY,
+            Some(be) => (be - &cur).to_f64(),
+        };
+        tracer.record(cur.to_f64(), pa, pb);
+
+        // --- Threshold detection. ---
+        let threshold = if big_pending { &r_big } else { &r_small };
+        let detect_r = threshold.to_f64() * (1.0 + cfg.detection_slack);
+        if let Some(s) = first_within(rel0, rel_vel, detect_r, dt) {
+            let hit_a = pa + a.seg.vel * s;
+            let hit_b = pb + b.seg.vel * s;
+            let d = hit_a.dist(hit_b);
+            if d < min_dist {
+                min_dist = d;
+                min_dist_time = cur.to_f64() + s;
+            }
+            if !big_pending {
+                let time = SimTime {
+                    base: cur.clone(),
+                    offset: s,
+                };
+                tracer.record_final(time.to_f64(), hit_a, hit_b);
+                return report(
+                    Outcome::Met(Meeting {
+                        time,
+                        pos_a: hit_a,
+                        pos_b: hit_b,
+                        dist: d,
+                    }),
+                    min_dist,
+                    min_dist_time,
+                    segments,
+                    tracer,
+                );
+            }
+            // Section 5: the far-sighted agent sees first and freezes.
+            let t_hit = &cur + &Ratio::from_f64_exact(s).unwrap_or_else(Ratio::zero);
+            if cfg.radius_a >= cfg.radius_b {
+                a.freeze(t_hit.clone(), hit_a);
+            } else {
+                b.freeze(t_hit.clone(), hit_b);
+            }
+            big_pending = false;
+            cur = t_hit;
+            continue;
+        }
+
+        // --- Track the minimum distance on the interval. ---
+        let m = min_dist_on_interval(rel0, rel_vel, dt);
+        if m.min_dist < min_dist {
+            min_dist = m.min_dist;
+            min_dist_time = cur.to_f64() + m.argmin;
+            // Improvements are exactly the points figure F9 needs; record
+            // them (capped like all samples).
+            tracer.record(
+                min_dist_time,
+                pa + a.seg.vel * m.argmin,
+                pb + b.seg.vel * m.argmin,
+            );
+        }
+
+        // --- Advance. ---
+        match bound {
+            None => {
+                // Both agents halted forever, out of range.
+                return report(
+                    Outcome::Budget(BudgetReason::BothHalted),
+                    min_dist,
+                    min_dist_time,
+                    segments,
+                    tracer,
+                );
+            }
+            Some(next) => {
+                if time_capped {
+                    return report(
+                        Outcome::Budget(BudgetReason::Time),
+                        min_dist,
+                        min_dist_time,
+                        segments,
+                        tracer,
+                    );
+                }
+                cur = next;
+                if a.seg.end.as_ref() == Some(&cur) {
+                    a.seg = a
+                        .motion
+                        .next()
+                        .expect("finite segments always have a successor");
+                    debug_assert_eq!(a.seg.start, cur);
+                    segments += 1;
+                }
+                if b.seg.end.as_ref() == Some(&cur) {
+                    b.seg = b
+                        .motion
+                        .next()
+                        .expect("finite segments always have a successor");
+                    debug_assert_eq!(b.seg.start, cur);
+                    segments += 1;
+                }
+                if segments > cfg.max_segments {
+                    return report(
+                        Outcome::Budget(BudgetReason::Segments),
+                        min_dist,
+                        min_dist_time,
+                        segments,
+                        tracer,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_geometry::{Angle, Compass};
+    use rv_numeric::ratio;
+
+    fn attrs_at(x: f64, wake: Ratio) -> AgentAttrs {
+        AgentAttrs {
+            origin: Vec2::new(x, 0.0),
+            wake,
+            ..AgentAttrs::reference()
+        }
+    }
+
+    fn cfg(r: i64) -> SimConfig {
+        SimConfig::with_radius(ratio(r, 1))
+    }
+
+    #[test]
+    fn trivial_meet_at_time_zero() {
+        let report = simulate(
+            AgentAttrs::reference(),
+            std::iter::empty(),
+            attrs_at(1.5, Ratio::zero()),
+            std::iter::empty(),
+            &cfg(2),
+        );
+        let m = report.meeting().expect("should meet immediately");
+        assert_eq!(m.time.to_f64(), 0.0);
+        assert!((m.dist - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn head_on_walkers_meet() {
+        // A at 0 walks east, B at 10 stays. r = 2 ⇒ meet at t = 8.
+        let prog_a = vec![Instr::go(Compass::East, ratio(20, 1))];
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a.into_iter(),
+            attrs_at(10.0, Ratio::zero()),
+            std::iter::empty(),
+            &cfg(2),
+        );
+        let m = report.meeting().unwrap();
+        assert!((m.time.to_f64() - 8.0).abs() < 1e-6);
+        assert!((m.pos_a - Vec2::new(8.0, 0.0)).norm() < 1e-6);
+    }
+
+    #[test]
+    fn both_halted_is_reported() {
+        let report = simulate(
+            AgentAttrs::reference(),
+            std::iter::empty(),
+            attrs_at(10.0, Ratio::zero()),
+            std::iter::empty(),
+            &cfg(1),
+        );
+        assert!(!report.met());
+        assert!(matches!(
+            report.outcome,
+            Outcome::Budget(BudgetReason::BothHalted)
+        ));
+        assert_eq!(report.min_dist, 10.0);
+    }
+
+    #[test]
+    fn time_budget_stops_simulation() {
+        // A oscillates forever but never reaches B.
+        let prog_a = std::iter::repeat_with(|| {
+            vec![
+                Instr::go(Compass::East, ratio(1, 1)),
+                Instr::go(Compass::West, ratio(1, 1)),
+            ]
+        })
+        .flatten();
+        let config = cfg(1).max_time(ratio(100, 1));
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a,
+            attrs_at(10.0, Ratio::zero()),
+            std::iter::empty(),
+            &config,
+        );
+        assert!(matches!(
+            report.outcome,
+            Outcome::Budget(BudgetReason::Time)
+        ));
+        // Closest approach: A reaches x = 1 ⇒ distance 9.
+        assert!((report.min_dist - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_budget_stops_simulation() {
+        let prog_a = std::iter::repeat_with(|| {
+            vec![
+                Instr::go(Compass::East, ratio(1, 1)),
+                Instr::go(Compass::West, ratio(1, 1)),
+            ]
+        })
+        .flatten();
+        let config = cfg(1).max_segments(50);
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a,
+            attrs_at(10.0, Ratio::zero()),
+            std::iter::empty(),
+            &config,
+        );
+        assert!(matches!(
+            report.outcome,
+            Outcome::Budget(BudgetReason::Segments)
+        ));
+        assert!(report.segments > 50);
+    }
+
+    #[test]
+    fn delayed_agent_waits_then_walks() {
+        // B wakes at t = 4 and walks west toward A. Meet when distance ≤ 1:
+        // B starts at 10, A at 0 ⇒ B reaches x = 1 at t = 4 + 9 = 13.
+        let prog_b = vec![Instr::go(Compass::East, ratio(20, 1))];
+        // B's frame is rotated π so its East is absolute West.
+        let attrs_b = AgentAttrs {
+            origin: Vec2::new(10.0, 0.0),
+            phi: Angle::half(),
+            wake: ratio(4, 1),
+            ..AgentAttrs::reference()
+        };
+        let report = simulate(
+            AgentAttrs::reference(),
+            std::iter::empty(),
+            attrs_b,
+            prog_b.into_iter(),
+            &cfg(1),
+        );
+        let m = report.meeting().unwrap();
+        assert!((m.time.to_f64() - 13.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn giant_wait_is_one_event() {
+        // B waits 2^200 then walks to A; exact scheduling must survive.
+        let prog_b = vec![
+            Instr::wait(Ratio::pow2(200)),
+            Instr::go(Compass::West, ratio(20, 1)),
+        ];
+        let report = simulate(
+            AgentAttrs::reference(),
+            std::iter::empty(),
+            attrs_at(10.0, Ratio::zero()),
+            prog_b.into_iter(),
+            &cfg(1),
+        );
+        let m = report.meeting().unwrap();
+        // Meeting time: 2^200 + 9 up to the detection slack (the crossing
+        // solver fires at r·(1+slack), a hair early).
+        let expected = &Ratio::pow2(200) + &ratio(9, 1);
+        let got = m.time.to_ratio();
+        let diff = (&got - &expected).abs();
+        assert!(diff <= ratio(1, 1000), "time off by {diff}");
+        // The base of the meeting interval is exactly the end of the wait.
+        assert_eq!(m.time.base, Ratio::pow2(200));
+        assert!(report.segments < 10);
+    }
+
+    #[test]
+    fn crossing_within_move_segment_is_interpolated() {
+        // A walks NE diagonally past B: fly-by at perpendicular distance
+        // 1 < r = 2 must be caught mid-segment.
+        let prog_a = vec![Instr::go_angle(Angle::zero(), ratio(100, 1))];
+        let attrs_b = AgentAttrs {
+            origin: Vec2::new(50.0, 1.0),
+            ..AgentAttrs::reference()
+        };
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a.into_iter(),
+            attrs_b,
+            std::iter::empty(),
+            &cfg(2),
+        );
+        let m = report.meeting().unwrap();
+        // Entry when horizontal gap = √(4−1) = √3.
+        let expected = 50.0 - 3f64.sqrt();
+        assert!((m.time.to_f64() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_radii_freeze_then_close() {
+        // r_a = 4 (A far-sighted), r_b = 1. A walks toward B and stops as
+        // soon as distance ≤ 4 (at x = 6); B then walks toward A's frozen
+        // position until distance ≤ 1 (B reaches x = 7).
+        let prog_a = vec![Instr::go(Compass::East, ratio(100, 1))];
+        let prog_b = vec![
+            Instr::wait(ratio(10, 1)),
+            Instr::go(Compass::West, ratio(100, 1)),
+        ];
+        let config = SimConfig {
+            radius_a: ratio(4, 1),
+            radius_b: ratio(1, 1),
+            ..SimConfig::with_radius(ratio(1, 1))
+        };
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a.into_iter(),
+            attrs_at(10.0, Ratio::zero()),
+            prog_b.into_iter(),
+            &config,
+        );
+        let m = report.meeting().unwrap();
+        // A freezes at t = 6 (x = 6); B starts moving at t = 10 from x=10,
+        // reaches distance 1 (x = 7) at t = 13.
+        assert!((m.time.to_f64() - 13.0).abs() < 1e-6);
+        assert!((m.pos_a - Vec2::new(6.0, 0.0)).norm() < 1e-6);
+        assert!((m.pos_b - Vec2::new(7.0, 0.0)).norm() < 1e-6);
+    }
+
+    #[test]
+    fn min_dist_is_tracked_without_meeting() {
+        // A sweeps past B outside the radius.
+        let prog_a = vec![Instr::go(Compass::East, ratio(100, 1))];
+        let attrs_b = AgentAttrs {
+            origin: Vec2::new(50.0, 5.0),
+            ..AgentAttrs::reference()
+        };
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a.into_iter(),
+            attrs_b,
+            std::iter::empty(),
+            &cfg(1),
+        );
+        assert!(!report.met());
+        assert!((report.min_dist - 5.0).abs() < 1e-9);
+        assert!((report.min_dist_time - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_records_and_caps() {
+        let prog_a = std::iter::repeat_with(|| {
+            vec![
+                Instr::go(Compass::East, ratio(1, 1)),
+                Instr::go(Compass::West, ratio(1, 1)),
+            ]
+        })
+        .flatten();
+        let config = cfg(1).max_time(ratio(10000, 1)).trace(64);
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a,
+            attrs_at(10.0, Ratio::zero()),
+            std::iter::empty(),
+            &config,
+        );
+        assert!(!report.trace.is_empty());
+        assert!(report.trace.len() <= 64);
+        // Samples are time-ordered.
+        for w in report.trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn mirrored_agents_keep_constant_distance() {
+        // The impossibility intuition (Section 1.1): equal attributes,
+        // synchronous, shift frames, t = 0 ⇒ distance never changes.
+        let square = || {
+            vec![
+                Instr::go(Compass::East, ratio(2, 1)),
+                Instr::go(Compass::North, ratio(2, 1)),
+                Instr::go(Compass::West, ratio(2, 1)),
+                Instr::go(Compass::South, ratio(2, 1)),
+            ]
+            .into_iter()
+        };
+        let report = simulate(
+            AgentAttrs::reference(),
+            square(),
+            attrs_at(10.0, Ratio::zero()),
+            square(),
+            &cfg(1),
+        );
+        assert!(!report.met());
+        assert!((report.min_dist - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulation results.
+
+use crate::config::BudgetReason;
+use rv_geometry::Vec2;
+use rv_numeric::Ratio;
+use std::fmt;
+
+/// A point in simulated time: an exact interval base plus an `f64` offset
+/// from the closed-form crossing solver.
+#[derive(Clone, Debug)]
+pub struct SimTime {
+    /// Exact start of the interval in which the event happened.
+    pub base: Ratio,
+    /// Offset within the interval (seconds, `f64`).
+    pub offset: f64,
+}
+
+impl SimTime {
+    /// The event time as `f64` (saturating on astronomically late events).
+    pub fn to_f64(&self) -> f64 {
+        self.base.to_f64() + self.offset
+    }
+
+    /// The event time as an exact-representation rational (the offset is a
+    /// dyadic rational, so this is lossless w.r.t. the stored value).
+    pub fn to_ratio(&self) -> Ratio {
+        &self.base + &Ratio::from_f64_exact(self.offset).unwrap_or_else(Ratio::zero)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.to_f64())
+    }
+}
+
+/// A successful rendezvous.
+#[derive(Clone, Debug)]
+pub struct Meeting {
+    /// First time the agents were within the rendezvous radius.
+    pub time: SimTime,
+    /// Agent A's position at that time.
+    pub pos_a: Vec2,
+    /// Agent B's position at that time.
+    pub pos_b: Vec2,
+    /// The distance at that time (≤ radius·(1+slack)).
+    pub dist: f64,
+}
+
+/// One sample of the recorded distance trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSample {
+    /// Simulated time (f64; saturating).
+    pub time: f64,
+    /// Agent A's position.
+    pub pos_a: Vec2,
+    /// Agent B's position.
+    pub pos_b: Vec2,
+    /// Distance between the agents.
+    pub dist: f64,
+}
+
+/// Full report of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Outcome: rendezvous or budget exhaustion.
+    pub outcome: Outcome,
+    /// Minimum distance observed over the whole run.
+    pub min_dist: f64,
+    /// Time (f64) at which the minimum distance was observed.
+    pub min_dist_time: f64,
+    /// Motion segments processed.
+    pub segments: u64,
+    /// Distance trace (non-empty iff tracing was enabled).
+    pub trace: Vec<TraceSample>,
+}
+
+impl SimReport {
+    /// True iff rendezvous happened.
+    pub fn met(&self) -> bool {
+        matches!(self.outcome, Outcome::Met(_))
+    }
+
+    /// The meeting, if rendezvous happened.
+    pub fn meeting(&self) -> Option<&Meeting> {
+        match &self.outcome {
+            Outcome::Met(m) => Some(m),
+            Outcome::Budget(_) => None,
+        }
+    }
+
+    /// Meeting time in `f64`, if rendezvous happened.
+    pub fn meeting_time(&self) -> Option<f64> {
+        self.meeting().map(|m| m.time.to_f64())
+    }
+}
+
+/// Rendezvous or a budget stop.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The agents met.
+    Met(Meeting),
+    /// A budget was exhausted before rendezvous.
+    Budget(BudgetReason),
+}
+
+impl Outcome {
+    /// True iff rendezvous happened.
+    pub fn met(&self) -> bool {
+        matches!(self, Outcome::Met(_))
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Met(m) => write!(f, "met at t={} (dist {:.6})", m.time, m.dist),
+            Outcome::Budget(r) => write!(f, "no rendezvous ({r:?} budget)"),
+        }
+    }
+}

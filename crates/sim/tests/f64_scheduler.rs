@@ -1,0 +1,71 @@
+//! The ablation-critical correctness property: an `f64` clock silently
+//! destroys event ordering after Algorithm 1's giant waits; the exact
+//! rational clock does not. (The companion wall-clock cost comparison is
+//! `rv-bench`'s `ablation` target.)
+
+use rv_numeric::Ratio;
+
+/// The schedule shape of an AUR phase: unit-scale durations surrounding a
+/// `2^(15·i²)` wait (here i = 2 ⇒ 2^60).
+fn schedule() -> Vec<Ratio> {
+    let mut durations: Vec<Ratio> = (1..=100).map(|k| Ratio::frac(k % 9 + 1, 16)).collect();
+    durations.insert(50, Ratio::pow2(60));
+    durations
+}
+
+#[test]
+fn f64_clock_collapses_post_wait_events() {
+    let durations = schedule();
+    // f64 accumulation: after the 2^60 wait, unit-scale events vanish
+    // below the ULP (2^60 has ULP 2^8 = 256 > every remaining duration).
+    let mut acc = 0.0f64;
+    let mut collapsed = 0;
+    for d in &durations {
+        let before = acc;
+        acc += d.to_f64();
+        if acc == before && !d.is_zero() {
+            collapsed += 1;
+        }
+    }
+    assert!(
+        collapsed >= 49,
+        "expected nearly all post-wait events to collapse, got {collapsed}"
+    );
+}
+
+#[test]
+fn exact_clock_preserves_every_event() {
+    let durations = schedule();
+    let mut acc = Ratio::zero();
+    let mut collapsed = 0;
+    for d in &durations {
+        let before = acc.clone();
+        acc += d;
+        if acc == before && !d.is_zero() {
+            collapsed += 1;
+        }
+    }
+    assert_eq!(collapsed, 0, "exact accumulation must never collapse");
+    // And the final clock is exactly the rational sum.
+    let expected = durations
+        .iter()
+        .fold(Ratio::zero(), |a, d| &a + d);
+    assert_eq!(acc, expected);
+}
+
+#[test]
+fn f64_clock_breaks_agent_ordering_exact_keeps_it() {
+    // Two agents: X finishes its wait slightly before Y (the Claim 3.9
+    // ordering q_X < q_Y that Lemma 3.4 depends on). With τ encoded in
+    // the durations, the gap is unit-scale against a 2^60 base — invisible
+    // to f64, decided correctly by Ratio.
+    let base = Ratio::pow2(60);
+    let x_done = &base + &Ratio::frac(1, 3);
+    let y_done = &base + &Ratio::frac(2, 3);
+    assert!(x_done < y_done, "exact clock orders the agents");
+    assert_eq!(
+        x_done.to_f64(),
+        y_done.to_f64(),
+        "f64 cannot distinguish the two events"
+    );
+}

@@ -1,0 +1,195 @@
+//! The paper's two move instructions.
+//!
+//! Section 1.2: *"There are two types of move instructions … `go(dir, d)`
+//! … going `d` units of length of the agent in direction `dir` in its
+//! private system of coordinates … and `wait(z)` … waiting idle for `z`
+//! time units of the agent."*
+//!
+//! Distances and durations are exact rationals; directions are exact
+//! angles. Because an agent travels exactly one private length unit per
+//! private time unit, the *local duration* of `go(dir, d)` is `d` and of
+//! `wait(z)` is `z` — this makes exact truncation/slicing by local time
+//! (needed by Algorithm 1 lines 10 and 17–18) a purely rational operation.
+
+use rv_geometry::{Angle, Compass, Vec2};
+use rv_numeric::Ratio;
+use std::fmt;
+
+/// A single instruction of an agent's program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// Move `dist` private length units in local direction `dir`.
+    Go {
+        /// Local direction (exact angle in the agent's private system).
+        dir: Angle,
+        /// Distance in the agent's private length units (must be ≥ 0).
+        dist: Ratio,
+    },
+    /// Stay idle for `dur` private time units.
+    Wait {
+        /// Duration in the agent's private time units (must be ≥ 0).
+        dur: Ratio,
+    },
+}
+
+impl Instr {
+    /// `go` along a compass direction.
+    pub fn go(dir: Compass, dist: Ratio) -> Instr {
+        Instr::Go {
+            dir: dir.angle(),
+            dist,
+        }
+    }
+
+    /// `go` along an arbitrary exact angle.
+    pub fn go_angle(dir: Angle, dist: Ratio) -> Instr {
+        Instr::Go { dir, dist }
+    }
+
+    /// `wait` for a local duration.
+    pub fn wait(dur: Ratio) -> Instr {
+        Instr::Wait { dur }
+    }
+
+    /// Local duration of the instruction (one length unit per time unit).
+    pub fn local_duration(&self) -> &Ratio {
+        match self {
+            Instr::Go { dist, .. } => dist,
+            Instr::Wait { dur } => dur,
+        }
+    }
+
+    /// True iff the instruction takes zero local time.
+    pub fn is_empty(&self) -> bool {
+        self.local_duration().is_zero()
+    }
+
+    /// Local displacement (in private length units) caused by the
+    /// instruction, as an `f64` vector.
+    pub fn local_displacement(&self) -> Vec2 {
+        match self {
+            Instr::Go { dir, dist } => dir.unit() * dist.to_f64(),
+            Instr::Wait { .. } => Vec2::ZERO,
+        }
+    }
+
+    /// Splits the instruction at local time `at` (0 ≤ at ≤ duration):
+    /// returns the `(head, tail)` pieces; either may be empty.
+    pub fn split_at(&self, at: &Ratio) -> (Instr, Instr) {
+        debug_assert!(!at.is_negative() && at <= self.local_duration());
+        match self {
+            Instr::Go { dir, dist } => (
+                Instr::Go {
+                    dir: dir.clone(),
+                    dist: at.clone(),
+                },
+                Instr::Go {
+                    dir: dir.clone(),
+                    dist: dist - at,
+                },
+            ),
+            Instr::Wait { dur } => (
+                Instr::Wait { dur: at.clone() },
+                Instr::Wait { dur: dur - at },
+            ),
+        }
+    }
+
+    /// The reverse move: `go` gets the opposite direction, `wait` is
+    /// unchanged (used only on moves when backtracking a path).
+    pub fn reversed(&self) -> Instr {
+        match self {
+            Instr::Go { dir, dist } => Instr::Go {
+                dir: dir.clone() + Angle::half(),
+                dist: dist.clone(),
+            },
+            w @ Instr::Wait { .. } => w.clone(),
+        }
+    }
+
+    /// Rotates the instruction into the local system `Rot(α)` (only `go`
+    /// directions change; this is Algorithm 1 line 6's frame change).
+    pub fn rotated(&self, alpha: &Angle) -> Instr {
+        match self {
+            Instr::Go { dir, dist } => Instr::Go {
+                dir: dir.clone() + alpha.clone(),
+                dist: dist.clone(),
+            },
+            w @ Instr::Wait { .. } => w.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Go { dir, dist } => write!(f, "go({dir}, {dist})"),
+            Instr::Wait { dur } => write!(f, "wait({dur})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_numeric::ratio;
+
+    #[test]
+    fn durations() {
+        assert_eq!(
+            *Instr::go(Compass::East, ratio(3, 2)).local_duration(),
+            ratio(3, 2)
+        );
+        assert_eq!(*Instr::wait(ratio(5, 1)).local_duration(), ratio(5, 1));
+        assert!(Instr::wait(Ratio::zero()).is_empty());
+    }
+
+    #[test]
+    fn split_go() {
+        let i = Instr::go(Compass::North, ratio(4, 1));
+        let (h, t) = i.split_at(&ratio(1, 1));
+        assert_eq!(h, Instr::go(Compass::North, ratio(1, 1)));
+        assert_eq!(t, Instr::go(Compass::North, ratio(3, 1)));
+        let (h, t) = i.split_at(&ratio(0, 1));
+        assert!(h.is_empty());
+        assert_eq!(t, i);
+    }
+
+    #[test]
+    fn split_wait() {
+        let i = Instr::wait(ratio(4, 1));
+        let (h, t) = i.split_at(&ratio(4, 1));
+        assert_eq!(h, i);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reversed_flips_direction() {
+        let i = Instr::go(Compass::East, ratio(2, 1));
+        assert_eq!(i.reversed(), Instr::go(Compass::West, ratio(2, 1)));
+        let d = i.local_displacement() + i.reversed().local_displacement();
+        assert_eq!(d, Vec2::ZERO);
+    }
+
+    #[test]
+    fn rotation_shifts_direction() {
+        let i = Instr::go(Compass::East, ratio(1, 1));
+        let r = i.rotated(&Angle::quarter());
+        assert_eq!(r, Instr::go(Compass::North, ratio(1, 1)));
+        let w = Instr::wait(ratio(1, 1));
+        assert_eq!(w.rotated(&Angle::quarter()), w);
+    }
+
+    #[test]
+    fn displacement_cardinals_are_exact() {
+        assert_eq!(
+            Instr::go(Compass::East, ratio(3, 1)).local_displacement(),
+            Vec2::new(3.0, 0.0)
+        );
+        assert_eq!(
+            Instr::go(Compass::South, ratio(1, 2)).local_displacement(),
+            Vec2::new(0.0, -0.5)
+        );
+        assert_eq!(Instr::wait(ratio(9, 1)).local_displacement(), Vec2::ZERO);
+    }
+}

@@ -1,0 +1,377 @@
+//! The kinematic compiler: from (private program, agent attributes) to an
+//! absolute-time piecewise-linear motion.
+//!
+//! Section 1.2 of the paper fixes the semantics: an agent with clock rate
+//! `τ` (absolute time per private tick) and speed `v` (absolute distance
+//! per absolute time) has private length unit `τ·v`. Thus `go(dir, d)`
+//! covers `d·τ·v` absolute distance in `d·τ` absolute time, and `wait(z)`
+//! idles for `z·τ`. Directions map through the frame as `φ + χ·θ`.
+//!
+//! Event times are exact rationals; positions are `f64` accumulated per
+//! segment (cardinal directions contribute exact displacements).
+
+use crate::instr::Instr;
+use rv_geometry::{Angle, Chirality, Orientation, Vec2};
+use rv_numeric::Ratio;
+
+/// The private attributes of an agent (Section 1.2).
+#[derive(Clone, Debug)]
+pub struct AgentAttrs {
+    /// Initial position in absolute coordinates.
+    pub origin: Vec2,
+    /// Rotation of the private x-axis w.r.t. the absolute one.
+    pub phi: Angle,
+    /// Handedness of the private system.
+    pub chi: Chirality,
+    /// Absolute time per private time unit (`τ > 0`).
+    pub tau: Ratio,
+    /// Absolute speed (`v > 0`).
+    pub speed: Ratio,
+    /// Absolute wake-up time (`t ≥ 0`).
+    pub wake: Ratio,
+}
+
+impl AgentAttrs {
+    /// The reference agent A: absolute frame, unit clock and speed, wakes
+    /// at time 0 at the absolute origin.
+    pub fn reference() -> AgentAttrs {
+        AgentAttrs {
+            origin: Vec2::ZERO,
+            phi: Angle::zero(),
+            chi: Chirality::Plus,
+            tau: Ratio::one(),
+            speed: Ratio::one(),
+            wake: Ratio::zero(),
+        }
+    }
+
+    /// The private length unit in absolute terms: `τ·v`.
+    pub fn unit_len(&self) -> Ratio {
+        &self.tau * &self.speed
+    }
+
+    /// The orientation part of the frame.
+    pub fn orientation(&self) -> Orientation {
+        Orientation {
+            phi: self.phi.clone(),
+            chi: self.chi,
+        }
+    }
+
+    /// Validates positivity constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.tau.is_positive() {
+            return Err(format!("clock rate τ must be positive, got {}", self.tau));
+        }
+        if !self.speed.is_positive() {
+            return Err(format!("speed v must be positive, got {}", self.speed));
+        }
+        if self.wake.is_negative() {
+            return Err(format!("wake-up time t must be ≥ 0, got {}", self.wake));
+        }
+        Ok(())
+    }
+}
+
+/// One constant-velocity piece of an agent's motion.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Absolute start time (exact).
+    pub start: Ratio,
+    /// Absolute end time (exact); `None` means the agent halts forever.
+    pub end: Option<Ratio>,
+    /// Position at `start`.
+    pub from: Vec2,
+    /// Constant velocity over the segment (zero while waiting/halted).
+    pub vel: Vec2,
+}
+
+impl Segment {
+    /// Position at `start + offset` (offset in absolute seconds, f64).
+    ///
+    /// Written so that waiting segments with astronomically long durations
+    /// never produce `inf·0 = NaN`.
+    pub fn pos_at_offset(&self, offset: f64) -> Vec2 {
+        if self.vel == Vec2::ZERO {
+            self.from
+        } else {
+            self.from + self.vel * offset
+        }
+    }
+
+    /// True while the agent is idle on this segment.
+    pub fn is_stationary(&self) -> bool {
+        self.vel == Vec2::ZERO
+    }
+}
+
+/// Lazily compiles a program into motion segments.
+pub struct Motion<P> {
+    program: P,
+    attrs: AgentAttrs,
+    orientation: Orientation,
+    unit_len_f64: f64,
+    speed_f64: f64,
+    clock: Ratio,
+    pos: Vec2,
+    /// Set once the final infinite segment has been emitted.
+    halted: bool,
+    /// Pending wake segment (emitted first when the agent wakes late).
+    emitted_wake: bool,
+}
+
+impl<P: Iterator<Item = Instr>> Motion<P> {
+    /// Builds the motion of `attrs` executing `program`.
+    pub fn new(attrs: AgentAttrs, program: P) -> Motion<P> {
+        let orientation = attrs.orientation();
+        let unit_len_f64 = attrs.unit_len().to_f64();
+        let speed_f64 = attrs.speed.to_f64();
+        let clock = attrs.wake.clone();
+        let pos = attrs.origin;
+        Motion {
+            program,
+            attrs,
+            orientation,
+            unit_len_f64,
+            speed_f64,
+            clock,
+            pos,
+            halted: false,
+            emitted_wake: false,
+        }
+    }
+
+    /// Current absolute position (after all segments yielded so far).
+    pub fn position(&self) -> Vec2 {
+        self.pos
+    }
+
+    /// Current absolute clock (start of the next segment).
+    pub fn clock(&self) -> &Ratio {
+        &self.clock
+    }
+}
+
+impl<P: Iterator<Item = Instr>> Iterator for Motion<P> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.halted {
+            return None;
+        }
+        if !self.emitted_wake {
+            self.emitted_wake = true;
+            if self.attrs.wake.is_positive() {
+                return Some(Segment {
+                    start: Ratio::zero(),
+                    end: Some(self.attrs.wake.clone()),
+                    from: self.attrs.origin,
+                    vel: Vec2::ZERO,
+                });
+            }
+        }
+        loop {
+            match self.program.next() {
+                None => {
+                    self.halted = true;
+                    return Some(Segment {
+                        start: self.clock.clone(),
+                        end: None,
+                        from: self.pos,
+                        vel: Vec2::ZERO,
+                    });
+                }
+                Some(instr) if instr.is_empty() => continue,
+                Some(Instr::Wait { dur }) => {
+                    let abs_dur = &dur * &self.attrs.tau;
+                    let start = self.clock.clone();
+                    self.clock = &start + &abs_dur;
+                    return Some(Segment {
+                        start,
+                        end: Some(self.clock.clone()),
+                        from: self.pos,
+                        vel: Vec2::ZERO,
+                    });
+                }
+                Some(Instr::Go { dir, dist }) => {
+                    let abs_dir = self.orientation.to_absolute(&dir);
+                    let unit = abs_dir.unit();
+                    let abs_len = dist.to_f64() * self.unit_len_f64;
+                    let abs_dur = &dist * &self.attrs.tau;
+                    let start = self.clock.clone();
+                    let from = self.pos;
+                    self.clock = &start + &abs_dur;
+                    self.pos = from + unit * abs_len;
+                    return Some(Segment {
+                        start,
+                        end: Some(self.clock.clone()),
+                        from,
+                        vel: unit * self.speed_f64,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_geometry::Compass;
+    use rv_numeric::ratio;
+
+    fn attrs_b() -> AgentAttrs {
+        AgentAttrs {
+            origin: Vec2::new(10.0, 0.0),
+            phi: Angle::zero(),
+            chi: Chirality::Plus,
+            tau: ratio(2, 1),
+            speed: ratio(3, 1),
+            wake: ratio(5, 1),
+        }
+    }
+
+    #[test]
+    fn unit_len_is_tau_v() {
+        assert_eq!(attrs_b().unit_len(), ratio(6, 1));
+        assert_eq!(AgentAttrs::reference().unit_len(), Ratio::one());
+    }
+
+    #[test]
+    fn wake_segment_comes_first() {
+        let prog = vec![Instr::go(Compass::East, ratio(1, 1))];
+        let mut m = Motion::new(attrs_b(), prog.into_iter());
+        let s0 = m.next().unwrap();
+        assert_eq!(s0.start, Ratio::zero());
+        assert_eq!(s0.end, Some(ratio(5, 1)));
+        assert!(s0.is_stationary());
+        assert_eq!(s0.from, Vec2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn go_scales_by_unit_and_clock() {
+        // go(E, 1) with τ=2, v=3: absolute displacement 6 east, duration 2.
+        let prog = vec![Instr::go(Compass::East, ratio(1, 1))];
+        let mut m = Motion::new(attrs_b(), prog.into_iter());
+        let _wake = m.next().unwrap();
+        let s = m.next().unwrap();
+        assert_eq!(s.start, ratio(5, 1));
+        assert_eq!(s.end, Some(ratio(7, 1)));
+        assert_eq!(s.from, Vec2::new(10.0, 0.0));
+        assert_eq!(s.vel, Vec2::new(3.0, 0.0));
+        // Final halt segment starts at the end position.
+        let halt = m.next().unwrap();
+        assert_eq!(halt.from, Vec2::new(16.0, 0.0));
+        assert_eq!(halt.end, None);
+        assert!(m.next().is_none());
+    }
+
+    #[test]
+    fn wait_scales_by_clock_only() {
+        let prog = vec![Instr::wait(ratio(4, 1))];
+        let mut m = Motion::new(attrs_b(), prog.into_iter());
+        let _wake = m.next().unwrap();
+        let s = m.next().unwrap();
+        assert_eq!(s.start, ratio(5, 1));
+        assert_eq!(s.end, Some(ratio(13, 1))); // 5 + 4·2
+        assert!(s.is_stationary());
+    }
+
+    #[test]
+    fn chirality_flips_north() {
+        let mut attrs = attrs_b();
+        attrs.chi = Chirality::Minus;
+        attrs.wake = Ratio::zero();
+        let prog = vec![Instr::go(Compass::North, ratio(1, 1))];
+        let mut m = Motion::new(attrs, prog.into_iter());
+        let s = m.next().unwrap();
+        // χ=−1, φ=0: local North maps to absolute South.
+        assert_eq!(s.vel, Vec2::new(0.0, -3.0));
+    }
+
+    #[test]
+    fn rotation_maps_east_to_phi() {
+        let mut attrs = AgentAttrs::reference();
+        attrs.phi = Angle::quarter();
+        let prog = vec![Instr::go(Compass::East, ratio(2, 1))];
+        let mut m = Motion::new(attrs, prog.into_iter());
+        let s = m.next().unwrap();
+        assert_eq!(s.vel, Vec2::new(0.0, 1.0));
+        let halt = m.next().unwrap();
+        assert_eq!(halt.from, Vec2::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_exact() {
+        let prog = vec![
+            Instr::go(Compass::East, ratio(1, 3)),
+            Instr::wait(ratio(1, 7)),
+            Instr::go(Compass::North, ratio(2, 5)),
+        ];
+        let attrs = AgentAttrs {
+            tau: ratio(3, 2),
+            ..AgentAttrs::reference()
+        };
+        let segs: Vec<_> = Motion::new(attrs, prog.into_iter()).collect();
+        assert_eq!(segs.len(), 4); // 3 instructions + halt
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end.as_ref(), Some(&w[1].start));
+        }
+        // Total elapsed: (1/3 + 1/7 + 2/5)·3/2
+        let expected = &(&(&ratio(1, 3) + &ratio(1, 7)) + &ratio(2, 5)) * &ratio(3, 2);
+        assert_eq!(segs[3].start, expected);
+    }
+
+    #[test]
+    fn giant_wait_keeps_exact_schedule() {
+        // wait(2^200) then go: the move must start at exactly 2^200·τ.
+        let prog = vec![
+            Instr::wait(Ratio::pow2(200)),
+            Instr::go(Compass::East, ratio(1, 1)),
+        ];
+        let segs: Vec<_> = Motion::new(AgentAttrs::reference(), prog.into_iter()).collect();
+        assert_eq!(segs[1].start, Ratio::pow2(200));
+        assert_eq!(
+            segs[1].end,
+            Some(&Ratio::pow2(200) + &Ratio::one())
+        );
+        // Position unaffected by the wait.
+        assert_eq!(segs[1].from, Vec2::ZERO);
+    }
+
+    #[test]
+    fn pos_at_offset_no_nan_on_infinite_wait() {
+        let s = Segment {
+            start: Ratio::zero(),
+            end: None,
+            from: Vec2::new(1.0, 2.0),
+            vel: Vec2::ZERO,
+        };
+        let p = s.pos_at_offset(f64::INFINITY);
+        assert!(p.is_finite());
+        assert_eq!(p, Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn empty_program_halts_at_origin() {
+        let segs: Vec<_> =
+            Motion::new(AgentAttrs::reference(), std::iter::empty()).collect();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].end, None);
+        assert_eq!(segs[0].from, Vec2::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_bad_attrs() {
+        let mut a = AgentAttrs::reference();
+        a.tau = Ratio::zero();
+        assert!(a.validate().is_err());
+        let mut b = AgentAttrs::reference();
+        b.speed = ratio(-1, 1);
+        assert!(b.validate().is_err());
+        let mut c = AgentAttrs::reference();
+        c.wake = ratio(-1, 1);
+        assert!(c.validate().is_err());
+        assert!(AgentAttrs::reference().validate().is_ok());
+    }
+}

@@ -1,0 +1,345 @@
+//! Programs as lazy instruction streams, and the combinators Algorithm 1
+//! needs: frame rotation, exact truncation by local time, backtracking,
+//! and slice-with-waits interleaving.
+//!
+//! A program is any `Iterator<Item = Instr>`. Rendezvous programs are
+//! conceptually infinite (they run until the other agent is seen), so all
+//! adapters are lazy; materialization happens only where Algorithm 1
+//! itself requires a recorded path (lines 11–12 and 19–20).
+
+use crate::instr::Instr;
+use rv_geometry::Angle;
+use rv_numeric::Ratio;
+
+/// Boxed program type used at crate boundaries.
+pub type BoxProgram = Box<dyn Iterator<Item = Instr> + Send>;
+
+/// Rotates every `go` of `prog` into the local system `Rot(alpha)`.
+pub fn rotated<P>(prog: P, alpha: Angle) -> impl Iterator<Item = Instr> + Send
+where
+    P: Iterator<Item = Instr> + Send,
+{
+    prog.map(move |i| i.rotated(&alpha))
+}
+
+/// Truncates `prog` to exactly `total` local time units, splitting the
+/// final instruction if it straddles the cut (Algorithm 1 line 10:
+/// *"execute Latecomers during time 2^i"*).
+pub fn take_local_time<P>(prog: P, total: Ratio) -> TakeLocalTime<P>
+where
+    P: Iterator<Item = Instr>,
+{
+    TakeLocalTime {
+        inner: prog,
+        remaining: total,
+    }
+}
+
+/// Iterator adapter for [`take_local_time`].
+pub struct TakeLocalTime<P> {
+    inner: P,
+    remaining: Ratio,
+}
+
+impl<P: Iterator<Item = Instr>> Iterator for TakeLocalTime<P> {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        if !self.remaining.is_positive() {
+            return None;
+        }
+        loop {
+            let instr = self.inner.next()?;
+            if instr.is_empty() {
+                continue;
+            }
+            let dur = instr.local_duration().clone();
+            if dur <= self.remaining {
+                self.remaining -= &dur;
+                return Some(instr);
+            }
+            let (head, _) = instr.split_at(&self.remaining.clone());
+            self.remaining = Ratio::zero();
+            return Some(head);
+        }
+    }
+}
+
+/// The backtrack of a recorded path: the `go` moves in reverse order with
+/// opposite directions; waits are dropped. Retraces the polyline back to
+/// its starting point (Algorithm 1 lines 12 and 20).
+pub fn backtrack(path: &[Instr]) -> Vec<Instr> {
+    path.iter()
+        .rev()
+        .filter(|i| matches!(i, Instr::Go { .. }) && !i.is_empty())
+        .map(Instr::reversed)
+        .collect()
+}
+
+/// Materializes Algorithm 1's lines 17–20 for an arbitrary base procedure:
+/// takes the first `n_slices · slice` local time of `prog` as segments
+/// `S_1 … S_n` (each of local duration `slice`), interleaves `wait(pause)`
+/// after every segment, and appends the backtrack of the traversed path.
+pub fn slice_interleave_backtrack<P>(
+    prog: P,
+    slice: &Ratio,
+    pause: &Ratio,
+    n_slices: u64,
+) -> Vec<Instr>
+where
+    P: Iterator<Item = Instr>,
+{
+    assert!(slice.is_positive(), "slice duration must be positive");
+    let total = slice * &Ratio::from_int(n_slices as i64);
+    let path: Vec<Instr> = take_local_time(prog, total.clone()).collect();
+
+    let mut out = Vec::with_capacity(path.len() + 2 * n_slices as usize);
+    let mut elapsed_in_slice = Ratio::zero();
+    let mut slices_done = 0u64;
+    let mut queue: std::collections::VecDeque<Instr> = path.clone().into();
+
+    while let Some(instr) = queue.pop_front() {
+        if instr.is_empty() {
+            continue;
+        }
+        let room = slice - &elapsed_in_slice;
+        let dur = instr.local_duration().clone();
+        if dur <= room {
+            elapsed_in_slice += &dur;
+            let fills_slice = elapsed_in_slice == *slice;
+            out.push(instr);
+            if fills_slice {
+                out.push(Instr::wait(pause.clone()));
+                slices_done += 1;
+                elapsed_in_slice = Ratio::zero();
+            }
+        } else {
+            let (head, tail) = instr.split_at(&room);
+            out.push(head);
+            out.push(Instr::wait(pause.clone()));
+            slices_done += 1;
+            elapsed_in_slice = Ratio::zero();
+            queue.push_front(tail);
+        }
+    }
+    // If the base program ended early, honour the remaining slice waits so
+    // the schedule length stays deterministic.
+    while slices_done < n_slices {
+        out.push(Instr::wait(pause.clone()));
+        slices_done += 1;
+    }
+    out.extend(backtrack(&path));
+    out
+}
+
+/// A program built on first use; keeps phase construction lazy inside
+/// `flat_map` chains.
+pub struct Lazy<F, I> {
+    state: LazyState<F, I>,
+}
+
+enum LazyState<F, I> {
+    Pending(Option<F>),
+    Built(I),
+}
+
+/// Defers `f()` until the first `next()` call.
+pub fn lazy<F, I>(f: F) -> Lazy<F, I>
+where
+    F: FnOnce() -> I,
+    I: Iterator<Item = Instr>,
+{
+    Lazy {
+        state: LazyState::Pending(Some(f)),
+    }
+}
+
+impl<F, I> Iterator for Lazy<F, I>
+where
+    F: FnOnce() -> I,
+    I: Iterator<Item = Instr>,
+{
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        loop {
+            match &mut self.state {
+                LazyState::Built(it) => return it.next(),
+                LazyState::Pending(f) => {
+                    let f = f.take().expect("lazy program polled twice during build");
+                    self.state = LazyState::Built(f());
+                }
+            }
+        }
+    }
+}
+
+/// Total local duration of a finite instruction sequence.
+pub fn total_local_time(path: &[Instr]) -> Ratio {
+    let mut acc = Ratio::zero();
+    for i in path {
+        acc += i.local_duration();
+    }
+    acc
+}
+
+/// Net local displacement of a finite instruction sequence (f64).
+pub fn net_local_displacement(path: &[Instr]) -> rv_geometry::Vec2 {
+    let mut acc = rv_geometry::Vec2::ZERO;
+    for i in path {
+        acc += i.local_displacement();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_geometry::{Compass, Vec2};
+    use rv_numeric::ratio;
+
+    fn square_path() -> Vec<Instr> {
+        vec![
+            Instr::go(Compass::East, ratio(2, 1)),
+            Instr::go(Compass::North, ratio(2, 1)),
+            Instr::go(Compass::West, ratio(2, 1)),
+            Instr::go(Compass::South, ratio(2, 1)),
+        ]
+    }
+
+    #[test]
+    fn take_local_time_exact_boundary() {
+        let taken: Vec<_> =
+            take_local_time(square_path().into_iter(), ratio(4, 1)).collect();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(total_local_time(&taken), ratio(4, 1));
+    }
+
+    #[test]
+    fn take_local_time_splits_mid_instruction() {
+        let taken: Vec<_> =
+            take_local_time(square_path().into_iter(), ratio(3, 1)).collect();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[1], Instr::go(Compass::North, ratio(1, 1)));
+        assert_eq!(total_local_time(&taken), ratio(3, 1));
+    }
+
+    #[test]
+    fn take_local_time_of_short_program() {
+        let taken: Vec<_> =
+            take_local_time(square_path().into_iter(), ratio(100, 1)).collect();
+        assert_eq!(taken.len(), 4);
+        assert_eq!(total_local_time(&taken), ratio(8, 1));
+    }
+
+    #[test]
+    fn take_local_time_skips_empty_instrs() {
+        let prog = vec![
+            Instr::wait(Ratio::zero()),
+            Instr::go(Compass::East, ratio(1, 1)),
+        ];
+        let taken: Vec<_> = take_local_time(prog.into_iter(), ratio(1, 2)).collect();
+        assert_eq!(taken, vec![Instr::go(Compass::East, ratio(1, 2))]);
+    }
+
+    #[test]
+    fn backtrack_cancels_displacement() {
+        let path = vec![
+            Instr::go(Compass::East, ratio(3, 1)),
+            Instr::wait(ratio(5, 1)),
+            Instr::go(Compass::North, ratio(1, 2)),
+        ];
+        let back = backtrack(&path);
+        assert_eq!(back.len(), 2); // wait dropped
+        let mut all = path.clone();
+        all.extend(back);
+        assert_eq!(net_local_displacement(&all), Vec2::ZERO);
+    }
+
+    #[test]
+    fn backtrack_reverses_order() {
+        let path = vec![
+            Instr::go(Compass::East, ratio(1, 1)),
+            Instr::go(Compass::North, ratio(2, 1)),
+        ];
+        let back = backtrack(&path);
+        assert_eq!(back[0], Instr::go(Compass::South, ratio(2, 1)));
+        assert_eq!(back[1], Instr::go(Compass::West, ratio(1, 1)));
+    }
+
+    #[test]
+    fn rotated_keeps_waits() {
+        let prog = vec![
+            Instr::go(Compass::East, ratio(1, 1)),
+            Instr::wait(ratio(2, 1)),
+        ];
+        let rot: Vec<_> = rotated(prog.into_iter(), Angle::quarter()).collect();
+        assert_eq!(rot[0], Instr::go(Compass::North, ratio(1, 1)));
+        assert_eq!(rot[1], Instr::wait(ratio(2, 1)));
+    }
+
+    #[test]
+    fn slice_interleave_structure() {
+        // 4 local units of walking sliced into 4 slices of 1, pause 10.
+        let out = slice_interleave_backtrack(
+            square_path().into_iter().take(2),
+            &ratio(1, 1),
+            &ratio(10, 1),
+            4,
+        );
+        // Each Go(2) splits into two Go(1) slices; 4 waits inserted; then
+        // backtrack of the 2 moves (as recorded, unsplit).
+        let waits = out
+            .iter()
+            .filter(|i| matches!(i, Instr::Wait { .. }))
+            .count();
+        assert_eq!(waits, 4);
+        // Net displacement must cancel (path + backtrack).
+        assert_eq!(net_local_displacement(&out), Vec2::ZERO);
+        // Moving time doubles the sliced time (path + backtrack).
+        let move_time: Ratio = out
+            .iter()
+            .filter(|i| matches!(i, Instr::Go { .. }))
+            .fold(Ratio::zero(), |acc, i| &acc + i.local_duration());
+        assert_eq!(move_time, ratio(8, 1));
+    }
+
+    #[test]
+    fn slice_interleave_handles_misaligned_moves() {
+        // A single go(3) sliced into 3 slices of 1: split twice.
+        let prog = vec![Instr::go(Compass::East, ratio(3, 1))];
+        let out = slice_interleave_backtrack(prog.into_iter(), &ratio(1, 1), &ratio(5, 1), 3);
+        let gos: Vec<_> = out
+            .iter()
+            .filter(|i| matches!(i, Instr::Go { .. }))
+            .collect();
+        // 3 forward slices + 1 backtrack move.
+        assert_eq!(gos.len(), 4);
+        assert_eq!(net_local_displacement(&out), Vec2::ZERO);
+    }
+
+    #[test]
+    fn slice_interleave_pads_short_programs() {
+        let prog = vec![Instr::go(Compass::East, ratio(1, 1))];
+        let out = slice_interleave_backtrack(prog.into_iter(), &ratio(1, 1), &ratio(7, 1), 5);
+        let waits = out
+            .iter()
+            .filter(|i| matches!(i, Instr::Wait { .. }))
+            .count();
+        assert_eq!(waits, 5);
+    }
+
+    #[test]
+    fn lazy_defers_construction() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static BUILT: AtomicBool = AtomicBool::new(false);
+        let mut p = lazy(|| {
+            BUILT.store(true, Ordering::SeqCst);
+            std::iter::once(Instr::wait(ratio(1, 1)))
+        });
+        assert!(!BUILT.load(Ordering::SeqCst));
+        assert!(p.next().is_some());
+        assert!(BUILT.load(Ordering::SeqCst));
+        assert!(p.next().is_none());
+    }
+}

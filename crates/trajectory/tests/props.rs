@@ -1,0 +1,129 @@
+//! Property tests for `rv-trajectory`: combinator laws and kinematic
+//! invariants over randomized programs and agent attributes.
+
+use proptest::prelude::*;
+use rv_geometry::{Angle, Chirality, Vec2};
+use rv_numeric::Ratio;
+use rv_trajectory::{
+    backtrack, net_local_displacement, rotated, slice_interleave_backtrack, take_local_time,
+    total_local_time, AgentAttrs, Instr, Motion,
+};
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        ((-32i64..32), (1i64..32), (0i64..64), (1i64..16)).prop_map(|(p, q, dp, dq)| {
+            Instr::go_angle(Angle::pi_frac(p, q), Ratio::frac(dp, dq))
+        }),
+        ((0i64..64), (1i64..16)).prop_map(|(p, q)| Instr::wait(Ratio::frac(p, q))),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Instr>> {
+    proptest::collection::vec(instr_strategy(), 1..20)
+}
+
+fn attrs_strategy() -> impl Strategy<Value = AgentAttrs> {
+    (
+        (-8.0f64..8.0),
+        (-8.0f64..8.0),
+        (-16i64..16, 1i64..16),
+        (1i64..6, 1i64..6),
+        (1i64..6, 1i64..6),
+        (0i64..8, 1i64..4),
+        any::<bool>(),
+    )
+        .prop_map(|(x, y, (pp, pq), (tp, tq), (vp, vq), (wp, wq), plus)| AgentAttrs {
+            origin: Vec2::new(x, y),
+            phi: Angle::pi_frac(pp, pq),
+            chi: if plus { Chirality::Plus } else { Chirality::Minus },
+            tau: Ratio::frac(tp, tq),
+            speed: Ratio::frac(vp, vq),
+            wake: Ratio::frac(wp, wq),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn take_local_time_never_exceeds_budget(prog in program_strategy(),
+                                            tp in 0i64..64, tq in 1i64..8) {
+        let budget = Ratio::frac(tp, tq);
+        let taken: Vec<Instr> = take_local_time(prog.clone().into_iter(), budget.clone()).collect();
+        let total = total_local_time(&taken);
+        prop_assert!(total <= budget);
+        // And it is exact when the program is long enough.
+        let full = total_local_time(&prog);
+        if full >= budget {
+            prop_assert_eq!(total, budget);
+        } else {
+            prop_assert_eq!(total, full);
+        }
+    }
+
+    #[test]
+    fn backtrack_cancels_exactly(prog in program_strategy()) {
+        let back = backtrack(&prog);
+        let mut all = prog.clone();
+        all.extend(back);
+        let net = net_local_displacement(&all);
+        prop_assert!(net.norm() < 1e-9, "net {net:?}");
+    }
+
+    #[test]
+    fn rotation_preserves_durations_and_net_norm(prog in program_strategy(),
+                                                 ap in -32i64..32, aq in 1i64..16) {
+        let alpha = Angle::pi_frac(ap, aq);
+        let rot: Vec<Instr> = rotated(prog.clone().into_iter(), alpha).collect();
+        prop_assert_eq!(total_local_time(&rot), total_local_time(&prog));
+        let n0 = net_local_displacement(&prog).norm();
+        let n1 = net_local_displacement(&rot).norm();
+        prop_assert!((n0 - n1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slice_interleave_preserves_move_structure(prog in program_strategy(),
+                                                 n in 1u64..6) {
+        let slice = Ratio::frac(1, 2);
+        let pause = Ratio::frac(5, 1);
+        let out = slice_interleave_backtrack(prog.clone().into_iter(), &slice, &pause, n);
+        // Net displacement cancels (path + backtrack).
+        prop_assert!(net_local_displacement(&out).norm() < 1e-9);
+        // Pause count is exactly n.
+        let pauses = out
+            .iter()
+            .filter(|i| matches!(i, Instr::Wait { dur } if *dur == pause))
+            .count() as u64;
+        prop_assert!(pauses >= n);
+    }
+
+    #[test]
+    fn motion_segments_are_contiguous(prog in program_strategy(), attrs in attrs_strategy()) {
+        let segs: Vec<_> = Motion::new(attrs.clone(), prog.into_iter()).collect();
+        prop_assert!(!segs.is_empty());
+        // First segment starts at 0 and the last is the eternal halt.
+        prop_assert!(segs[0].start.is_zero());
+        prop_assert!(segs.last().unwrap().end.is_none());
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].end.as_ref(), Some(&w[1].start));
+        }
+    }
+
+    #[test]
+    fn motion_duration_scales_with_tau(prog in program_strategy(), attrs in attrs_strategy()) {
+        // Total busy time = total local time × τ (plus the wake offset).
+        let segs: Vec<_> = Motion::new(attrs.clone(), prog.clone().into_iter()).collect();
+        let halt_start = &segs.last().unwrap().start;
+        let expected = &(&total_local_time(&prog) * &attrs.tau) + &attrs.wake;
+        prop_assert_eq!(halt_start.clone(), expected);
+    }
+
+    #[test]
+    fn motion_respects_speed_limit(prog in program_strategy(), attrs in attrs_strategy()) {
+        let speed = attrs.speed.to_f64();
+        for seg in Motion::new(attrs, prog.into_iter()).take(50) {
+            let v = seg.vel.norm();
+            prop_assert!(v <= speed + 1e-9, "vel {v} exceeds speed {speed}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The knife edge: what happens exactly on the feasibility boundary.
+//!
+//! Section 4 of the paper shows the exception sets `S1` and `S2`
+//! (instances with `t` *exactly* equal to `dist − r` resp.
+//! `dist(proj) − r`) are feasible but cannot all be handled by any single
+//! algorithm. This example demonstrates all three facets on concrete
+//! instances:
+//!
+//! 1. the dedicated algorithms meet them at distance exactly `r`;
+//! 2. `AlmostUniversalRV` creeps toward `r` but never gets strictly inside;
+//! 3. a hair of extra delay flips the instance into AUR's guaranteed set.
+//!
+//! ```text
+//! cargo run --release --example boundary_cases
+//! ```
+
+use plane_rendezvous::core::solve_dedicated;
+use plane_rendezvous::prelude::*;
+
+fn main() {
+    // --- S1: shifted frames, dist = 5·(5/4) = 25/4, r = 25/16. ---------
+    // Direction atan(4/3) is an irrational multiple of π (Niven), so no
+    // dyadic search direction of AUR ever aligns exactly.
+    let s = ratio(5, 4);
+    let dist = &ratio(5, 1) * &s;
+    let r = &dist * &ratio(1, 4);
+    let s1 = Instance::builder()
+        .position(&ratio(3, 1) * &s, &ratio(4, 1) * &s)
+        .r(r.clone())
+        .delay(&dist - &r)
+        .build()
+        .unwrap();
+    println!("S1 boundary instance: {s1}");
+    println!("  classification: {}", classify(&s1));
+
+    let ded = solve_dedicated(&s1, &Budget::default());
+    let m = ded.meeting().expect("dedicated beeline meets S1");
+    println!(
+        "  dedicated beeline : met at t = {:.4}, distance/r = {:.9}",
+        m.time.to_f64(),
+        m.dist / s1.r.to_f64()
+    );
+
+    let mut strict = Budget::default().segments(400_000);
+    strict.detection_slack = -1e-9; // only count strictly-inside crossings
+    let aur = solve(&s1, &strict);
+    println!(
+        "  AlmostUniversalRV : {} — closest approach r·(1 + {:.3e})",
+        if aur.met() { "met" } else { "no meet" },
+        aur.min_dist / s1.r.to_f64() - 1.0
+    );
+
+    // --- S2: mirrored frames, projection distance 4, r = 1, t = 3. -----
+    let s2 = Instance::builder()
+        .position(ratio(4, 1), ratio(2, 3)) // offset 1/3 is non-dyadic
+        .chirality(Chirality::Minus)
+        .r(ratio(1, 1))
+        .delay(ratio(3, 1))
+        .build()
+        .unwrap();
+    println!("\nS2 boundary instance: {s2}");
+    println!("  classification: {}", classify(&s2));
+
+    let ded = solve_dedicated(&s2, &Budget::default());
+    let m = ded.meeting().expect("dedicated march meets S2");
+    println!(
+        "  dedicated march   : met at t = {:.4}, distance/r = {:.9}",
+        m.time.to_f64(),
+        m.dist / s2.r.to_f64()
+    );
+
+    let aur = solve(&s2, &strict);
+    println!(
+        "  AlmostUniversalRV : {} — closest approach r·(1 + {:.3e})",
+        if aur.met() { "met" } else { "no meet" },
+        aur.min_dist / s2.r.to_f64() - 1.0
+    );
+
+    // --- A hair above the boundary: AUR is guaranteed again. -----------
+    let eps = Ratio::pow2(-6); // 1/64 extra delay
+    let above = Instance {
+        t: &s2.t + &eps,
+        ..s2.clone()
+    };
+    println!("\nSame instance with t + 1/64: {}", classify(&above));
+    let report = solve(&above, &Budget::default());
+    match report.meeting() {
+        Some(m) => println!(
+            "  AlmostUniversalRV : met at t = {:.4} (type-1 mechanism)",
+            m.time.to_f64()
+        ),
+        None => println!("  AlmostUniversalRV : no meet within budget (increase it)"),
+    }
+
+    // --- And a hair below: infeasible for every algorithm. -------------
+    let below = Instance {
+        t: &s2.t - &eps,
+        ..s2.clone()
+    };
+    println!("\nSame instance with t − 1/64: {}", classify(&below));
+    let report = solve(&below, &Budget::default().segments(200_000));
+    println!(
+        "  AlmostUniversalRV : {} — min distance/r = {:.6} (provably ≥ 1)",
+        if report.met() { "met (?!)" } else { "no meet" },
+        report.min_dist / below.r.to_f64()
+    );
+}

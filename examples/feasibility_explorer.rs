@@ -1,0 +1,121 @@
+//! Feasibility explorer: an ASCII map of the Theorem 3.1 characterization
+//! over the (delay, position) plane, plus a tour of the taxonomy.
+//!
+//! ```text
+//! cargo run --release --example feasibility_explorer
+//! ```
+
+use plane_rendezvous::prelude::*;
+
+fn cell(class: Classification) -> char {
+    match class {
+        Classification::Trivial => '·',
+        Classification::Type1 => '1',
+        Classification::Type2 => '2',
+        Classification::Type3 => '3',
+        Classification::Type4 => '4',
+        Classification::ExceptionS1 => 'S',
+        Classification::ExceptionS2 => 'Z',
+        Classification::Infeasible => '#',
+    }
+}
+
+fn main() {
+    println!("Feasibility map for synchronous shifted frames (χ=+1, φ=0, r=1):");
+    println!("rows: delay t = 0..10 (top to bottom); cols: x = 0..12");
+    println!("legend: 2=type 2, S=exception S1, #=infeasible, ·=trivial\n");
+
+    for t in 0..=10i64 {
+        let mut row = String::new();
+        for x in 0..=12i64 {
+            let inst = Instance::builder()
+                .position(ratio(x, 1), ratio(0, 1))
+                .delay(ratio(t, 1))
+                .build()
+                .unwrap();
+            row.push(cell(classify(&inst)));
+            row.push(' ');
+        }
+        println!("t={t:>2}  {row}");
+    }
+
+    println!("\nSame map with opposite chirality (χ=−1): boundary moves to the");
+    println!("projection distance (1=type 1, Z=exception S2):\n");
+    for t in 0..=10i64 {
+        let mut row = String::new();
+        for x in 0..=12i64 {
+            let inst = Instance::builder()
+                .position(ratio(x, 1), ratio(0, 1))
+                .chirality(Chirality::Minus)
+                .delay(ratio(t, 1))
+                .build()
+                .unwrap();
+            row.push(cell(classify(&inst)));
+            row.push(' ');
+        }
+        println!("t={t:>2}  {row}");
+    }
+
+    // A taxonomy tour: one instance per class, with its AUR verdict.
+    println!("\nTaxonomy tour (budgeted AUR run on each):");
+    let examples: Vec<(&str, Instance)> = vec![
+        (
+            "type 1 (mirrored, generous delay)",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(1, 1))
+                .chirality(Chirality::Minus)
+                .delay(ratio(5, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type 2 (shifted, generous delay)",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .delay(ratio(3, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type 3 (B's clock runs at τ = 2)",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .tau(ratio(2, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type 4 (B moves at speed v = 2)",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .speed(ratio(2, 1))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "type 4 (frames rotated by φ = π/2)",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .phi(Angle::quarter())
+                .build()
+                .unwrap(),
+        ),
+        (
+            "infeasible (synchronous, identical frames, t = 0)",
+            Instance::builder()
+                .position(ratio(3, 1), ratio(0, 1))
+                .build()
+                .unwrap(),
+        ),
+    ];
+    let budget = Budget::default().segments(500_000);
+    for (name, inst) in examples {
+        let class = classify(&inst);
+        let report = solve(&inst, &budget);
+        let verdict = match report.meeting() {
+            Some(m) => format!("met at t = {:.3}", m.time.to_f64()),
+            None => format!("no meet (closest {:.3})", report.min_dist),
+        };
+        println!("  {name:<52} [{class}] → {verdict}");
+    }
+}

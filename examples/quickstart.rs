@@ -1,0 +1,51 @@
+//! Quickstart: build an instance, classify it, run `AlmostUniversalRV`.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use plane_rendezvous::prelude::*;
+
+fn main() {
+    // Two anonymous agents. Agent B starts at (3, 1) in A's coordinates,
+    // has the opposite chirality, and wakes up 8 time units after A.
+    // Clock rates and speeds agree (a "synchronous" instance).
+    let instance = Instance::builder()
+        .r(ratio(1, 1)) // visibility radius
+        .position(ratio(3, 1), ratio(1, 1))
+        .chirality(Chirality::Minus)
+        .delay(ratio(8, 1))
+        .build()
+        .expect("valid instance");
+
+    // Where does it fall in the paper's taxonomy?
+    let class = classify(&instance);
+    println!("instance      : {instance}");
+    println!("classification: {class}");
+    println!("feasible      : {}", feasible(&instance));
+    println!("AUR-guaranteed: {}", class.aur_guaranteed());
+
+    // Both agents run the same deterministic algorithm — Algorithm 1 of
+    // the paper — each interpreting it in its own private frame.
+    let report = solve(&instance, &Budget::default());
+    match report.outcome {
+        Outcome::Met(ref m) => {
+            println!("rendezvous at t = {:.4}", m.time.to_f64());
+            println!("  agent A at {:?}", m.pos_a);
+            println!("  agent B at {:?}", m.pos_b);
+            println!("  distance {:.6} ≤ r = {}", m.dist, instance.r);
+        }
+        Outcome::Budget(reason) => {
+            println!("no rendezvous within budget ({reason:?})");
+            println!("closest approach: {:.6}", report.min_dist);
+        }
+    }
+    println!("motion segments processed: {}", report.segments);
+
+    // The dedicated (instance-aware) algorithm from Theorem 3.1's
+    // constructive proof is usually much faster:
+    let dedicated = solve_dedicated(&instance, &Budget::default());
+    if let Some(m) = dedicated.meeting() {
+        println!("dedicated algorithm meets at t = {:.4}", m.time.to_f64());
+    }
+}

@@ -1,0 +1,129 @@
+//! Search-procedure gallery: writes SVG trajectories of every walk the
+//! paper uses — `LinearCowWalk`, `PlanarCowWalk`, the reconstructed
+//! `CGKK` and `Latecomers`, and one full `AlmostUniversalRV` phase.
+//!
+//! ```text
+//! cargo run --release --example search_gallery [out_dir]
+//! ```
+
+use plane_rendezvous::baselines::{cgkk, latecomers, linear_cow_walk, planar_cow_walk};
+use plane_rendezvous::core::aur_phase;
+use plane_rendezvous::trajectory::{AgentAttrs, Instr, Motion};
+use std::fmt::Write as _;
+
+/// Collects the polyline of a program's first `max_segs` move segments.
+fn polyline<P: Iterator<Item = Instr>>(prog: P, max_segs: usize) -> Vec<(f64, f64)> {
+    let mut pts = vec![(0.0, 0.0)];
+    for seg in Motion::new(AgentAttrs::reference(), prog).take(max_segs) {
+        match &seg.end {
+            None => break,
+            Some(end) => {
+                let dur = (end - &seg.start).to_f64();
+                let p = seg.pos_at_offset(dur);
+                if pts.last() != Some(&(p.x, p.y)) {
+                    pts.push((p.x, p.y));
+                }
+            }
+        }
+    }
+    pts
+}
+
+/// Renders a single trajectory as a standalone SVG.
+fn svg(title: &str, pts: &[(f64, f64)]) -> String {
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let half = ((x1 - x0).max(y1 - y0) / 2.0).max(0.5);
+    let (cx, cy) = ((x0 + x1) / 2.0, (y0 + y1) / 2.0);
+    let scale = 260.0 / half;
+    let sx = |x: f64| 300.0 + (x - cx) * scale;
+    let sy = |y: f64| 300.0 - (y - cy) * scale;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="600" height="600" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r#"<rect width="600" height="600" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="300" y="24" text-anchor="middle" font-size="15">{title}</text>"#
+    );
+    let path: Vec<String> = pts
+        .iter()
+        .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+        .collect();
+    let _ = writeln!(
+        out,
+        r##"<polyline points="{}" fill="none" stroke="#1f77b4" stroke-width="1"/>"##,
+        path.join(" ")
+    );
+    let _ = writeln!(
+        out,
+        r##"<circle cx="{:.2}" cy="{:.2}" r="5" fill="#d62728"/>"##,
+        sx(pts[0].0),
+        sy(pts[0].1)
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/gallery".into());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let walks: Vec<(&str, Vec<(f64, f64)>)> = vec![
+        (
+            "linear_cow_walk_3.svg",
+            polyline(linear_cow_walk(3), 10_000),
+        ),
+        (
+            "planar_cow_walk_2.svg",
+            polyline(planar_cow_walk(2), 10_000),
+        ),
+        ("cgkk_prefix.svg", polyline(cgkk(), 4_000)),
+        ("latecomers_prefix.svg", polyline(latecomers(), 200)),
+        ("aur_phase_1.svg", polyline(aur_phase(1), 10_000)),
+        (
+            "aur_phase_2_prefix.svg",
+            polyline(aur_phase(2), 6_000),
+        ),
+    ];
+
+    for (file, pts) in &walks {
+        let title = file.trim_end_matches(".svg").replace('_', " ");
+        let content = svg(&title, pts);
+        let path = format!("{out_dir}/{file}");
+        std::fs::write(&path, content).expect("write svg");
+        println!("wrote {path} ({} points)", pts.len());
+    }
+
+    // A couple of headline numbers about the walks.
+    let lcw3: Vec<Instr> = linear_cow_walk(3).collect();
+    println!(
+        "\nLinearCowWalk(3): {} instructions, {} local time units",
+        lcw3.len(),
+        plane_rendezvous::trajectory::total_local_time(&lcw3)
+    );
+    let pcw2: Vec<Instr> = planar_cow_walk(2).collect();
+    println!(
+        "PlanarCowWalk(2): {} instructions, {} local time units",
+        pcw2.len(),
+        plane_rendezvous::trajectory::total_local_time(&pcw2)
+    );
+    println!(
+        "CGKK phase-1 wait: {} local time units",
+        plane_rendezvous::baselines::cgkk_wait(1)
+    );
+    println!(
+        "AUR phase durations: i=1 → {}, i=2 → {}",
+        plane_rendezvous::core::phase_duration(1),
+        plane_rendezvous::core::phase_duration(2)
+    );
+}

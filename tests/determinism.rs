@@ -1,0 +1,93 @@
+//! Determinism and reproducibility: identical inputs must yield identical
+//! simulations, and the exact scheduler must be insensitive to giant
+//! waits (the ablation-critical property).
+
+use plane_rendezvous::core::solve_pair;
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::trajectory::Instr;
+use rv_geometry::Compass;
+
+#[test]
+fn repeated_solves_are_bit_identical() {
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(1, 1))
+        .tau(ratio(2, 1))
+        .delay(ratio(1, 1))
+        .build()
+        .unwrap();
+    let budget = Budget::default().segments(300_000);
+    let a = solve(&inst, &budget);
+    let b = solve(&inst, &budget);
+    assert_eq!(a.met(), b.met());
+    assert_eq!(a.segments, b.segments);
+    assert_eq!(a.min_dist.to_bits(), b.min_dist.to_bits());
+    match (a.meeting(), b.meeting()) {
+        (Some(ma), Some(mb)) => {
+            assert_eq!(ma.time.to_f64().to_bits(), mb.time.to_f64().to_bits());
+            assert_eq!(ma.pos_a, mb.pos_a);
+        }
+        (None, None) => {}
+        _ => panic!("outcomes diverged"),
+    }
+}
+
+#[test]
+fn generated_workloads_are_reproducible() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rv_model::{generate, TargetClass};
+
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(12345);
+        (0..20)
+            .map(|_| generate(&mut rng, TargetClass::Type3).to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn giant_wait_does_not_perturb_subsequent_schedule() {
+    // Two programs identical except for a 2^300 wait in the middle; the
+    // post-wait meeting must happen exactly 2^300 later — event ordering
+    // survives (an f64 scheduler would collapse it; see the ablation
+    // bench).
+    let inst = Instance::builder()
+        .position(ratio(10, 1), ratio(0, 1))
+        .build()
+        .unwrap();
+    let budget = Budget::default().segments(1_000);
+
+    let walk = vec![Instr::go(Compass::East, ratio(20, 1))];
+    let plain = solve_pair(
+        &inst,
+        walk.clone().into_iter(),
+        std::iter::empty(),
+        &budget,
+    );
+    let t_plain = plain.meeting().expect("meets").time.to_ratio();
+
+    let delayed = vec![
+        Instr::wait(Ratio::pow2(300)),
+        Instr::go(Compass::East, ratio(20, 1)),
+    ];
+    let shifted = solve_pair(&inst, delayed.into_iter(), std::iter::empty(), &budget);
+    let t_shifted = shifted.meeting().expect("meets").time.to_ratio();
+
+    let diff = &t_shifted - &t_plain;
+    assert_eq!(diff, Ratio::pow2(300), "wait must shift the meet exactly");
+}
+
+#[test]
+fn simulation_time_is_independent_of_budget_slack() {
+    // Increasing the budget must not change the outcome of a meeting run.
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(0, 1))
+        .tau(ratio(2, 1))
+        .build()
+        .unwrap();
+    let small = solve(&inst, &Budget::default().segments(200_000));
+    let large = solve(&inst, &Budget::default().segments(2_000_000));
+    let (ms, ml) = (small.meeting().unwrap(), large.meeting().unwrap());
+    assert_eq!(ms.time.to_f64().to_bits(), ml.time.to_f64().to_bits());
+}

@@ -1,0 +1,203 @@
+//! Cross-crate end-to-end tests: Theorem 3.2 on concrete instances of all
+//! four types, the dedicated algorithms on the boundary sets, and the
+//! impossibility invariants on infeasible instances.
+
+use plane_rendezvous::core::solve_dedicated;
+use plane_rendezvous::prelude::*;
+
+fn budget(segments: u64) -> Budget {
+    Budget::default().segments(segments)
+}
+
+#[test]
+fn aur_meets_type1() {
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(1, 1))
+        .chirality(Chirality::Minus)
+        .delay(ratio(5, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type1);
+    let report = solve(&inst, &budget(200_000));
+    assert!(report.met(), "type 1 must meet: {}", report.outcome);
+}
+
+#[test]
+fn aur_meets_type2() {
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(0, 1))
+        .delay(ratio(3, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type2);
+    let report = solve(&inst, &budget(200_000));
+    assert!(report.met(), "type 2 must meet: {}", report.outcome);
+}
+
+#[test]
+fn aur_meets_type3() {
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(0, 1))
+        .tau(ratio(2, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type3);
+    let report = solve(&inst, &budget(200_000));
+    assert!(report.met(), "type 3 must meet: {}", report.outcome);
+}
+
+#[test]
+fn aur_meets_type4_speed() {
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(0, 1))
+        .speed(ratio(2, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type4);
+    let report = solve(&inst, &budget(400_000));
+    assert!(report.met(), "type 4 (speed) must meet: {}", report.outcome);
+}
+
+#[test]
+fn aur_meets_type4_rotation() {
+    let inst = Instance::builder()
+        .position(ratio(4, 1), ratio(0, 1))
+        .phi(Angle::half())
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type4);
+    let report = solve(&inst, &budget(200_000));
+    assert!(report.met(), "type 4 (rotation) must meet: {}", report.outcome);
+    // The meeting is governed by the similarity fixed point at (2, 0):
+    // both agents must be within (1+v)/2·r… of it; sanity-check proximity.
+    let m = report.meeting().unwrap();
+    let c = plane_rendezvous::geometry::Vec2::new(2.0, 0.0);
+    assert!(m.pos_a.dist(c) < 1.5, "A near fixed point, got {:?}", m.pos_a);
+}
+
+#[test]
+fn aur_meets_mirrored_rotated_type1() {
+    // χ = −1 with φ ≠ 0 exercises the canonical-line machinery off-axis.
+    let inst = Instance::builder()
+        .position(ratio(2, 1), ratio(2, 1))
+        .phi(Angle::quarter())
+        .chirality(Chirality::Minus)
+        .delay(ratio(4, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type1);
+    let report = solve(&inst, &budget(400_000));
+    assert!(report.met(), "rotated type 1 must meet: {}", report.outcome);
+}
+
+#[test]
+fn infeasible_shift_distance_is_invariant() {
+    // Synchronous, identical frames, t = 0: the displacement can never
+    // change, under AUR or any other common program.
+    let inst = Instance::builder()
+        .position(ratio(6, 1), ratio(8, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Infeasible);
+    let report = solve(&inst, &budget(60_000));
+    assert!(!report.met());
+    assert!(
+        (report.min_dist - 10.0).abs() < 1e-9,
+        "distance must stay exactly 10, got min {}",
+        report.min_dist
+    );
+}
+
+#[test]
+fn infeasible_mirror_never_below_radius() {
+    // χ = −1 with t < dist(proj) − r: Lemma 3.9's only-if direction says
+    // the distance can never reach r.
+    let inst = Instance::builder()
+        .position(ratio(5, 1), ratio(1, 1))
+        .chirality(Chirality::Minus)
+        .delay(ratio(1, 1)) // boundary is proj−r = 4
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Infeasible);
+    let report = solve(&inst, &budget(60_000));
+    assert!(!report.met());
+    assert!(
+        report.min_dist >= inst.r.to_f64() - 1e-9,
+        "min dist {} dipped below r",
+        report.min_dist
+    );
+}
+
+#[test]
+fn dedicated_solves_every_feasible_class() {
+    let cases = [
+        Instance::builder()
+            .position(ratio(5, 1), ratio(0, 1))
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap(), // S1
+        Instance::builder()
+            .position(ratio(5, 1), ratio(0, 1))
+            .chirality(Chirality::Minus)
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap(), // S2
+        Instance::builder()
+            .position(ratio(3, 1), ratio(1, 1))
+            .chirality(Chirality::Minus)
+            .delay(ratio(5, 1))
+            .build()
+            .unwrap(), // type 1
+        Instance::builder()
+            .position(ratio(3, 1), ratio(0, 1))
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap(), // type 2
+        Instance::builder()
+            .position(ratio(3, 1), ratio(0, 1))
+            .tau(ratio(3, 1))
+            .build()
+            .unwrap(), // type 3
+    ];
+    for inst in cases {
+        assert!(feasible(&inst), "{inst}");
+        let report = solve_dedicated(&inst, &budget(400_000));
+        assert!(report.met(), "dedicated failed on {inst}: {}", report.outcome);
+    }
+}
+
+#[test]
+fn meeting_reports_are_consistent() {
+    let inst = Instance::builder()
+        .position(ratio(3, 1), ratio(0, 1))
+        .tau(ratio(2, 1))
+        .build()
+        .unwrap();
+    let report = solve(&inst, &budget(200_000));
+    let m = report.meeting().expect("meets");
+    // The recorded positions must actually be at the recorded distance.
+    assert!((m.pos_a.dist(m.pos_b) - m.dist).abs() < 1e-9);
+    // And within the (slack-adjusted) radius.
+    assert!(m.dist <= inst.r.to_f64() * (1.0 + 1e-8));
+    // min_dist can be at most the meeting distance.
+    assert!(report.min_dist <= m.dist + 1e-12);
+    assert!(report.segments > 0);
+}
+
+#[test]
+fn trivial_instances_meet_instantly_for_all_programs() {
+    let inst = Instance::builder()
+        .position(ratio(1, 2), ratio(1, 2))
+        .r(ratio(1, 1))
+        .tau(ratio(7, 3))
+        .phi(Angle::pi_frac(5, 7))
+        .chirality(Chirality::Minus)
+        .delay(ratio(9, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Trivial);
+    let report = solve(&inst, &budget(1_000));
+    assert_eq!(report.meeting_time(), Some(0.0));
+    let ded = solve_dedicated(&inst, &budget(1_000));
+    assert_eq!(ded.meeting_time(), Some(0.0));
+}

@@ -1,0 +1,118 @@
+//! Cross-crate property tests: generator/classifier agreement, soundness
+//! of rendezvous (meet ⇒ feasible), and kinematic consistency of reported
+//! meetings, over randomized instances.
+
+use plane_rendezvous::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rv_model::{generate, TargetClass};
+
+fn class_strategy() -> impl Strategy<Value = TargetClass> {
+    prop_oneof![
+        Just(TargetClass::Type1),
+        Just(TargetClass::Type2),
+        Just(TargetClass::Type3),
+        Just(TargetClass::Type4Speed),
+        Just(TargetClass::Type4Rotation),
+        Just(TargetClass::S1),
+        Just(TargetClass::S2),
+        Just(TargetClass::InfeasibleShift),
+        Just(TargetClass::InfeasibleMirror),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_instances_classify_correctly(class in class_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = generate(&mut rng, class);
+        prop_assert_eq!(classify(&inst), class.expected());
+        prop_assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn meeting_implies_feasible(seed in any::<u64>()) {
+        // Soundness: if the budgeted AUR run meets, the instance must be
+        // feasible per Theorem 3.1 (with the detection slack, boundary
+        // instances may also meet — those are feasible too).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = [
+            TargetClass::Type1,
+            TargetClass::Type3,
+            TargetClass::InfeasibleShift,
+            TargetClass::InfeasibleMirror,
+        ][(seed % 4) as usize];
+        let inst = generate(&mut rng, class);
+        let report = solve(&inst, &Budget::default().segments(60_000));
+        if report.met() {
+            prop_assert!(feasible(&inst), "met an infeasible instance: {}", inst);
+        }
+    }
+
+    #[test]
+    fn infeasible_runs_never_dip_below_radius(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = if seed % 2 == 0 {
+            TargetClass::InfeasibleShift
+        } else {
+            TargetClass::InfeasibleMirror
+        };
+        let inst = generate(&mut rng, class);
+        let report = solve(&inst, &Budget::default().segments(30_000));
+        prop_assert!(!report.met());
+        // The impossibility proofs bound the distance below by r; allow
+        // f64 position noise.
+        prop_assert!(
+            report.min_dist >= inst.r.to_f64() * (1.0 - 1e-9),
+            "min dist {} below r {} on {}",
+            report.min_dist, inst.r.to_f64(), inst
+        );
+    }
+
+    #[test]
+    fn meetings_are_kinematically_consistent(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = [
+            TargetClass::Type1,
+            TargetClass::Type2,
+            TargetClass::Type3,
+            TargetClass::Type4Speed,
+            TargetClass::Type4Rotation,
+        ][(seed % 5) as usize];
+        let inst = generate(&mut rng, class);
+        let report = solve(&inst, &Budget::default().segments(500_000));
+        if let Some(m) = report.meeting() {
+            // Reported positions agree with the reported distance…
+            prop_assert!((m.pos_a.dist(m.pos_b) - m.dist).abs() < 1e-9);
+            // …the meeting is within the (slack-adjusted) radius…
+            prop_assert!(m.dist <= inst.r.to_f64() * (1.0 + 1e-8));
+            // …agent A cannot have outrun its speed (1) since time 0…
+            let t = m.time.to_f64();
+            if t.is_finite() {
+                prop_assert!(m.pos_a.norm() <= t + 1e-6);
+            }
+            // …and the minimum distance is consistent.
+            prop_assert!(report.min_dist <= m.dist + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dedicated_meets_boundary_sets(seed in any::<u64>()) {
+        use plane_rendezvous::core::solve_dedicated;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = if seed % 2 == 0 { TargetClass::S1 } else { TargetClass::S2 };
+        let inst = generate(&mut rng, class);
+        let report = solve_dedicated(&inst, &Budget::default().segments(50_000));
+        prop_assert!(report.met(), "dedicated must meet {}", inst);
+        let m = report.meeting().unwrap();
+        // Boundary instances meet at distance exactly r (within slack).
+        prop_assert!(
+            (m.dist / inst.r.to_f64() - 1.0).abs() < 1e-6,
+            "boundary meet at {} ≠ r {}",
+            m.dist, inst.r.to_f64()
+        );
+    }
+}

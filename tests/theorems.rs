@@ -1,0 +1,213 @@
+//! Theorem-level invariants checked across crates: the Lemma 2.1 mirror
+//! symmetry, the Corollary 2.1 projection invariance, Lemma 3.1's
+//! return-to-start property, and classification consistency.
+
+use plane_rendezvous::core::{aur_phase, planar_cow_walk};
+use plane_rendezvous::geometry::{Line, Vec2};
+use plane_rendezvous::numeric::Ratio;
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::trajectory::{AgentAttrs, Instr, Motion};
+
+/// Samples an agent's position at the given absolute times.
+fn positions_at<P: Iterator<Item = Instr> + Clone>(
+    attrs: AgentAttrs,
+    prog: P,
+    times: &[Ratio],
+) -> Vec<Vec2> {
+    let mut out = Vec::with_capacity(times.len());
+    let mut motion = Motion::new(attrs, prog);
+    let mut seg = motion.next().expect("segment");
+    for t in times {
+        loop {
+            let ends_before = match &seg.end {
+                Some(end) => end < t,
+                None => false,
+            };
+            if ends_before {
+                seg = motion.next().expect("contiguous segments");
+            } else {
+                break;
+            }
+        }
+        let offset = (t - &seg.start).to_f64();
+        out.push(seg.pos_at_offset(offset));
+    }
+    out
+}
+
+/// The Lemma 2.1 transformation: shift by `u = proj_B − proj_A` composed
+/// with reflection across the canonical line.
+fn mirror_map(line: &Line, u: Vec2) -> impl Fn(Vec2) -> Vec2 + '_ {
+    move |p: Vec2| {
+        let s = line.signed_dist(p);
+        let n = line.normal();
+        p - n * (2.0 * s) + u
+    }
+}
+
+#[test]
+fn lemma_2_1_mirror_symmetry() {
+    // Synchronous, χ = −1, delay t: B's trajectory at time s+t is the
+    // mirror image (across L, shifted along it) of A's at time s.
+    for (x, y, phi) in [
+        (ratio(5, 1), ratio(1, 1), Angle::zero()),
+        (ratio(3, 1), ratio(4, 1), Angle::quarter()),
+        (ratio(-2, 1), ratio(3, 1), Angle::pi_frac(1, 3)),
+    ] {
+        let inst = Instance::builder()
+            .position(x, y)
+            .phi(phi)
+            .chirality(Chirality::Minus)
+            .delay(ratio(2, 1))
+            .build()
+            .unwrap();
+        let line = inst.canonical_line();
+        let a0 = Vec2::ZERO;
+        let b0 = inst.displacement();
+        let u = line.project(b0) - line.project(a0);
+        let map = mirror_map(&line, u);
+
+        // Common program: one full planar sweep.
+        let prog: Vec<Instr> = planar_cow_walk(2).collect();
+        let times_a: Vec<Ratio> = (0..50).map(|k| ratio(k, 3)).collect();
+        let times_b: Vec<Ratio> = times_a.iter().map(|s| s + &inst.t).collect();
+        let pos_a = positions_at(inst.agent_a(), prog.clone().into_iter(), &times_a);
+        let pos_b = positions_at(inst.agent_b(), prog.clone().into_iter(), &times_b);
+
+        for (k, (pa, pb)) in pos_a.iter().zip(&pos_b).enumerate() {
+            let mapped = map(*pa);
+            assert!(
+                mapped.dist(*pb) < 1e-9,
+                "mirror symmetry broken at sample {k}: {mapped:?} vs {pb:?} ({inst})"
+            );
+        }
+    }
+}
+
+#[test]
+fn corollary_2_1_projection_invariance() {
+    let inst = Instance::builder()
+        .position(ratio(4, 1), ratio(2, 1))
+        .phi(Angle::pi_frac(1, 2))
+        .chirality(Chirality::Minus)
+        .delay(ratio(3, 1))
+        .build()
+        .unwrap();
+    let line = inst.canonical_line();
+    let expected = line.proj_dist(Vec2::ZERO, inst.displacement());
+
+    let prog: Vec<Instr> = planar_cow_walk(2).collect();
+    let times_a: Vec<Ratio> = (0..40).map(|k| ratio(k, 2)).collect();
+    let times_b: Vec<Ratio> = times_a.iter().map(|s| s + &inst.t).collect();
+    let pos_a = positions_at(inst.agent_a(), prog.clone().into_iter(), &times_a);
+    let pos_b = positions_at(inst.agent_b(), prog.into_iter(), &times_b);
+
+    for (pa, pb) in pos_a.iter().zip(&pos_b) {
+        let d = line.proj_dist(*pa, *pb);
+        assert!(
+            (d - expected).abs() < 1e-9,
+            "projection distance must be invariant: {d} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn lemma_3_1_phase_returns_to_start() {
+    // Any agent (any attributes) executing a full AUR phase ends where it
+    // started.
+    let attrs = AgentAttrs {
+        origin: Vec2::new(3.0, -2.0),
+        phi: Angle::pi_frac(2, 5),
+        chi: Chirality::Minus,
+        tau: ratio(3, 2),
+        speed: ratio(2, 3),
+        wake: ratio(1, 1),
+    };
+    let mut last = attrs.origin;
+    for seg in Motion::new(attrs.clone(), aur_phase(1)) {
+        if let Some(end) = &seg.end {
+            let dur = (end - &seg.start).to_f64();
+            last = seg.pos_at_offset(dur);
+        } else {
+            last = seg.from;
+        }
+    }
+    assert!(
+        last.dist(attrs.origin) < 1e-6,
+        "phase must return to start, ended at {last:?}"
+    );
+}
+
+#[test]
+fn classification_matches_theorem_3_1_truth_table() {
+    // Clause-by-clause spot checks of Theorem 3.1.
+    let base = |f: &dyn Fn(plane_rendezvous::model::InstanceBuilder) -> plane_rendezvous::model::InstanceBuilder| {
+        f(Instance::builder().position(ratio(3, 1), ratio(4, 1)))
+            .build()
+            .unwrap()
+    };
+    // 1. Non-synchronous ⇒ feasible.
+    assert!(feasible(&base(&|b| b.tau(ratio(2, 1)))));
+    assert!(feasible(&base(&|b| b.speed(ratio(1, 2)))));
+    // 2a. χ=+1 ∧ φ≠0 ⇒ feasible.
+    assert!(feasible(&base(&|b| b.phi(Angle::pi_frac(1, 8)))));
+    // 2b. χ=+1 ∧ φ=0: feasible iff t ≥ dist − r = 4.
+    assert!(feasible(&base(&|b| b.delay(ratio(4, 1)))));
+    assert!(!feasible(&base(&|b| b.delay(ratio(39, 10)))));
+    // 2c. χ=−1: feasible iff t ≥ dist(proj) − r = |x| − 1 = 2.
+    assert!(feasible(&base(&|b| b
+        .chirality(Chirality::Minus)
+        .delay(ratio(2, 1)))));
+    assert!(!feasible(&base(&|b| b
+        .chirality(Chirality::Minus)
+        .delay(ratio(19, 10)))));
+}
+
+#[test]
+fn exception_sets_are_feasible_but_not_guaranteed() {
+    let s1 = Instance::builder()
+        .position(ratio(3, 1), ratio(4, 1))
+        .delay(ratio(4, 1))
+        .build()
+        .unwrap();
+    let c1 = classify(&s1);
+    assert_eq!(c1, Classification::ExceptionS1);
+    assert!(c1.feasible() && !c1.aur_guaranteed() && c1.is_exception());
+
+    let s2 = Instance::builder()
+        .position(ratio(3, 1), ratio(4, 1))
+        .chirality(Chirality::Minus)
+        .delay(ratio(2, 1))
+        .build()
+        .unwrap();
+    let c2 = classify(&s2);
+    assert_eq!(c2, Classification::ExceptionS2);
+    assert!(c2.feasible() && !c2.aur_guaranteed() && c2.is_exception());
+}
+
+#[test]
+fn h_image_preserves_class_for_type4() {
+    // Lemma 3.5's h: halve the radius, zero the delay. Type-4 instances
+    // must stay type 4 (the block-4 argument depends on it).
+    let cases = [
+        Instance::builder()
+            .position(ratio(4, 1), ratio(1, 1))
+            .speed(ratio(2, 1))
+            .delay(ratio(2, 1))
+            .build()
+            .unwrap(),
+        Instance::builder()
+            .position(ratio(4, 1), ratio(1, 1))
+            .phi(Angle::quarter())
+            .delay(ratio(1, 1))
+            .build()
+            .unwrap(),
+    ];
+    for inst in cases {
+        assert_eq!(classify(&inst), Classification::Type4);
+        let h = inst.h_image();
+        assert_eq!(classify(&h), Classification::Type4, "h({inst}) = {h}");
+        assert!(h.t.is_zero());
+        assert_eq!(&h.r * &Ratio::from_int(2), inst.r);
+    }
+}
