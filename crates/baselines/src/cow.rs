@@ -60,8 +60,7 @@ pub fn planar_cow_walk(i: u32) -> impl Iterator<Item = Instr> + Send {
             (0..reps)
                 .flat_map(move |_| {
                     let step = step.clone();
-                    std::iter::once(Instr::go(dir, step))
-                        .chain(linear_cow_walk(i))
+                    std::iter::once(Instr::go(dir, step)).chain(linear_cow_walk(i))
                 })
                 .chain(std::iter::once(Instr::go(back, span)))
         });

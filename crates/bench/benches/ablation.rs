@@ -60,5 +60,9 @@ fn bench_lazy_vs_materialized(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_exact_vs_f64_clock, bench_lazy_vs_materialized);
+criterion_group!(
+    benches,
+    bench_exact_vs_f64_clock,
+    bench_lazy_vs_materialized
+);
 criterion_main!(benches);

@@ -32,9 +32,7 @@ fn bench_angles(c: &mut Criterion) {
         let east = Angle::zero();
         b.iter(|| black_box(&east).unit())
     });
-    g.bench_function("unit_generic", |b| {
-        b.iter(|| black_box(&theta).unit())
-    });
+    g.bench_function("unit_generic", |b| b.iter(|| black_box(&theta).unit()));
     g.finish();
 }
 
@@ -43,7 +41,9 @@ fn bench_lines(c: &mut Criterion) {
     let p = Vec2::new(-4.0, 7.5);
     let q = Vec2::new(3.0, -2.0);
     let mut g = c.benchmark_group("line");
-    g.bench_function("project", |b| b.iter(|| black_box(&line).project(black_box(p))));
+    g.bench_function("project", |b| {
+        b.iter(|| black_box(&line).project(black_box(p)))
+    });
     g.bench_function("proj_dist", |b| {
         b.iter(|| black_box(&line).proj_dist(black_box(p), black_box(q)))
     });

@@ -57,9 +57,7 @@ fn bench_ratio(c: &mut Criterion) {
         let giant2 = &giant + &tick;
         bch.iter(|| black_box(&giant).cmp(black_box(&giant2)))
     });
-    g.bench_function("to_f64_small", |bch| {
-        bch.iter(|| black_box(&a).to_f64())
-    });
+    g.bench_function("to_f64_small", |bch| bch.iter(|| black_box(&a).to_f64()));
     g.bench_function("to_f64_giant", |bch| {
         bch.iter(|| black_box(&giant).to_f64())
     });

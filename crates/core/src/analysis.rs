@@ -90,9 +90,7 @@ pub fn type2_phase_bound(inst: &Instance) -> Option<u32> {
     let dist = inst.initial_dist();
     let slack = (t + r - dist).max(f64::MIN_POSITIVE);
     let mut k = 1u32;
-    while k < MAX_PHASE
-        && ((1u64 << k) as f64) < t.max(std::f64::consts::PI * t / slack)
-    {
+    while k < MAX_PHASE && ((1u64 << k) as f64) < t.max(std::f64::consts::PI * t / slack) {
         k += 1;
     }
     // Δ ≤ cumulative Latecomers time through phase k.

@@ -231,7 +231,11 @@ mod tests {
             .unwrap();
         let report = solve_dedicated(&inst, &Budget::default());
         let m = report.meeting().expect("canonical march must meet S2");
-        assert!((m.dist - 1.0).abs() < 1e-6, "meet at exactly r, got {}", m.dist);
+        assert!(
+            (m.dist - 1.0).abs() < 1e-6,
+            "meet at exactly r, got {}",
+            m.dist
+        );
     }
 
     #[test]
@@ -244,7 +248,10 @@ mod tests {
             .chirality(Chirality::Minus)
             .build()
             .unwrap();
-        assert_eq!(rv_model::classify(&inst), rv_model::Classification::ExceptionS2);
+        assert_eq!(
+            rv_model::classify(&inst),
+            rv_model::Classification::ExceptionS2
+        );
         let report = solve_dedicated(&inst, &Budget::default());
         let m = report.meeting().expect("march must meet off-axis S2");
         assert!((m.dist - 1.0).abs() < 1e-6);
@@ -261,7 +268,11 @@ mod tests {
             .build()
             .unwrap();
         let report = solve(&inst, &Budget::default().segments(100_000));
-        assert!(report.met(), "type-4 rotation should meet: {}", report.outcome);
+        assert!(
+            report.met(),
+            "type-4 rotation should meet: {}",
+            report.outcome
+        );
     }
 
     #[test]

@@ -23,9 +23,7 @@
 use rv_baselines::{cgkk, latecomers, planar_cow_walk};
 use rv_geometry::Angle;
 use rv_numeric::Ratio;
-use rv_trajectory::{
-    backtrack, lazy, rotated, slice_interleave_backtrack, take_local_time, Instr,
-};
+use rv_trajectory::{backtrack, lazy, rotated, slice_interleave_backtrack, take_local_time, Instr};
 
 /// Highest phase index the implementation will construct. Simulation
 /// budgets exhaust long before this (phase `i` costs Θ(i·2^(3i)) motion
@@ -46,10 +44,7 @@ pub fn aur_phase(i: u32) -> impl Iterator<Item = Instr> + Send {
         (1..=MAX_PHASE).contains(&i),
         "phase {i} outside 1..={MAX_PHASE}"
     );
-    block1(i)
-        .chain(block2(i))
-        .chain(block3(i))
-        .chain(block4(i))
+    block1(i).chain(block2(i)).chain(block3(i)).chain(block4(i))
 }
 
 /// Lines 5–7: `2^(i+1)` rotated planar sweeps.
@@ -135,10 +130,7 @@ mod tests {
             ] {
                 let path: Vec<Instr> = block.collect();
                 let net = net_local_displacement(&path);
-                assert!(
-                    net.dist(Vec2::ZERO) < 1e-9,
-                    "{name} phase {i} nets {net:?}"
-                );
+                assert!(net.dist(Vec2::ZERO) < 1e-9, "{name} phase {i} nets {net:?}");
             }
         }
     }

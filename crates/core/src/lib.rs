@@ -48,13 +48,16 @@ mod api;
 mod aur;
 
 pub use api::{
-    dedicated_choice, solve, solve_asymmetric, solve_dedicated, solve_pair, Budget,
-    DedicatedChoice,
+    dedicated_choice, solve, solve_asymmetric, solve_dedicated, solve_pair, Budget, DedicatedChoice,
 };
-pub use aur::{almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE};
+pub use aur::{
+    almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE,
+};
 
 // The theorem-level predicates and the search walks are part of the
 // paper-facing API surface.
 pub use rv_baselines::{linear_cow_walk, planar_cow_walk};
-pub use rv_model::{aur_guaranteed, classify, classify_with_eps, feasible, Classification, Instance};
+pub use rv_model::{
+    aur_guaranteed, classify, classify_with_eps, feasible, Classification, Instance,
+};
 pub use rv_sim::{Outcome, SimReport};

@@ -75,13 +75,10 @@ fn cmd_solve(args: &[String]) {
     let mut iter = flags.iter();
     while let Some(a) = iter.next() {
         if a == "--segments" {
-            let n = iter
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("--segments needs a number");
-                    std::process::exit(2);
-                });
+            let n = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--segments needs a number");
+                std::process::exit(2);
+            });
             budget = budget.segments(n);
         }
     }

@@ -77,8 +77,16 @@ pub fn f4(ctx: &Ctx) -> ExperimentOutput {
 /// F5: the canonical-line march of Lemma 3.9, both case orientations.
 pub fn f5(ctx: &Ctx) -> ExperimentOutput {
     let cases = [
-        ("f5a_march_ahead.svg", "proj_B ahead of the march", ratio(5, 1)),
-        ("f5b_march_behind.svg", "proj_B behind the march", ratio(-5, 1)),
+        (
+            "f5a_march_ahead.svg",
+            "proj_B ahead of the march",
+            ratio(5, 1),
+        ),
+        (
+            "f5b_march_behind.svg",
+            "proj_B behind the march",
+            ratio(-5, 1),
+        ),
     ];
     let mut artifacts = Vec::new();
     let mut rows = Table::new(["case", "outcome", "meet distance / r"]);

@@ -90,7 +90,10 @@ pub fn f10(ctx: &Ctx) -> ExperimentOutput {
             solve_pair(inst, cgkk(), cgkk(), &budget)
         });
         let aur = run_batch(&cgkk_instances, |inst| solve(inst, &budget));
-        base.iter().zip(&aur).map(|(b, a)| (b.time, a.time)).collect()
+        base.iter()
+            .zip(&aur)
+            .map(|(b, a)| (b.time, a.time))
+            .collect()
     };
 
     // Home turf of Latecomers: type-2 instances.
@@ -100,7 +103,10 @@ pub fn f10(ctx: &Ctx) -> ExperimentOutput {
             solve_pair(inst, latecomers(), latecomers(), &budget)
         });
         let aur = run_batch(&late_instances, |inst| solve(inst, &budget));
-        base.iter().zip(&aur).map(|(b, a)| (b.time, a.time)).collect()
+        base.iter()
+            .zip(&aur)
+            .map(|(b, a)| (b.time, a.time))
+            .collect()
     };
 
     type TimePairs = [(Option<f64>, Option<f64>)];
@@ -137,8 +143,17 @@ pub fn f10(ctx: &Ctx) -> ExperimentOutput {
     chart.push(Series::scatter("Latecomers instances (type 2)", s2));
     ctx.write("f10_baseline_vs_aur.svg", &chart.render());
 
-    let mut table = Table::new(["family", "baseline met", "AUR met", "median baseline", "median AUR"]);
-    for (name, pairs) in [("CGKK home turf", &cgkk_times), ("Latecomers home turf", &late_times)] {
+    let mut table = Table::new([
+        "family",
+        "baseline met",
+        "AUR met",
+        "median baseline",
+        "median AUR",
+    ]);
+    for (name, pairs) in [
+        ("CGKK home turf", &cgkk_times),
+        ("Latecomers home turf", &late_times),
+    ] {
         let bm = pairs.iter().filter(|(b, _)| b.is_some()).count();
         let am = pairs.iter().filter(|(_, a)| a.is_some()).count();
         type Pair = (Option<f64>, Option<f64>);

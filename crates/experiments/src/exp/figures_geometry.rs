@@ -198,7 +198,11 @@ pub fn f3(ctx: &Ctx) -> ExperimentOutput {
     for k in -6i32..=6 {
         let p = a + normal * (k as f64 * step);
         sweep_points.push(Series::line(
-            if k == -6 { "sweep lines (k/2^i)".to_string() } else { String::new() },
+            if k == -6 {
+                "sweep lines (k/2^i)".to_string()
+            } else {
+                String::new()
+            },
             vec![
                 (p.x - 3.0 * dir.cos(), p.y - 3.0 * dir.sin()),
                 (p.x + 5.0 * dir.cos(), p.y + 5.0 * dir.sin()),

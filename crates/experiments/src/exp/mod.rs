@@ -17,8 +17,8 @@ use crate::report::{Ctx, ExperimentOutput};
 
 /// Experiment ids in presentation order.
 pub const ALL_IDS: [&str; 17] = [
-    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8",
-    "f9", "f10",
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9",
+    "f10",
 ];
 
 /// Runs one experiment by id.

@@ -25,7 +25,10 @@ pub fn f6(ctx: &Ctx) -> ExperimentOutput {
     chart.log_y = true;
     let mut table = Table::new(["family", "ratio", "met", "median time"]);
 
-    for (family, chi) in [("shift (χ=+1)", Chirality::Plus), ("mirror (χ=−1)", Chirality::Minus)] {
+    for (family, chi) in [
+        ("shift (χ=+1)", Chirality::Plus),
+        ("mirror (χ=−1)", Chirality::Minus),
+    ] {
         let mut pts = Vec::new();
         for (p, q) in ratios {
             let rho = ratio(p, q);

@@ -27,7 +27,11 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
     ]);
 
     for class in TargetClass::all() {
-        let instances = sample(class, ctx.scale.per_family, 0x71_0000 + class.expected() as u64);
+        let instances = sample(
+            class,
+            ctx.scale.per_family,
+            0x71_0000 + class.expected() as u64,
+        );
         let expected = class.expected();
         let feasible = expected.feasible();
         let budget = if feasible {

@@ -33,7 +33,11 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
     ]);
 
     for class in FAMILIES {
-        let instances = sample(class, ctx.scale.per_family, 0x72_0000 + class.expected() as u64);
+        let instances = sample(
+            class,
+            ctx.scale.per_family,
+            0x72_0000 + class.expected() as u64,
+        );
         let budget = Budget::default().segments(ctx.scale.success_segments);
         let results = run_batch(&instances, |inst| solve(inst, &budget));
         let s = Summary::of(&results);

@@ -78,8 +78,16 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
     ]);
 
     for (name, instances, expected) in [
-        ("S1 (off-grid direction)", s1_offgrid(n), Classification::ExceptionS1),
-        ("S2 (off-dyadic offset)", s2_offperp(n), Classification::ExceptionS2),
+        (
+            "S1 (off-grid direction)",
+            s1_offgrid(n),
+            Classification::ExceptionS1,
+        ),
+        (
+            "S2 (off-dyadic offset)",
+            s2_offperp(n),
+            Classification::ExceptionS2,
+        ),
     ] {
         for inst in &instances {
             assert_eq!(classify(inst), expected, "generator invariant: {inst}");

@@ -51,7 +51,11 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
     ]);
 
     for class in FAMILIES {
-        let raw = sample(class, ctx.scale.per_family / 2, 0x74_0000 + class.expected() as u64);
+        let raw = sample(
+            class,
+            ctx.scale.per_family / 2,
+            0x74_0000 + class.expected() as u64,
+        );
         let instances = keep_guaranteed_at(raw, factor.clone());
         let budget = Budget::default().segments(ctx.scale.success_segments);
 

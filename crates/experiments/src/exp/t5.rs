@@ -67,13 +67,15 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         } else {
             Budget::default().segments(ctx.scale.failure_segments)
         };
-        let results = run_batch(&instances, |inst| {
-            solve_pair(inst, cgkk(), cgkk(), &budget)
-        });
+        let results = run_batch(&instances, |inst| solve_pair(inst, cgkk(), cgkk(), &budget));
         let s = Summary::of(&results);
         table.row([
             name.to_string(),
-            if in_contract { "yes".into() } else { "no".into() },
+            if in_contract {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             s.rate(),
             s.median_time_str(),
             fnum(s.min_dist_over_r),

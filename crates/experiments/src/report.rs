@@ -26,8 +26,7 @@ impl Ctx {
     pub fn write(&self, name: &str, content: &str) {
         fs::create_dir_all(&self.out_dir).expect("create results dir");
         let path = self.out_dir.join(name);
-        fs::write(&path, content)
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        fs::write(&path, content).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     }
 }
 
@@ -47,7 +46,12 @@ pub struct ExperimentOutput {
 impl ExperimentOutput {
     /// Renders the full Markdown section.
     pub fn section(&self) -> String {
-        let mut s = format!("## {} — {}\n\n{}\n", self.id.to_uppercase(), self.title, self.markdown);
+        let mut s = format!(
+            "## {} — {}\n\n{}\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.markdown
+        );
         if !self.artifacts.is_empty() {
             s.push_str("\nArtifacts: ");
             s.push_str(

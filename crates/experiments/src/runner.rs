@@ -78,7 +78,11 @@ impl Summary {
             met,
             median_time: median_f64(&times),
             max_time: times.last().copied(),
-            median_segments: if segs.is_empty() { 0 } else { segs[segs.len() / 2] },
+            median_segments: if segs.is_empty() {
+                0
+            } else {
+                segs[segs.len() / 2]
+            },
             min_dist_over_r: min_ratio,
         }
     }

@@ -190,7 +190,11 @@ impl Chart {
         // Series.
         for (i, s) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
-            let dash = if s.dashed { r#" stroke-dasharray="6 4""# } else { "" };
+            let dash = if s.dashed {
+                r#" stroke-dasharray="6 4""#
+            } else {
+                ""
+            };
             let pts: Vec<String> = s
                 .points
                 .iter()
@@ -339,7 +343,11 @@ impl Canvas {
         }
         for (i, s) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
-            let dash = if s.dashed { r#" stroke-dasharray="6 4""# } else { "" };
+            let dash = if s.dashed {
+                r#" stroke-dasharray="6 4""#
+            } else {
+                ""
+            };
             let pts: Vec<String> = s
                 .points
                 .iter()
@@ -414,7 +422,9 @@ fn span(vals: &[f64]) -> (f64, f64) {
 }
 
 fn xml(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -424,7 +434,10 @@ mod tests {
     #[test]
     fn chart_renders_valid_svg() {
         let mut c = Chart::new("test", "x", "y");
-        c.push(Series::marked("s1", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]));
+        c.push(Series::marked(
+            "s1",
+            vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)],
+        ));
         let svg = c.render();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));

@@ -69,11 +69,7 @@ mod tests {
         );
         assert_eq!(
             pts,
-            vec![
-                Vec2::ZERO,
-                Vec2::new(2.0, 0.0),
-                Vec2::new(2.0, 2.0),
-            ]
+            vec![Vec2::ZERO, Vec2::new(2.0, 0.0), Vec2::new(2.0, 2.0),]
         );
     }
 

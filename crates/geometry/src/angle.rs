@@ -57,8 +57,8 @@ impl Angle {
     /// directions with error ~1e-16 rad, far below the simulator's
     /// detection slack.
     pub fn from_radians(radians: f64) -> Angle {
-        let q = Ratio::from_f64_exact(radians / std::f64::consts::PI)
-            .expect("finite radians required");
+        let q =
+            Ratio::from_f64_exact(radians / std::f64::consts::PI).expect("finite radians required");
         Angle::from_ratio_pi(q)
     }
 
@@ -97,8 +97,7 @@ impl Angle {
 
     /// `(cos, sin)` when the angle is an exact multiple of π/2.
     fn cos_sin_exact_quarter(&self) -> Option<(f64, f64)> {
-        self.cos_sin_exact()
-            .map(|(c, s)| (c.to_f64(), s.to_f64()))
+        self.cos_sin_exact().map(|(c, s)| (c.to_f64(), s.to_f64()))
     }
 
     /// Exact rational `(cos, sin)` when both are rational.
@@ -279,15 +278,9 @@ mod tests {
         let phi = Angle::pi_frac(1, 3);
         let theta = Angle::pi_frac(1, 2);
         // χ = +1: φ + θ
-        assert_eq!(
-            phi.compose_local(&theta, true),
-            Angle::pi_frac(5, 6)
-        );
+        assert_eq!(phi.compose_local(&theta, true), Angle::pi_frac(5, 6));
         // χ = −1: φ − θ  (wraps)
-        assert_eq!(
-            phi.compose_local(&theta, false),
-            Angle::pi_frac(-1, 6)
-        );
+        assert_eq!(phi.compose_local(&theta, false), Angle::pi_frac(-1, 6));
     }
 
     #[test]
@@ -313,10 +306,7 @@ mod tests {
     fn opposite_compass() {
         assert_eq!(Compass::East.opposite(), Compass::West);
         assert_eq!(Compass::North.opposite(), Compass::South);
-        assert_eq!(
-            Compass::East.angle() + Angle::half(),
-            Compass::West.angle()
-        );
+        assert_eq!(Compass::East.angle() + Angle::half(), Compass::West.angle());
     }
 
     #[test]

@@ -181,13 +181,19 @@ mod tests {
             }
             match (analytic, brute) {
                 (Some(a), Some(b)) => {
-                    assert!((a - b).abs() < dt / steps as f64 + 1e-9, "case {case}: {a} vs {b}");
+                    assert!(
+                        (a - b).abs() < dt / steps as f64 + 1e-9,
+                        "case {case}: {a} vs {b}"
+                    );
                 }
                 (None, None) => {}
                 (Some(a), None) => {
                     // Analytic may catch sub-grid grazing entries; verify.
                     let d = (rel0 + vel * a).norm();
-                    assert!(d <= r + 1e-7, "case {case}: claimed entry at {a} has d={d} > r={r}");
+                    assert!(
+                        d <= r + 1e-7,
+                        "case {case}: claimed entry at {a} has d={d} > r={r}"
+                    );
                 }
                 (None, Some(b)) => {
                     panic!("case {case}: brute force found entry at {b}, analytic missed it");

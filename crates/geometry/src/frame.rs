@@ -151,7 +151,10 @@ mod tests {
     fn chirality_signs() {
         assert_eq!(Chirality::Plus.sign(), 1.0);
         assert_eq!(Chirality::Minus.sign(), -1.0);
-        assert_eq!(Chirality::Minus.apply(&Angle::quarter()), Angle::three_quarters());
+        assert_eq!(
+            Chirality::Minus.apply(&Angle::quarter()),
+            Angle::three_quarters()
+        );
     }
 
     #[test]
@@ -262,7 +265,11 @@ mod tests {
             origin: Vec2::new(-1.0, 4.0),
         };
         let c = sim.fixed_point().unwrap();
-        for p in [Vec2::new(0.0, 0.0), Vec2::new(5.0, -2.0), Vec2::new(0.1, 9.0)] {
+        for p in [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(5.0, -2.0),
+            Vec2::new(0.1, 9.0),
+        ] {
             let lhs = (sim.apply(p) - c).norm();
             let rhs = 1.75 * (p - c).norm();
             assert!((lhs - rhs).abs() < 1e-9 * rhs.max(1.0));

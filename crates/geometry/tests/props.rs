@@ -1,4 +1,9 @@
 //! Property tests for `rv-geometry`.
+//!
+//! Case counts are capped for CI-friendly wall time. For a deep run,
+//! override them with the `PROPTEST_CASES` environment variable, which
+//! takes precedence over the in-source configuration (e.g.
+//! `PROPTEST_CASES=4096 cargo test --release`).
 
 use proptest::prelude::*;
 use rv_geometry::{first_within, min_dist_on_interval, Angle, Chirality, Line, Orientation, Vec2};
@@ -13,7 +18,7 @@ fn vec_strategy() -> impl Strategy<Value = Vec2> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(400))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn angle_normalized_range(a in angle_strategy()) {

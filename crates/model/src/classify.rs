@@ -215,10 +215,7 @@ mod tests {
     fn s1_boundary_is_exact_knife_edge() {
         let eps = Ratio::pow2(-100);
         let at = |t: Ratio| base().delay(t).build().unwrap();
-        assert_eq!(
-            classify(&at(&ratio(4, 1) + &eps)),
-            Classification::Type2
-        );
+        assert_eq!(classify(&at(&ratio(4, 1) + &eps)), Classification::Type2);
         assert_eq!(
             classify(&at(&ratio(4, 1) - &eps)),
             Classification::Infeasible
@@ -229,13 +226,7 @@ mod tests {
     fn chirality_minus_uses_projections() {
         // φ = 0, χ = −1: canonical line horizontal; proj dist = |x| = 3.
         // Boundary at t = 3 − 1 = 2.
-        let at = |t: Ratio| {
-            base()
-                .chirality(Chirality::Minus)
-                .delay(t)
-                .build()
-                .unwrap()
-        };
+        let at = |t: Ratio| base().chirality(Chirality::Minus).delay(t).build().unwrap();
         assert_eq!(classify(&at(ratio(3, 1))), Classification::Type1);
         assert_eq!(classify(&at(ratio(2, 1))), Classification::ExceptionS2);
         assert_eq!(classify(&at(ratio(1, 1))), Classification::Infeasible);

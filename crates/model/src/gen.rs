@@ -344,10 +344,7 @@ mod tests {
             // (t + r)² == x² + y² exactly.
             assert_eq!((&s1.t + &s1.r).square(), s1.initial_dist_sq());
             let s2 = generate(&mut rng, TargetClass::S2);
-            assert_eq!(
-                (&s2.t + &s2.r).square(),
-                s2.proj_dist_sq_exact().unwrap()
-            );
+            assert_eq!((&s2.t + &s2.r).square(), s2.proj_dist_sq_exact().unwrap());
         }
     }
 

@@ -1,6 +1,11 @@
 //! Property tests for `rv-model`: classification laws over random
 //! instances built directly from the parameter space (not only from the
 //! per-class generators).
+//!
+//! Case counts are capped for CI-friendly wall time. For a deep run,
+//! override them with the `PROPTEST_CASES` environment variable, which
+//! takes precedence over the in-source configuration (e.g.
+//! `PROPTEST_CASES=4096 cargo test --release`).
 
 use proptest::prelude::*;
 use rv_geometry::{Chirality, Vec2};
@@ -38,12 +43,16 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
             tau,
             v,
             t,
-            chi: if plus { Chirality::Plus } else { Chirality::Minus },
+            chi: if plus {
+                Chirality::Plus
+            } else {
+                Chirality::Minus
+            },
         })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn classification_is_total_and_deterministic(inst in instance_strategy()) {

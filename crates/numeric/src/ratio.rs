@@ -406,10 +406,10 @@ impl std::str::FromStr for Ratio {
     fn from_str(s: &str) -> Result<Ratio, String> {
         let s = s.trim();
         if let Some((num, den)) = s.split_once('/') {
-            let n = Int::from_decimal(num.trim())
-                .ok_or_else(|| format!("bad numerator in {s:?}"))?;
-            let d = Int::from_decimal(den.trim())
-                .ok_or_else(|| format!("bad denominator in {s:?}"))?;
+            let n =
+                Int::from_decimal(num.trim()).ok_or_else(|| format!("bad numerator in {s:?}"))?;
+            let d =
+                Int::from_decimal(den.trim()).ok_or_else(|| format!("bad denominator in {s:?}"))?;
             if d.is_zero() {
                 return Err(format!("zero denominator in {s:?}"));
             }
@@ -421,8 +421,7 @@ impl std::str::FromStr for Ratio {
                 return Err(format!("bad decimal in {s:?}"));
             }
             let joined = format!("{int_part}{frac_part}");
-            let n = Int::from_decimal(&joined)
-                .ok_or_else(|| format!("bad decimal in {s:?}"))?;
+            let n = Int::from_decimal(&joined).ok_or_else(|| format!("bad decimal in {s:?}"))?;
             let mut den = Int::ONE;
             for _ in 0..digits {
                 den = &den * &Int::from(10i64);

@@ -1,6 +1,11 @@
 //! Property tests for `rv-numeric`: the arbitrary-precision types must
 //! agree with machine arithmetic wherever machine arithmetic is exact, and
 //! satisfy the field axioms everywhere.
+//!
+//! Case counts are capped for CI-friendly wall time. For a deep run,
+//! override them with the `PROPTEST_CASES` environment variable, which
+//! takes precedence over the in-source configuration (e.g.
+//! `PROPTEST_CASES=4096 cargo test --release`).
 
 use proptest::prelude::*;
 use rv_numeric::{Int, Ratio};
@@ -17,12 +22,15 @@ fn int_strategy() -> impl Strategy<Value = Int> {
 }
 
 fn ratio_strategy() -> impl Strategy<Value = Ratio> {
-    (int_strategy(), int_strategy().prop_filter("nonzero", |d| !d.is_zero()))
+    (
+        int_strategy(),
+        int_strategy().prop_filter("nonzero", |d| !d.is_zero()),
+    )
         .prop_map(|(n, d)| Ratio::new(n, d))
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn int_add_matches_i128_where_exact(a in any::<i64>(), b in any::<i64>()) {

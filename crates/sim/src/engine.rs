@@ -163,17 +163,16 @@ where
     let mut min_dist_time = 0.0;
     let mut tracer = Tracer::new(cfg.trace_samples);
 
-    let report = |outcome: Outcome,
-                  min_dist: f64,
-                  min_dist_time: f64,
-                  segments: u64,
-                  tracer: Tracer| SimReport {
-        outcome,
-        min_dist,
-        min_dist_time,
-        segments,
-        trace: tracer.samples,
-    };
+    let report =
+        |outcome: Outcome, min_dist: f64, min_dist_time: f64, segments: u64, tracer: Tracer| {
+            SimReport {
+                outcome,
+                min_dist,
+                min_dist_time,
+                segments,
+                trace: tracer.samples,
+            }
+        };
 
     loop {
         // --- Time budget check at the interval boundary. ---

@@ -47,9 +47,7 @@ fn exact_clock_preserves_every_event() {
     }
     assert_eq!(collapsed, 0, "exact accumulation must never collapse");
     // And the final clock is exactly the rational sum.
-    let expected = durations
-        .iter()
-        .fold(Ratio::zero(), |a, d| &a + d);
+    let expected = durations.iter().fold(Ratio::zero(), |a, d| &a + d);
     assert_eq!(acc, expected);
 }
 

@@ -1,5 +1,10 @@
 //! Property tests for the simulator: crossing detection against
 //! brute-force sampling, budget monotonicity, trace sanity.
+//!
+//! Case counts are capped for CI-friendly wall time. For a deep run,
+//! override them with the `PROPTEST_CASES` environment variable, which
+//! takes precedence over the in-source configuration (e.g.
+//! `PROPTEST_CASES=4096 cargo test --release`).
 
 use proptest::prelude::*;
 use rv_geometry::{Angle, Chirality, Vec2};
@@ -28,14 +33,20 @@ fn attrs_strategy(ox: f64, oy: f64) -> impl Strategy<Value = AgentAttrs> {
         (0i64..6, 1i64..2),
         any::<bool>(),
     )
-        .prop_map(move |((pp, pq), (tp, tq), (vp, vq), (wp, wq), plus)| AgentAttrs {
-            origin: Vec2::new(ox, oy),
-            phi: Angle::pi_frac(pp, pq),
-            chi: if plus { Chirality::Plus } else { Chirality::Minus },
-            tau: Ratio::frac(tp, tq),
-            speed: Ratio::frac(vp, vq),
-            wake: Ratio::frac(wp, wq),
-        })
+        .prop_map(
+            move |((pp, pq), (tp, tq), (vp, vq), (wp, wq), plus)| AgentAttrs {
+                origin: Vec2::new(ox, oy),
+                phi: Angle::pi_frac(pp, pq),
+                chi: if plus {
+                    Chirality::Plus
+                } else {
+                    Chirality::Minus
+                },
+                tau: Ratio::frac(tp, tq),
+                speed: Ratio::frac(vp, vq),
+                wake: Ratio::frac(wp, wq),
+            },
+        )
 }
 
 /// Brute force: sample both motions on a fine time grid and find the
@@ -54,7 +65,11 @@ fn brute_force_first_meet(
         let mut found = false;
         for seg in Motion::new(attrs.clone(), prog.iter().cloned()) {
             let start = seg.start.to_f64();
-            let end = seg.end.as_ref().map(|e| e.to_f64()).unwrap_or(f64::INFINITY);
+            let end = seg
+                .end
+                .as_ref()
+                .map(|e| e.to_f64())
+                .unwrap_or(f64::INFINITY);
             if t >= start && t <= end {
                 pos = seg.pos_at_offset(t - start);
                 found = true;

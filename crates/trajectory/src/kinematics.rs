@@ -331,10 +331,7 @@ mod tests {
         ];
         let segs: Vec<_> = Motion::new(AgentAttrs::reference(), prog.into_iter()).collect();
         assert_eq!(segs[1].start, Ratio::pow2(200));
-        assert_eq!(
-            segs[1].end,
-            Some(&Ratio::pow2(200) + &Ratio::one())
-        );
+        assert_eq!(segs[1].end, Some(&Ratio::pow2(200) + &Ratio::one()));
         // Position unaffected by the wait.
         assert_eq!(segs[1].from, Vec2::ZERO);
     }
@@ -354,8 +351,7 @@ mod tests {
 
     #[test]
     fn empty_program_halts_at_origin() {
-        let segs: Vec<_> =
-            Motion::new(AgentAttrs::reference(), std::iter::empty()).collect();
+        let segs: Vec<_> = Motion::new(AgentAttrs::reference(), std::iter::empty()).collect();
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].end, None);
         assert_eq!(segs[0].from, Vec2::ZERO);

@@ -17,6 +17,6 @@ mod program;
 pub use instr::Instr;
 pub use kinematics::{AgentAttrs, Motion, Segment};
 pub use program::{
-    backtrack, lazy, net_local_displacement, rotated, slice_interleave_backtrack,
-    take_local_time, total_local_time, BoxProgram, Lazy, TakeLocalTime,
+    backtrack, lazy, net_local_displacement, rotated, slice_interleave_backtrack, take_local_time,
+    total_local_time, BoxProgram, Lazy, TakeLocalTime,
 };

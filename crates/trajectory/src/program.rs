@@ -209,16 +209,14 @@ mod tests {
 
     #[test]
     fn take_local_time_exact_boundary() {
-        let taken: Vec<_> =
-            take_local_time(square_path().into_iter(), ratio(4, 1)).collect();
+        let taken: Vec<_> = take_local_time(square_path().into_iter(), ratio(4, 1)).collect();
         assert_eq!(taken.len(), 2);
         assert_eq!(total_local_time(&taken), ratio(4, 1));
     }
 
     #[test]
     fn take_local_time_splits_mid_instruction() {
-        let taken: Vec<_> =
-            take_local_time(square_path().into_iter(), ratio(3, 1)).collect();
+        let taken: Vec<_> = take_local_time(square_path().into_iter(), ratio(3, 1)).collect();
         assert_eq!(taken.len(), 2);
         assert_eq!(taken[1], Instr::go(Compass::North, ratio(1, 1)));
         assert_eq!(total_local_time(&taken), ratio(3, 1));
@@ -226,8 +224,7 @@ mod tests {
 
     #[test]
     fn take_local_time_of_short_program() {
-        let taken: Vec<_> =
-            take_local_time(square_path().into_iter(), ratio(100, 1)).collect();
+        let taken: Vec<_> = take_local_time(square_path().into_iter(), ratio(100, 1)).collect();
         assert_eq!(taken.len(), 4);
         assert_eq!(total_local_time(&taken), ratio(8, 1));
     }

@@ -1,5 +1,10 @@
 //! Property tests for `rv-trajectory`: combinator laws and kinematic
 //! invariants over randomized programs and agent attributes.
+//!
+//! Case counts are capped for CI-friendly wall time. For a deep run,
+//! override them with the `PROPTEST_CASES` environment variable, which
+//! takes precedence over the in-source configuration (e.g.
+//! `PROPTEST_CASES=4096 cargo test --release`).
 
 use proptest::prelude::*;
 use rv_geometry::{Angle, Chirality, Vec2};
@@ -32,18 +37,24 @@ fn attrs_strategy() -> impl Strategy<Value = AgentAttrs> {
         (0i64..8, 1i64..4),
         any::<bool>(),
     )
-        .prop_map(|(x, y, (pp, pq), (tp, tq), (vp, vq), (wp, wq), plus)| AgentAttrs {
-            origin: Vec2::new(x, y),
-            phi: Angle::pi_frac(pp, pq),
-            chi: if plus { Chirality::Plus } else { Chirality::Minus },
-            tau: Ratio::frac(tp, tq),
-            speed: Ratio::frac(vp, vq),
-            wake: Ratio::frac(wp, wq),
-        })
+        .prop_map(
+            |(x, y, (pp, pq), (tp, tq), (vp, vq), (wp, wq), plus)| AgentAttrs {
+                origin: Vec2::new(x, y),
+                phi: Angle::pi_frac(pp, pq),
+                chi: if plus {
+                    Chirality::Plus
+                } else {
+                    Chirality::Minus
+                },
+                tau: Ratio::frac(tp, tq),
+                speed: Ratio::frac(vp, vq),
+                wake: Ratio::frac(wp, wq),
+            },
+        )
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn take_local_time_never_exceeds_budget(prog in program_strategy(),

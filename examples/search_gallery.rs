@@ -90,10 +90,7 @@ fn main() {
         ("cgkk_prefix.svg", polyline(cgkk(), 4_000)),
         ("latecomers_prefix.svg", polyline(latecomers(), 200)),
         ("aur_phase_1.svg", polyline(aur_phase(1), 10_000)),
-        (
-            "aur_phase_2_prefix.svg",
-            polyline(aur_phase(2), 6_000),
-        ),
+        ("aur_phase_2_prefix.svg", polyline(aur_phase(2), 6_000)),
     ];
 
     for (file, pts) in &walks {

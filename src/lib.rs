@@ -5,7 +5,7 @@
 //! Re-exports the workspace crates under stable module names so downstream
 //! users need a single dependency.
 //!
-//! ```no_run
+//! ```
 //! use plane_rendezvous::prelude::*;
 //!
 //! // A synchronous instance with opposite chirality and a generous delay

@@ -59,12 +59,7 @@ fn giant_wait_does_not_perturb_subsequent_schedule() {
     let budget = Budget::default().segments(1_000);
 
     let walk = vec![Instr::go(Compass::East, ratio(20, 1))];
-    let plain = solve_pair(
-        &inst,
-        walk.clone().into_iter(),
-        std::iter::empty(),
-        &budget,
-    );
+    let plain = solve_pair(&inst, walk.clone().into_iter(), std::iter::empty(), &budget);
     let t_plain = plain.meeting().expect("meets").time.to_ratio();
 
     let delayed = vec![

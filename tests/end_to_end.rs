@@ -67,12 +67,20 @@ fn aur_meets_type4_rotation() {
         .unwrap();
     assert_eq!(classify(&inst), Classification::Type4);
     let report = solve(&inst, &budget(200_000));
-    assert!(report.met(), "type 4 (rotation) must meet: {}", report.outcome);
+    assert!(
+        report.met(),
+        "type 4 (rotation) must meet: {}",
+        report.outcome
+    );
     // The meeting is governed by the similarity fixed point at (2, 0):
     // both agents must be within (1+v)/2·r… of it; sanity-check proximity.
     let m = report.meeting().unwrap();
     let c = plane_rendezvous::geometry::Vec2::new(2.0, 0.0);
-    assert!(m.pos_a.dist(c) < 1.5, "A near fixed point, got {:?}", m.pos_a);
+    assert!(
+        m.pos_a.dist(c) < 1.5,
+        "A near fixed point, got {:?}",
+        m.pos_a
+    );
 }
 
 #[test]
@@ -162,7 +170,11 @@ fn dedicated_solves_every_feasible_class() {
     for inst in cases {
         assert!(feasible(&inst), "{inst}");
         let report = solve_dedicated(&inst, &budget(400_000));
-        assert!(report.met(), "dedicated failed on {inst}: {}", report.outcome);
+        assert!(
+            report.met(),
+            "dedicated failed on {inst}: {}",
+            report.outcome
+        );
     }
 }
 

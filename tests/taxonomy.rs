@@ -1,0 +1,79 @@
+//! Taxonomy smoke test: one concrete instance per paper type through the
+//! full `classify` → `feasible` → `solve` pipeline.
+//!
+//! Theorem 3.1 taxonomy, one witness each:
+//!
+//! * **type 1** — synchronous, opposite chirality (χ = −1), delay above
+//!   the projection boundary;
+//! * **type 2** — synchronous, identical orientation, frames shifted
+//!   apart, delay above the distance boundary;
+//! * **type 3** — distinct clock rates (τ ≠ 1), which the paper proves
+//!   feasible for *every* delay;
+//! * **infeasible** — the fully symmetric instance (same clocks, same
+//!   orientation, same chirality, zero delay): no algorithm can break
+//!   the symmetry, so `solve` must not meet.
+
+use plane_rendezvous::prelude::*;
+
+fn smoke_budget() -> Budget {
+    Budget::default().segments(200_000)
+}
+
+#[test]
+fn type1_opposite_chirality_with_delay_meets() {
+    let inst = Instance::builder()
+        .r(ratio(1, 1))
+        .position(ratio(3, 1), ratio(1, 1))
+        .chirality(Chirality::Minus)
+        .delay(ratio(8, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type1);
+    assert!(feasible(&inst));
+    let report = solve(&inst, &smoke_budget());
+    assert!(report.met(), "type 1 witness must meet: {}", report.outcome);
+}
+
+#[test]
+fn type2_shifted_frames_with_delay_meets() {
+    let inst = Instance::builder()
+        .r(ratio(1, 1))
+        .position(ratio(3, 1), ratio(0, 1))
+        .delay(ratio(3, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type2);
+    assert!(feasible(&inst));
+    let report = solve(&inst, &smoke_budget());
+    assert!(report.met(), "type 2 witness must meet: {}", report.outcome);
+}
+
+#[test]
+fn type3_distinct_clock_rates_meets() {
+    let inst = Instance::builder()
+        .r(ratio(1, 1))
+        .position(ratio(3, 1), ratio(0, 1))
+        .tau(ratio(2, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Type3);
+    assert!(feasible(&inst));
+    let report = solve(&inst, &smoke_budget());
+    assert!(report.met(), "type 3 witness must meet: {}", report.outcome);
+}
+
+#[test]
+fn fully_symmetric_instance_is_infeasible_and_never_meets() {
+    // Identical clocks, speeds, orientation, chirality, zero delay — the
+    // agents are perfect mirror copies and stay a fixed displacement
+    // apart forever.
+    let inst = Instance::builder()
+        .r(ratio(1, 1))
+        .position(ratio(6, 1), ratio(8, 1))
+        .build()
+        .unwrap();
+    assert_eq!(classify(&inst), Classification::Infeasible);
+    assert!(!feasible(&inst));
+    let report = solve(&inst, &Budget::default().segments(60_000));
+    assert!(!report.met(), "symmetric instance must never meet");
+}

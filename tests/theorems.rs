@@ -141,7 +141,9 @@ fn lemma_3_1_phase_returns_to_start() {
 #[test]
 fn classification_matches_theorem_3_1_truth_table() {
     // Clause-by-clause spot checks of Theorem 3.1.
-    let base = |f: &dyn Fn(plane_rendezvous::model::InstanceBuilder) -> plane_rendezvous::model::InstanceBuilder| {
+    let base = |f: &dyn Fn(
+        plane_rendezvous::model::InstanceBuilder,
+    ) -> plane_rendezvous::model::InstanceBuilder| {
         f(Instance::builder().position(ratio(3, 1), ratio(4, 1)))
             .build()
             .unwrap()

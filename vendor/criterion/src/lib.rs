@@ -1,0 +1,246 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of criterion's API its bench targets use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a deliberately simple wall-clock loop: warm up, then
+//! time `sample_size` batches and report mean and minimum per-iteration
+//! times. There is no statistical analysis, outlier rejection, or HTML
+//! report — but numbers are comparable run-to-run on a quiet machine,
+//! which is what the ROADMAP's perf PRs need. `cargo bench` runs the
+//! harness; `cargo bench --no-run` just compiles it.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the batch's iterations. The routine's return
+    /// value is passed through [`black_box`] so the optimizer cannot
+    /// delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 30,
+            warm_up: Duration::from_millis(80),
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+fn run_bench<O, F>(id: &str, settings: Settings, mut routine: F)
+where
+    F: FnMut(&mut Bencher) -> O,
+{
+    // Calibrate: how many iterations fit in the warm-up window?
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= settings.warm_up || iters >= 1 << 40 {
+            break;
+        }
+        // Aim directly for the warm-up window with a 2x growth cap.
+        let grow = if b.elapsed.is_zero() {
+            100.0
+        } else {
+            (settings.warm_up.as_secs_f64() / b.elapsed.as_secs_f64()).min(100.0)
+        };
+        iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+    }
+
+    // Spread the measurement budget over `sample_size` batches.
+    let samples = settings.sample_size.max(2);
+    let per_batch = ((iters as f64
+        * (settings.measure.as_secs_f64() / settings.warm_up.as_secs_f64()))
+        / samples as f64)
+        .ceil()
+        .max(1.0) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: per_batch,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        total += b.elapsed;
+        total_iters += per_batch;
+        let per_iter = b.elapsed / per_batch.max(1) as u32;
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    println!(
+        "{id:<48} mean {:>12}  min {:>12}  ({samples} x {per_batch} iters)",
+        format_time(mean),
+        format_time(best.as_secs_f64()),
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Configures the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Configures the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measure = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<O, F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> O,
+    {
+        run_bench(&id.into(), self.settings, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configures the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Configures the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measure = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<O, F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> O,
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.settings, routine);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups have no
+    /// deferred state here).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(5));
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_prefixes_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).measurement_time(Duration::from_millis(5));
+        g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline API-compatible subset of `crossbeam`'s scoped threads,
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| ...); ... })` entry point
+//! is provided — the one shape the workspace's work-stealing parallel map
+//! uses. Panic propagation differs slightly from real crossbeam: a
+//! panicking worker aborts the scope by re-panicking at join (inside
+//! `std::thread::scope`) rather than surfacing as `Err`, which is strictly
+//! stricter and keeps `.expect("worker panicked")` call sites honest.
+
+use std::thread;
+
+/// Handle for spawning threads inside a [`scope`] invocation.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle so
+    /// workers can spawn further work, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a scope handle; all spawned threads are joined before
+/// this returns. Returns `Ok` with `f`'s result (see module docs on
+/// panics).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Mirror of `crossbeam::thread` so `crossbeam::thread::scope` also works.
+pub mod thread_scope {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

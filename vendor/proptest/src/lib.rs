@@ -1,0 +1,35 @@
+//! Offline API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest that its six property suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter`
+//!   / `prop_flat_map`, implemented for ranges, tuples (arity 1–8),
+//!   [`Just`], and `any::<T>()`;
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`]
+//!   macros;
+//! * [`ProptestConfig`](test_runner::ProptestConfig) with
+//!   `PROPTEST_CASES` environment override.
+//!
+//! Differences from real proptest: failing cases are **not shrunk** (the
+//! failing seed and case index are reported instead, and every run is
+//! deterministic per test name, so failures reproduce exactly), and
+//! rejection sampling is bounded rather than tracked globally.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};

@@ -1,0 +1,336 @@
+//! Offline API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand`'s API that the repository actually
+//! uses: [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and the
+//! [`Rng`] extension methods `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — fast, well
+//! distributed, and fully deterministic per seed, which is all the seeded
+//! workload generators and property tests require. Streams are **not**
+//! bit-compatible with the real `rand` crate; seeds only promise
+//! determinism within this workspace.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 uniform mantissa bits, exactly the f64 resolution.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types with a uniform sampler over ranges.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[lo, hi]` (inclusive). Requires `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Width as u128 handles the full signed span without overflow.
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width range: any value is uniform.
+                    return rng.next_u64() as $t;
+                }
+                // Rejection sampling over the top 64 (or 128) bits to kill
+                // modulo bias. Span always fits in u128.
+                let zone = u128::MAX - (u128::MAX % span);
+                loop {
+                    let raw =
+                        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    if raw < zone {
+                        let off = raw % span;
+                        return ((lo as i128).wrapping_add(off as i128)) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for i128 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let span = hi.wrapping_sub(lo) as u128;
+        if span == u128::MAX {
+            return ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as i128;
+        }
+        let span = span + 1;
+        let zone = u128::MAX - (u128::MAX % span);
+        loop {
+            let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            if raw < zone {
+                return lo.wrapping_add((raw % span) as i128);
+            }
+        }
+    }
+}
+
+impl SampleUniform for u128 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let span = hi.wrapping_sub(lo);
+        if span == u128::MAX {
+            return (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        }
+        let span = span + 1;
+        let zone = u128::MAX - (u128::MAX % span);
+        loop {
+            let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            if raw < zone {
+                return lo.wrapping_add(raw % span);
+            }
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + HalfOpen> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_inclusive(rng, self.start, T::predecessor_of_end(self.start, self.end))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Converts an exclusive upper bound into an inclusive one.
+pub trait HalfOpen: Sized {
+    fn predecessor_of_end(start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_half_open_int {
+    ($($t:ty),*) => {$(
+        impl HalfOpen for $t {
+            fn predecessor_of_end(_start: Self, end: Self) -> Self {
+                end - 1
+            }
+        }
+    )*};
+}
+
+impl_half_open_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl HalfOpen for f64 {
+    fn predecessor_of_end(start: Self, end: Self) -> Self {
+        // `a..b` must exclude `b` (the real rand contract): sample up to
+        // the largest float below `end`. The lerp in `sample_inclusive`
+        // never rounds above its upper bound, so the result stays < end.
+        end.next_down().max(start)
+    }
+}
+
+impl HalfOpen for f32 {
+    fn predecessor_of_end(start: Self, end: Self) -> Self {
+        end.next_down().max(start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ seeded through
+    /// splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for limb in &mut s {
+                *limb = splitmix64(&mut sm);
+            }
+            // An all-zero state is a fixed point; splitmix64 cannot emit
+            // four zeros in a row, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Convenience re-export mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(3u32..=4);
+            assert!((3..=4).contains(&w));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f), "half-open float range leaked {f}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+}
