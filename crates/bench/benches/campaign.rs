@@ -1,0 +1,74 @@
+//! B7 — the batch-campaign engine: parallel-map overhead and end-to-end
+//! campaign throughput (the primitive every sweep and future sharding PR
+//! sits on).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rv_core::batch::{mix_seed, Campaign};
+use rv_core::{par_map, Budget};
+use rv_model::Instance;
+use rv_numeric::{ratio, Ratio};
+
+/// A small type-3 pool (clock mismatch ⇒ AUR meets within a few phases).
+fn instances(n: usize) -> Vec<Instance> {
+    (0..n)
+        .map(|k| {
+            Instance::builder()
+                .position(
+                    &ratio(2, 1) + &(&ratio(1, 4) * &Ratio::from_int((k % 16) as i64)),
+                    ratio(1, 2),
+                )
+                .r(ratio(2, 1))
+                .tau(ratio(2, 1))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn bench_par_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_map");
+    // Cheap closure: measures the map's own overhead (the old
+    // implementation took a global lock per item here).
+    let items: Vec<u64> = (0..100_000).collect();
+    g.bench_function("cheap_100k", |b| {
+        b.iter(|| par_map(&items, |&x| mix_seed(x, 1)))
+    });
+    // Skewed closure: chunk stealing must keep all cores busy.
+    let skewed: Vec<u64> = (0..512).collect();
+    g.bench_function("skewed_512", |b| {
+        b.iter(|| {
+            par_map(&skewed, |&x| {
+                let spin = if x % 64 == 0 { 20_000 } else { 500 };
+                let mut acc = x;
+                for k in 0..spin {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                acc
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    let pool = instances(64);
+    let budget = Budget::default().segments(50_000);
+    g.bench_function("aur_64x50k_auto", |b| {
+        let campaign = Campaign::aur(budget.clone());
+        b.iter(|| black_box(campaign.run(&pool)).stats.met)
+    });
+    g.bench_function("aur_64x50k_1thread", |b| {
+        let campaign = Campaign::aur(budget.clone()).threads(1);
+        b.iter(|| black_box(campaign.run(&pool)).stats.met)
+    });
+    g.bench_function("dedicated_64x50k_auto", |b| {
+        let campaign = Campaign::dedicated(budget.clone());
+        b.iter(|| black_box(campaign.run(&pool)).stats.met)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_par_map, bench_campaign);
+criterion_main!(benches);

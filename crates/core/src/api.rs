@@ -34,11 +34,20 @@ impl Default for Budget {
 }
 
 impl Budget {
-    /// Budget sized to reach (roughly) phase `i` of Algorithm 1.
+    /// Budget sized to reach (roughly) phase `i` of Algorithm 1,
+    /// saturating to `u64::MAX` once the phase cost exceeds `u64` (from
+    /// `i = 20` on — exactly the deep-phase range the asynchronous
+    /// regimes need, where an unchecked shift would wrap).
     pub fn for_phase(i: u32) -> Budget {
         // Phase i costs ≈ (3i+1)·2^(3i+2) segments (block 1 dominates);
         // sum over phases ≈ double the last one. ×2 agents.
-        let per_phase = (3 * i as u64 + 1) << (3 * i + 2);
+        let base = 3 * i as u64 + 1;
+        let shift = 3 * i as u64 + 2;
+        let per_phase = if shift >= u64::BITS as u64 || base > (u64::MAX >> shift) {
+            u64::MAX
+        } else {
+            base << shift
+        };
         Budget {
             max_segments: per_phase.saturating_mul(8).max(10_000),
             ..Budget::default()
@@ -163,6 +172,25 @@ mod tests {
     use super::*;
     use rv_geometry::{Angle, Chirality};
     use rv_numeric::ratio;
+
+    #[test]
+    fn for_phase_saturates_instead_of_overflowing() {
+        // Regression: `(3i+1) << (3i+2)` panicked in debug (wrapped in
+        // release) from i = 21 on; i = 20 already overflows the top bits.
+        assert_eq!(Budget::for_phase(20).max_segments, u64::MAX);
+        assert_eq!(Budget::for_phase(21).max_segments, u64::MAX);
+        assert_eq!(Budget::for_phase(u32::MAX).max_segments, u64::MAX);
+        // Small phases keep their exact sizing…
+        assert_eq!(Budget::for_phase(0).max_segments, 10_000);
+        assert_eq!(Budget::for_phase(3).max_segments, (10u64 << 11) * 8);
+        // …and the schedule is monotone non-decreasing throughout.
+        let mut prev = 0u64;
+        for i in 0..64 {
+            let b = Budget::for_phase(i).max_segments;
+            assert!(b >= prev, "phase {i}: {b} < {prev}");
+            prev = b;
+        }
+    }
 
     #[test]
     fn trivial_instance_meets_instantly() {

@@ -1,0 +1,482 @@
+//! The batch-campaign engine: run a solver over many instances in
+//! parallel and aggregate the outcomes.
+//!
+//! A [`Campaign`] bundles a solver choice ([`solve`], [`solve_dedicated`],
+//! or any custom `Fn(&Instance, &Budget) -> SimReport`), a per-run
+//! [`Budget`], and a worker count. Running it over an instance slice (or a
+//! seed-indexed generator, via [`Campaign::run_seeded`]) produces one
+//! distilled [`RunRecord`] per instance plus aggregate [`CampaignStats`].
+//!
+//! Determinism: records land in *input order* (the parallel map writes by
+//! index, see [`crate::parallel`]), every instance is identified by its
+//! index, and all statistics are folded from that ordered record stream —
+//! so a campaign's output is a pure function of `(instances, budget,
+//! solver)`, independent of the number of threads or how the OS schedules
+//! them. Seed-indexed workloads should derive per-index seeds with
+//! [`mix_seed`], which (unlike a plain xor) maps distinct `(seed, index)`
+//! pairs to well-separated RNG seeds.
+
+use crate::api::{solve, solve_dedicated, Budget};
+use crate::parallel::par_map_indexed_with;
+use rv_model::{classify, Classification, Instance};
+use rv_sim::SimReport;
+
+/// The SplitMix64 finalizer: bijective, full-avalanche.
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64-style seed derivation: mixes `(seed, index)` into a single
+/// 64-bit RNG seed with full avalanche, so neighbouring indices (and
+/// neighbouring campaign seeds) produce unrelated streams. Index 0 does
+/// **not** reuse `seed` verbatim.
+///
+/// Each input is finalized separately (with distinct offset constants)
+/// before the combination is finalized again — folding the pair into one
+/// word *first* would leave a linear collision class
+/// (`mix(s, i+1) == mix(s+c, i)`), the kind of structure the old
+/// `seed ^ i·GOLDEN` scheme suffered from.
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let a = splitmix_finalize(seed.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    let b = splitmix_finalize(index.wrapping_add(0xd1b5_4a32_d192_ed03));
+    splitmix_finalize(a ^ b)
+}
+
+/// Distilled result of one campaign run (everything the aggregate stats
+/// and the experiment tables need, nothing else — a few dozen bytes, so
+/// million-run campaigns stay cheap to hold).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Taxonomy class of the instance.
+    pub class: Classification,
+    /// Whether rendezvous happened.
+    pub met: bool,
+    /// Simulated meeting time (`None` when not met).
+    pub time: Option<f64>,
+    /// Motion segments processed.
+    pub segments: u64,
+    /// Minimum distance observed over the run.
+    pub min_dist: f64,
+    /// The instance's visibility radius (for min-dist normalisation).
+    pub radius: f64,
+}
+
+impl RunRecord {
+    /// Distils a full simulation report.
+    pub fn from_report(inst: &Instance, report: &SimReport) -> RunRecord {
+        RunRecord {
+            class: classify(inst),
+            met: report.met(),
+            time: report.meeting_time(),
+            segments: report.segments,
+            min_dist: report.min_dist,
+            radius: inst.r.to_f64(),
+        }
+    }
+
+    /// `min_dist / radius`; < 1 means the run got inside the radius.
+    pub fn min_dist_over_r(&self) -> f64 {
+        self.min_dist / self.radius
+    }
+}
+
+/// Aggregate statistics of a campaign, folded from the index-ordered
+/// record stream (scheduling-independent by construction).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignStats {
+    /// Number of runs.
+    pub n: usize,
+    /// Number of successful rendezvous.
+    pub met: usize,
+    /// Median meeting time over successful runs.
+    pub median_time: Option<f64>,
+    /// 90th-percentile meeting time over successful runs.
+    pub p90_time: Option<f64>,
+    /// Maximum meeting time over successful runs.
+    pub max_time: Option<f64>,
+    /// Median segments over all runs.
+    pub median_segments: u64,
+    /// 90th-percentile segments over all runs.
+    pub p90_segments: u64,
+    /// Maximum segments over all runs.
+    pub max_segments: u64,
+    /// Minimum over runs of `min_dist / radius` (`inf` for empty
+    /// campaigns); < 1 means some run got inside the radius.
+    pub min_dist_over_r: f64,
+    /// Per-taxonomy-class breakdown, in fixed taxonomy order.
+    pub per_class: Vec<ClassStats>,
+}
+
+/// Aggregate statistics of one taxonomy class within a campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassStats {
+    /// The class.
+    pub class: Classification,
+    /// Runs of this class.
+    pub n: usize,
+    /// Successful rendezvous of this class.
+    pub met: usize,
+    /// Median meeting time over this class's successful runs.
+    pub median_time: Option<f64>,
+}
+
+/// Fixed presentation order for per-class breakdowns (deterministic
+/// regardless of which classes a workload happens to contain).
+const CLASS_ORDER: [Classification; 8] = [
+    Classification::Trivial,
+    Classification::Type1,
+    Classification::Type2,
+    Classification::Type3,
+    Classification::Type4,
+    Classification::ExceptionS1,
+    Classification::ExceptionS2,
+    Classification::Infeasible,
+];
+
+/// Upper median (`sorted[len/2]`), matching the pre-campaign table code
+/// so refactored experiments report identical medians.
+fn median_f64(sorted: &[f64]) -> Option<f64> {
+    sorted.get(sorted.len() / 2).copied()
+}
+
+/// Nearest-rank quantile: the smallest value with at least `num/den` of
+/// the data at or below it (`⌈len·num/den⌉`-th smallest).
+fn rank(len: usize, num: usize, den: usize) -> usize {
+    ((len * num).div_ceil(den)).saturating_sub(1)
+}
+
+fn p90_f64(sorted: &[f64]) -> Option<f64> {
+    sorted.get(rank(sorted.len(), 9, 10)).copied()
+}
+
+fn p90_u64(sorted: &[u64]) -> u64 {
+    sorted.get(rank(sorted.len(), 9, 10)).copied().unwrap_or(0)
+}
+
+fn median_u64(sorted: &[u64]) -> u64 {
+    sorted.get(sorted.len() / 2).copied().unwrap_or(0)
+}
+
+impl CampaignStats {
+    /// Folds the aggregate from an ordered record stream in a single pass
+    /// (plus the quantile sorts).
+    pub fn of(records: &[RunRecord]) -> CampaignStats {
+        let n = records.len();
+        let mut met = 0usize;
+        let mut times: Vec<f64> = Vec::new();
+        let mut segs: Vec<u64> = Vec::with_capacity(n);
+        let mut min_ratio = f64::INFINITY;
+        // (n, met, times) per CLASS_ORDER slot, filled in one traversal.
+        let mut buckets: [(usize, usize, Vec<f64>); CLASS_ORDER.len()] =
+            std::array::from_fn(|_| (0, 0, Vec::new()));
+
+        for r in records {
+            if r.met {
+                met += 1;
+            }
+            if let Some(t) = r.time {
+                times.push(t);
+            }
+            segs.push(r.segments);
+            min_ratio = min_ratio.min(r.min_dist_over_r());
+            let slot = CLASS_ORDER
+                .iter()
+                .position(|&c| c == r.class)
+                .expect("CLASS_ORDER covers every classification");
+            buckets[slot].0 += 1;
+            if r.met {
+                buckets[slot].1 += 1;
+            }
+            if let Some(t) = r.time {
+                buckets[slot].2.push(t);
+            }
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        segs.sort_unstable();
+
+        let per_class = CLASS_ORDER
+            .iter()
+            .zip(&mut buckets)
+            .filter(|(_, (cn, _, _))| *cn > 0)
+            .map(|(&class, (cn, cmet, class_times))| {
+                class_times.sort_by(|a, b| a.total_cmp(b));
+                ClassStats {
+                    class,
+                    n: *cn,
+                    met: *cmet,
+                    median_time: median_f64(class_times),
+                }
+            })
+            .collect();
+
+        CampaignStats {
+            n,
+            met,
+            median_time: median_f64(&times),
+            p90_time: p90_f64(&times),
+            max_time: times.last().copied(),
+            median_segments: median_u64(&segs),
+            p90_segments: p90_u64(&segs),
+            max_segments: segs.last().copied().unwrap_or(0),
+            min_dist_over_r: min_ratio,
+            per_class,
+        }
+    }
+
+    /// `met/n` as a display string.
+    pub fn rate(&self) -> String {
+        format!("{}/{}", self.met, self.n)
+    }
+}
+
+/// The full output of a campaign: per-run records in input order plus the
+/// aggregate fold over them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// One record per instance, in input (index) order.
+    pub records: Vec<RunRecord>,
+    /// Aggregate statistics.
+    pub stats: CampaignStats,
+}
+
+impl CampaignReport {
+    fn of(records: Vec<RunRecord>) -> CampaignReport {
+        let stats = CampaignStats::of(&records);
+        CampaignReport { records, stats }
+    }
+}
+
+/// A batch campaign: solver choice + per-run budget + parallelism.
+///
+/// ```
+/// use rv_core::batch::Campaign;
+/// use rv_core::Budget;
+/// use rv_model::Instance;
+/// use rv_numeric::ratio;
+///
+/// let instances: Vec<Instance> = (0..8)
+///     .map(|k| {
+///         Instance::builder()
+///             .position(ratio(3 + k, 1), ratio(0, 1))
+///             .tau(ratio(2, 1))
+///             .build()
+///             .unwrap()
+///     })
+///     .collect();
+/// let report = Campaign::aur(Budget::default().segments(300_000)).run(&instances);
+/// assert_eq!(report.stats.n, 8);
+/// assert_eq!(report.stats.met, 8); // type 3 is AUR-guaranteed
+/// ```
+pub struct Campaign<F = fn(&Instance, &Budget) -> SimReport>
+where
+    F: Fn(&Instance, &Budget) -> SimReport + Sync,
+{
+    solver: F,
+    budget: Budget,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Campaign running `AlmostUniversalRV` on both agents ([`solve`]).
+    pub fn aur(budget: Budget) -> Campaign {
+        Campaign {
+            solver: solve,
+            budget,
+            threads: 0,
+        }
+    }
+
+    /// Campaign running the per-instance dedicated algorithm
+    /// ([`solve_dedicated`]).
+    pub fn dedicated(budget: Budget) -> Campaign {
+        Campaign {
+            solver: solve_dedicated,
+            budget,
+            threads: 0,
+        }
+    }
+}
+
+impl<F> Campaign<F>
+where
+    F: Fn(&Instance, &Budget) -> SimReport + Sync,
+{
+    /// Campaign with an arbitrary solver (e.g. a [`crate::solve_pair`]
+    /// closure running a baseline program on both agents).
+    pub fn custom(budget: Budget, solver: F) -> Campaign<F> {
+        Campaign {
+            solver,
+            budget,
+            threads: 0,
+        }
+    }
+
+    /// Sets the worker count (`0` = all available cores, the default).
+    pub fn threads(mut self, threads: usize) -> Campaign<F> {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the campaign over a materialised instance slice.
+    pub fn run(&self, instances: &[Instance]) -> CampaignReport {
+        CampaignReport::of(par_map_indexed_with(self.threads, instances.len(), |i| {
+            let inst = &instances[i];
+            RunRecord::from_report(inst, &(self.solver)(inst, &self.budget))
+        }))
+    }
+
+    /// Runs the campaign over a seed-indexed instance stream: `gen(i)`
+    /// builds instance `i` *inside the worker*, so arbitrarily large
+    /// campaigns never hold more than the distilled records. Combine with
+    /// [`mix_seed`] for deterministic per-index RNG seeds.
+    pub fn run_seeded<G>(&self, n: usize, gen: G) -> CampaignReport
+    where
+        G: Fn(usize) -> Instance + Sync,
+    {
+        CampaignReport::of(par_map_indexed_with(self.threads, n, |i| {
+            let inst = gen(i);
+            RunRecord::from_report(&inst, &(self.solver)(&inst, &self.budget))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::solve_pair;
+    use rv_numeric::{ratio, Ratio};
+
+    fn type3(k: i64) -> Instance {
+        Instance::builder()
+            .position(
+                &ratio(2, 1) + &(&ratio(1, 4) * &Ratio::from_int(k)),
+                ratio(1, 2),
+            )
+            .r(ratio(2, 1))
+            .tau(ratio(2, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn aur_campaign_meets_type3() {
+        let instances: Vec<Instance> = (0..6).map(type3).collect();
+        let report = Campaign::aur(Budget::default().segments(300_000)).run(&instances);
+        assert_eq!(report.stats.n, 6);
+        assert_eq!(report.stats.met, 6);
+        assert_eq!(report.stats.rate(), "6/6");
+        assert!(report.stats.median_time.is_some());
+        assert_eq!(report.stats.per_class.len(), 1);
+        assert_eq!(report.stats.per_class[0].class, Classification::Type3);
+        assert_eq!(report.stats.per_class[0].met, 6);
+    }
+
+    #[test]
+    fn run_and_run_seeded_agree() {
+        let instances: Vec<Instance> = (0..10).map(type3).collect();
+        let campaign = Campaign::aur(Budget::default().segments(100_000));
+        let a = campaign.run(&instances);
+        let b = campaign.run_seeded(instances.len(), |i| instances[i].clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_the_report() {
+        let instances: Vec<Instance> = (0..12).map(type3).collect();
+        let budget = Budget::default().segments(100_000);
+        let one = Campaign::aur(budget.clone()).threads(1).run(&instances);
+        for threads in [2, 4, 0] {
+            let multi = Campaign::aur(budget.clone())
+                .threads(threads)
+                .run(&instances);
+            assert_eq!(one, multi);
+        }
+    }
+
+    #[test]
+    fn custom_solver_runs_pairs() {
+        // Empty programs: only the trivial instance meets.
+        let far = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .delay(ratio(5, 1))
+            .build()
+            .unwrap();
+        let near = Instance::builder()
+            .position(ratio(1, 2), Ratio::zero())
+            .r(Ratio::one())
+            .build()
+            .unwrap();
+        let report = Campaign::custom(Budget::default().segments(100), |inst, b| {
+            solve_pair(inst, std::iter::empty(), std::iter::empty(), b)
+        })
+        .run(&[far, near]);
+        assert_eq!(report.stats.met, 1);
+        assert!(!report.records[0].met);
+        assert!(report.records[1].met);
+    }
+
+    #[test]
+    fn empty_campaign_is_well_defined() {
+        let report = Campaign::aur(Budget::default()).run(&[]);
+        assert_eq!(report.stats.n, 0);
+        assert_eq!(report.stats.median_time, None);
+        assert_eq!(report.stats.median_segments, 0);
+        assert!(report.stats.min_dist_over_r.is_infinite());
+        assert!(report.stats.per_class.is_empty());
+    }
+
+    #[test]
+    fn mix_seed_has_no_trivial_collisions() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for seed in 0..16u64 {
+            for i in 0..256u64 {
+                assert!(seen.insert(mix_seed(seed, i)), "collision at ({seed}, {i})");
+            }
+        }
+        // Index 0 must not reuse the seed verbatim (the old xor scheme did).
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_ne!(mix_seed(seed, 0), seed);
+        }
+        // No linear collision class either: shifting the seed by the
+        // golden-ratio constant must not equal shifting the index by one
+        // (an additive pre-combination would make these always equal).
+        const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+        for seed in [0u64, 0xCAFE, 0xDEAD_BEEF, u64::MAX / 3] {
+            for i in 0..64u64 {
+                assert_ne!(
+                    mix_seed(seed, i + 1),
+                    mix_seed(seed.wrapping_add(GOLDEN), i),
+                    "golden-shift collision at ({seed}, {i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_quantiles_follow_sorted_order() {
+        let mk = |time: Option<f64>, segments: u64| RunRecord {
+            class: Classification::Type3,
+            met: time.is_some(),
+            time,
+            segments,
+            min_dist: 1.0,
+            radius: 2.0,
+        };
+        let records: Vec<RunRecord> = (0..10)
+            .map(|i| mk(Some(i as f64), 100 - i as u64))
+            .collect();
+        let s = CampaignStats::of(&records);
+        assert_eq!(s.median_time, Some(5.0));
+        // Nearest-rank p90 of 10 values is the 9th smallest, not the max.
+        assert_eq!(s.p90_time, Some(8.0));
+        assert_eq!(s.max_time, Some(9.0));
+        assert_eq!(s.median_segments, 96);
+        assert_eq!(s.p90_segments, 99);
+        assert_eq!(s.max_segments, 100);
+        assert_eq!(s.min_dist_over_r, 0.5);
+    }
+}

@@ -46,6 +46,8 @@
 pub mod analysis;
 mod api;
 mod aur;
+pub mod batch;
+pub mod parallel;
 
 pub use api::{
     dedicated_choice, solve, solve_asymmetric, solve_dedicated, solve_pair, Budget, DedicatedChoice,
@@ -53,6 +55,8 @@ pub use api::{
 pub use aur::{
     almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE,
 };
+pub use batch::{Campaign, CampaignReport, CampaignStats, RunRecord};
+pub use parallel::{par_map, par_map_indexed};
 
 // The theorem-level predicates and the search walks are part of the
 // paper-facing API surface.

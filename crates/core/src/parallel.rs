@@ -1,0 +1,333 @@
+//! Chunked, shared-nothing parallel map.
+//!
+//! Workers claim *chunks* of the index range from a single atomic counter
+//! (dynamic load balancing — fast workers steal the chunks slow workers
+//! never reach) and write results straight into disjoint regions of one
+//! pre-allocated output buffer. There is no per-item lock anywhere on the
+//! hot path: the only shared mutable state is the chunk counter and a
+//! panic slot that is touched exclusively while unwinding.
+//!
+//! Output order equals input order, so anything derived from the result
+//! vector is independent of thread scheduling — the property
+//! [`crate::batch`] builds its determinism guarantee on.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on items per claimed chunk. Small enough for good load
+/// balance on skewed workloads (one simulation can cost 10^6× another),
+/// large enough that counter traffic is negligible for cheap closures.
+const MAX_CHUNK: usize = 64;
+
+/// Pointer to the shared output buffer. Workers write disjoint index
+/// ranges, which is why handing the raw pointer to every thread is sound.
+struct OutPtr<R>(*mut MaybeUninit<R>);
+
+unsafe impl<R: Send> Send for OutPtr<R> {}
+unsafe impl<R: Send> Sync for OutPtr<R> {}
+
+impl<R> OutPtr<R> {
+    /// # Safety
+    ///
+    /// `idx` must be in bounds and written by exactly one thread.
+    unsafe fn write(&self, idx: usize, value: R) {
+        self.0.add(idx).write(MaybeUninit::new(value));
+    }
+}
+
+/// What the unwinding bookkeeping records: which prefix of which chunk
+/// was initialised before a worker's closure panicked, plus the first
+/// panic payload (later ones are dropped, matching rayon's behaviour).
+struct PanicLog {
+    first: Option<(usize, Box<dyn std::any::Any + Send>)>,
+    /// `(chunk_start, failed_index)` per panicked chunk: items in
+    /// `chunk_start..failed_index` are initialised and must be dropped.
+    partial: Vec<(usize, usize)>,
+}
+
+/// Applies `f` to every item in parallel, preserving input order in the
+/// output. Uses all available cores; see [`par_map_with`] for an explicit
+/// thread count.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic is propagated to the caller
+/// with a message naming the failing index.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(0, items, f)
+}
+
+/// [`par_map`] with an explicit worker count (`0` = all available cores).
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_with(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Index-driven variant: applies `f` to every index in `0..n` in
+/// parallel, returning results in index order. This is the primitive the
+/// batch engine uses to run seed-indexed workloads without materialising
+/// them first.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with(0, n, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker count (`0` = all cores).
+pub fn par_map_indexed_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(n);
+    if workers <= 1 {
+        // Same contract as the parallel path: a panic is re-raised naming
+        // the failing index.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(value) => out.push(value),
+                Err(payload) => {
+                    let msg = payload_message(payload.as_ref());
+                    panic!("par_map: worker panicked at item {i}: {msg}");
+                }
+            }
+        }
+        return out;
+    }
+
+    // ~8 chunks per worker keeps the tail balanced without hammering the
+    // counter; cap so skewed items cannot hide inside huge chunks.
+    let chunk = (n / (workers * 8)).clamp(1, MAX_CHUNK);
+    let n_chunks = n.div_ceil(chunk);
+
+    let mut out: Vec<MaybeUninit<R>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    let next_chunk = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let chunk_done: Vec<AtomicBool> = (0..n_chunks).map(|_| AtomicBool::new(false)).collect();
+    let panic_log = Mutex::new(PanicLog {
+        first: None,
+        partial: Vec::new(),
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = ((c + 1) * chunk).min(n);
+                    let mut cursor = start;
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        while cursor < end {
+                            let value = f(cursor);
+                            // Disjoint-region write: index `cursor` belongs
+                            // to this chunk and this chunk to this worker.
+                            unsafe { out_ptr.write(cursor, value) };
+                            cursor += 1;
+                        }
+                    }));
+                    match run {
+                        Ok(()) => {
+                            chunk_done[c].store(true, Ordering::Release);
+                        }
+                        Err(payload) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let mut log = panic_log.lock().unwrap_or_else(|e| e.into_inner());
+                            log.partial.push((start, cursor));
+                            if log.first.is_none() {
+                                log.first = Some((cursor, payload));
+                            }
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let log = panic_log.into_inner().unwrap_or_else(|e| e.into_inner());
+    if let Some((failed_idx, payload)) = log.first {
+        // Drop everything that *was* initialised, then re-panic naming the
+        // failing index so the caller can find the bad input.
+        for (c, done) in chunk_done.iter().enumerate() {
+            if done.load(Ordering::Acquire) {
+                let start = c * chunk;
+                let end = ((c + 1) * chunk).min(n);
+                for slot in &mut out[start..end] {
+                    unsafe { slot.assume_init_drop() };
+                }
+            }
+        }
+        for (start, failed) in &log.partial {
+            for slot in &mut out[*start..*failed] {
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+        let msg = payload_message(payload.as_ref());
+        panic!("par_map: worker panicked at item {failed_idx}: {msg}");
+    }
+
+    debug_assert!(chunk_done.iter().all(|d| d.load(Ordering::Acquire)));
+    // Every chunk completed, so every slot is initialised: reinterpret the
+    // buffer as Vec<R> without copying.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), out.len(), out.capacity()) }
+}
+
+/// Best-effort extraction of a human-readable panic message.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(&[] as &[u64], |x: &u64| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(&[7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn indexed_matches_slice_map() {
+        let items: Vec<u64> = (0..257).map(|i| i * 3 + 1).collect();
+        let a = par_map(&items, |x| x + 1);
+        let b = par_map_indexed(items.len(), |i| items[i] + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<u64> = (0..500).collect();
+        let seq = par_map_with(1, &items, |x| x ^ 0xABCD);
+        for threads in [2, 3, 8] {
+            assert_eq!(par_map_with(threads, &items, |x| x ^ 0xABCD), seq);
+        }
+    }
+
+    #[test]
+    fn heavy_skewed_closure_is_correct() {
+        // Item 0 is ~1000× the others: chunk stealing must still cover
+        // everything exactly once.
+        let items: Vec<u64> = (0..300).collect();
+        let out = par_map(&items, |&x| {
+            let spin = if x == 0 { 1_000_000 } else { 1_000 };
+            let mut acc = x;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn non_copy_results_survive() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |x| vec![*x; 3]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![i as u64; 3]);
+        }
+    }
+
+    #[test]
+    fn panic_names_failing_index() {
+        // `0` (auto, may be sequential on a 1-core box), `1` (explicitly
+        // sequential) and `4` (parallel) must all surface the same shape.
+        for threads in [0, 1, 4] {
+            let items: Vec<u64> = (0..64).collect();
+            let err = std::panic::catch_unwind(|| {
+                par_map_with(threads, &items, |&x| {
+                    if x == 37 {
+                        panic!("boom on {x}");
+                    }
+                    x
+                })
+            })
+            .expect_err("must propagate the panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("item 37"), "threads={threads}: {msg}");
+            assert!(msg.contains("boom on 37"), "threads={threads}: {msg}");
+        }
+    }
+
+    #[test]
+    fn panic_drops_completed_results() {
+        // Count drops of completed results to catch leaks/double-drops on
+        // the unwind path.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] u64);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let items: Vec<u64> = (0..128).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(2, &items, |&x| {
+                if x == 100 {
+                    panic!("dropped");
+                }
+                Counted(x)
+            })
+        });
+        assert!(result.is_err());
+        // Exactly the constructed survivors are dropped — we cannot know
+        // how many chunks completed, but every drop must be unique and
+        // below the item count (item 100 never constructed a value).
+        let drops = DROPS.load(Ordering::Relaxed);
+        assert!(drops < 128, "dropped {drops} of 128");
+    }
+}

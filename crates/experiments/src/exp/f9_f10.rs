@@ -3,7 +3,7 @@
 //! their home-turf instances.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::run_batch;
+use crate::runner::Campaign;
 use crate::svg::{Chart, Series};
 use crate::table::Table;
 use crate::workloads::sample;
@@ -86,12 +86,14 @@ pub fn f10(ctx: &Ctx) -> ExperimentOutput {
         })
         .collect();
     let cgkk_times: Vec<(Option<f64>, Option<f64>)> = {
-        let base = run_batch(&cgkk_instances, |inst| {
-            solve_pair(inst, cgkk(), cgkk(), &budget)
-        });
-        let aur = run_batch(&cgkk_instances, |inst| solve(inst, &budget));
-        base.iter()
-            .zip(&aur)
+        let base = Campaign::custom(budget.clone(), |inst, b| {
+            solve_pair(inst, cgkk(), cgkk(), b)
+        })
+        .run(&cgkk_instances);
+        let aur = Campaign::aur(budget.clone()).run(&cgkk_instances);
+        base.records
+            .iter()
+            .zip(&aur.records)
             .map(|(b, a)| (b.time, a.time))
             .collect()
     };
@@ -99,12 +101,14 @@ pub fn f10(ctx: &Ctx) -> ExperimentOutput {
     // Home turf of Latecomers: type-2 instances.
     let late_instances = sample(TargetClass::Type2, n, 0xF10_002);
     let late_times: Vec<(Option<f64>, Option<f64>)> = {
-        let base = run_batch(&late_instances, |inst| {
-            solve_pair(inst, latecomers(), latecomers(), &budget)
-        });
-        let aur = run_batch(&late_instances, |inst| solve(inst, &budget));
-        base.iter()
-            .zip(&aur)
+        let base = Campaign::custom(budget.clone(), |inst, b| {
+            solve_pair(inst, latecomers(), latecomers(), b)
+        })
+        .run(&late_instances);
+        let aur = Campaign::aur(budget.clone()).run(&late_instances);
+        base.records
+            .iter()
+            .zip(&aur.records)
             .map(|(b, a)| (b.time, a.time))
             .collect()
     };

@@ -3,10 +3,10 @@
 //! synchronous limit (F7), orientation gap toward the aligned limit (F8).
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{run_batch, Summary};
+use crate::runner::{Campaign, SummaryExt};
 use crate::svg::{Chart, Series};
 use crate::table::Table;
-use rv_core::{solve, Budget};
+use rv_core::Budget;
 use rv_geometry::Chirality;
 use rv_model::{classify, Angle, Instance};
 use rv_numeric::{ratio, Ratio};
@@ -24,6 +24,7 @@ pub fn f6(ctx: &Ctx) -> ExperimentOutput {
     );
     chart.log_y = true;
     let mut table = Table::new(["family", "ratio", "met", "median time"]);
+    let mut stats = Vec::new();
 
     for (family, chi) in [
         ("shift (χ=+1)", Chirality::Plus),
@@ -56,8 +57,8 @@ pub fn f6(ctx: &Ctx) -> ExperimentOutput {
             } else {
                 Budget::default().segments(ctx.scale.failure_segments)
             };
-            let results = run_batch(&instances, |inst| solve(inst, &budget));
-            let s = Summary::of(&results);
+            let report = Campaign::aur(budget).run(&instances);
+            let s = &report.stats;
             table.row([
                 family.to_string(),
                 format!("{p}/{q}"),
@@ -67,12 +68,14 @@ pub fn f6(ctx: &Ctx) -> ExperimentOutput {
             if let Some(t) = s.median_time {
                 pts.push((p as f64 / q as f64, t));
             }
+            stats.push((format!("{family} rho={p}/{q}"), report.stats));
         }
         chart.push(Series::marked(family, pts));
     }
 
     ctx.write("f6_delay_sweep.svg", &chart.render());
     ctx.write("f6_delay_sweep.csv", &table.to_csv());
+    ctx.write_stats_json("f6_stats.json", "f6", &stats);
     ExperimentOutput {
         id: "f6",
         title: "Figure 6 — delay sweep across the feasibility boundary",
@@ -86,7 +89,11 @@ pub fn f6(ctx: &Ctx) -> ExperimentOutput {
              covering *all* of them is impossible.\n\n{}",
             table.to_markdown()
         ),
-        artifacts: vec!["f6_delay_sweep.svg".into(), "f6_delay_sweep.csv".into()],
+        artifacts: vec![
+            "f6_delay_sweep.svg".into(),
+            "f6_delay_sweep.csv".into(),
+            "f6_stats.json".into(),
+        ],
     }
 }
 
@@ -98,6 +105,7 @@ pub fn f7(ctx: &Ctx) -> ExperimentOutput {
     let mut time_pts = Vec::new();
     let mut seg_pts = Vec::new();
     let mut table = Table::new(["τ", "met", "median time", "median segments"]);
+    let mut stats = Vec::new();
 
     for (p, q) in taus {
         let tau = ratio(p, q);
@@ -116,8 +124,8 @@ pub fn f7(ctx: &Ctx) -> ExperimentOutput {
             })
             .collect();
         let budget = Budget::default().segments(ctx.scale.success_segments * 2);
-        let results = run_batch(&instances, |inst| solve(inst, &budget));
-        let s = Summary::of(&results);
+        let report = Campaign::aur(budget).run(&instances);
+        let s = &report.stats;
         table.row([
             format!("{p}/{q}"),
             s.rate(),
@@ -129,6 +137,7 @@ pub fn f7(ctx: &Ctx) -> ExperimentOutput {
             time_pts.push((x - 1.0, t));
         }
         seg_pts.push((x - 1.0, s.median_segments as f64));
+        stats.push((format!("tau={p}/{q}"), report.stats));
     }
 
     let mut chart = Chart::new(
@@ -142,6 +151,7 @@ pub fn f7(ctx: &Ctx) -> ExperimentOutput {
     chart.push(Series::marked("median segments", seg_pts).dashed());
     ctx.write("f7_tau_sweep.svg", &chart.render());
     ctx.write("f7_tau_sweep.csv", &table.to_csv());
+    ctx.write_stats_json("f7_stats.json", "f7", &stats);
     ExperimentOutput {
         id: "f7",
         title: "Figure 7 — clock-ratio sweep (type 3)",
@@ -154,7 +164,11 @@ pub fn f7(ctx: &Ctx) -> ExperimentOutput {
              experiment T7 quantifies.\n\n{}",
             table.to_markdown()
         ),
-        artifacts: vec!["f7_tau_sweep.svg".into(), "f7_tau_sweep.csv".into()],
+        artifacts: vec![
+            "f7_tau_sweep.svg".into(),
+            "f7_tau_sweep.csv".into(),
+            "f7_stats.json".into(),
+        ],
     }
 }
 
@@ -165,6 +179,7 @@ pub fn f8(ctx: &Ctx) -> ExperimentOutput {
 
     let mut pts = Vec::new();
     let mut table = Table::new(["φ", "met", "median time", "median segments"]);
+    let mut stats = Vec::new();
 
     for k in phis {
         let phi = Angle::pi_frac(1, k);
@@ -185,8 +200,8 @@ pub fn f8(ctx: &Ctx) -> ExperimentOutput {
             assert!(classify(inst).aur_guaranteed());
         }
         let budget = Budget::default().segments(ctx.scale.success_segments * 2);
-        let results = run_batch(&instances, |inst| solve(inst, &budget));
-        let s = Summary::of(&results);
+        let report = Campaign::aur(budget).run(&instances);
+        let s = &report.stats;
         table.row([
             format!("π/{k}"),
             s.rate(),
@@ -196,6 +211,7 @@ pub fn f8(ctx: &Ctx) -> ExperimentOutput {
         if let Some(t) = s.median_time {
             pts.push((std::f64::consts::PI / k as f64, t));
         }
+        stats.push((format!("phi=pi/{k}"), report.stats));
     }
 
     let mut chart = Chart::new(
@@ -208,6 +224,7 @@ pub fn f8(ctx: &Ctx) -> ExperimentOutput {
     chart.push(Series::marked("median time", pts));
     ctx.write("f8_phi_sweep.svg", &chart.render());
     ctx.write("f8_phi_sweep.csv", &table.to_csv());
+    ctx.write_stats_json("f8_stats.json", "f8", &stats);
     ExperimentOutput {
         id: "f8",
         title: "Figure 8 — orientation sweep (type 4)",
@@ -218,7 +235,11 @@ pub fn f8(ctx: &Ctx) -> ExperimentOutput {
              aligned limit, which is infeasible at t = 0).\n\n{}",
             table.to_markdown()
         ),
-        artifacts: vec!["f8_phi_sweep.svg".into(), "f8_phi_sweep.csv".into()],
+        artifacts: vec![
+            "f8_phi_sweep.svg".into(),
+            "f8_phi_sweep.csv".into(),
+            "f8_stats.json".into(),
+        ],
     }
 }
 

@@ -7,11 +7,11 @@
 //! impossibility arguments of Lemmas 3.8/3.9).
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{run_batch, Summary};
+use crate::runner::{Campaign, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
 use crate::workloads::sample;
-use rv_core::{dedicated_choice, solve_dedicated, Budget};
+use rv_core::{dedicated_choice, Budget};
 use rv_model::TargetClass;
 
 /// Runs the experiment.
@@ -25,6 +25,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         "median time",
         "min dist / r",
     ]);
+    let mut stats = Vec::new();
 
     for class in TargetClass::all() {
         let instances = sample(
@@ -39,8 +40,8 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         } else {
             Budget::default().segments(ctx.scale.failure_segments)
         };
-        let results = run_batch(&instances, |inst| solve_dedicated(inst, &budget));
-        let s = Summary::of(&results);
+        let report = Campaign::dedicated(budget).run(&instances);
+        let s = &report.stats;
         let alg = format!("{:?}", dedicated_choice(&instances[0]));
         table.row([
             format!("{class:?}"),
@@ -51,10 +52,12 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             s.median_time_str(),
             fnum(s.min_dist_over_r),
         ]);
+        stats.push((format!("{class:?}"), report.stats));
     }
 
     ctx.write("t1_feasibility.md", &table.to_markdown());
     ctx.write("t1_feasibility.csv", &table.to_csv());
+    ctx.write_stats_json("t1_stats.json", "t1", &stats);
 
     let markdown = format!(
         "Validates the feasibility characterization constructively: every \
@@ -67,6 +70,10 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         id: "t1",
         title: "Theorem 3.1 — feasibility characterization",
         markdown,
-        artifacts: vec!["t1_feasibility.md".into(), "t1_feasibility.csv".into()],
+        artifacts: vec![
+            "t1_feasibility.md".into(),
+            "t1_feasibility.csv".into(),
+            "t1_stats.json".into(),
+        ],
     }
 }

@@ -6,11 +6,11 @@
 //! four per-type mechanisms.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{run_batch, Summary};
+use crate::runner::{Campaign, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
 use crate::workloads::sample;
-use rv_core::{solve, Budget};
+use rv_core::Budget;
 use rv_model::TargetClass;
 
 const FAMILIES: [TargetClass; 5] = [
@@ -31,6 +31,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         "median segments",
         "min dist / r",
     ]);
+    let mut stats = Vec::new();
 
     for class in FAMILIES {
         let instances = sample(
@@ -39,20 +40,22 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             0x72_0000 + class.expected() as u64,
         );
         let budget = Budget::default().segments(ctx.scale.success_segments);
-        let results = run_batch(&instances, |inst| solve(inst, &budget));
-        let s = Summary::of(&results);
+        let report = Campaign::aur(budget).run(&instances);
+        let s = &report.stats;
         table.row([
             format!("{class:?}"),
             s.rate(),
             s.median_time_str(),
-            s.max_time.map(fnum).unwrap_or_else(|| "—".into()),
+            s.max_time_str(),
             s.median_segments.to_string(),
             fnum(s.min_dist_over_r),
         ]);
+        stats.push((format!("{class:?}"), report.stats));
     }
 
     ctx.write("t2_aur_coverage.md", &table.to_markdown());
     ctx.write("t2_aur_coverage.csv", &table.to_csv());
+    ctx.write_stats_json("t2_stats.json", "t2", &stats);
 
     let markdown = format!(
         "The single algorithm `AlmostUniversalRV` run on both (anonymous) \
@@ -63,6 +66,10 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         id: "t2",
         title: "Theorem 3.2 — AlmostUniversalRV coverage",
         markdown,
-        artifacts: vec!["t2_aur_coverage.md".into(), "t2_aur_coverage.csv".into()],
+        artifacts: vec![
+            "t2_aur_coverage.md".into(),
+            "t2_aur_coverage.csv".into(),
+            "t2_stats.json".into(),
+        ],
     }
 }

@@ -19,10 +19,10 @@
 //! distance cleanly exhibits `min dist > r`.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{run_batch, RunResult, Summary};
+use crate::runner::Campaign;
 use crate::table::Table;
 use crate::util::fnum;
-use rv_core::{solve, solve_dedicated, Budget};
+use rv_core::Budget;
 use rv_geometry::Chirality;
 use rv_model::{classify, Classification, Instance};
 use rv_numeric::{ratio, Ratio};
@@ -76,6 +76,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         "dedicated met",
         "dedicated |meet dist − r|/r",
     ]);
+    let mut stats = Vec::new();
 
     for (name, instances, expected) in [
         (
@@ -95,35 +96,38 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         // AUR with strict (negative-slack) detection.
         let mut aur_budget = Budget::default().segments(ctx.scale.failure_segments);
         aur_budget.detection_slack = -1e-9;
-        let aur: Vec<RunResult> = run_batch(&instances, |inst| solve(inst, &aur_budget));
-        let aur_summary = Summary::of(&aur);
+        let aur = Campaign::aur(aur_budget).run(&instances);
         let min_gap = aur
+            .records
             .iter()
-            .map(|r| r.min_dist / r.radius - 1.0)
+            .map(|r| r.min_dist_over_r() - 1.0)
             .fold(f64::INFINITY, f64::min);
 
         // Dedicated algorithm with the normal slack (it must catch the
         // exact-r touch).
         let ded_budget = Budget::default().segments(ctx.scale.success_segments);
-        let ded: Vec<RunResult> = run_batch(&instances, |inst| solve_dedicated(inst, &ded_budget));
-        let ded_summary = Summary::of(&ded);
+        let ded = Campaign::dedicated(ded_budget).run(&instances);
         let worst_meet_err = ded
+            .records
             .iter()
             .filter(|r| r.met)
-            .map(|r| (r.min_dist / r.radius - 1.0).abs())
+            .map(|r| (r.min_dist_over_r() - 1.0).abs())
             .fold(0.0, f64::max);
 
         table.row([
             name.to_string(),
-            aur_summary.rate(),
+            aur.stats.rate(),
             fnum(min_gap),
-            ded_summary.rate(),
+            ded.stats.rate(),
             fnum(worst_meet_err),
         ]);
+        stats.push((format!("{name} / AUR"), aur.stats));
+        stats.push((format!("{name} / dedicated"), ded.stats));
     }
 
     ctx.write("t3_exceptions.md", &table.to_markdown());
     ctx.write("t3_exceptions.csv", &table.to_csv());
+    ctx.write_stats_json("t3_stats.json", "t3", &stats);
 
     let markdown = format!(
         "Boundary instances are feasible (dedicated algorithms meet at \
@@ -138,6 +142,10 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         id: "t3",
         title: "Theorem 4.1 — the exception sets S1/S2",
         markdown,
-        artifacts: vec!["t3_exceptions.md".into(), "t3_exceptions.csv".into()],
+        artifacts: vec![
+            "t3_exceptions.md".into(),
+            "t3_exceptions.csv".into(),
+            "t3_stats.json".into(),
+        ],
     }
 }

@@ -9,10 +9,10 @@
 //! radius).
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{run_batch, Summary};
+use crate::runner::{Campaign, SummaryExt};
 use crate::table::Table;
 use crate::workloads::sample;
-use rv_core::{almost_universal_rv, solve, solve_asymmetric, Budget};
+use rv_core::{almost_universal_rv, solve_asymmetric, Budget};
 use rv_model::{classify_with_eps, Instance, TargetClass};
 use rv_numeric::{ratio, Ratio};
 
@@ -49,6 +49,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         "median time (asym)",
         "median time (equal r)",
     ]);
+    let mut stats = Vec::new();
 
     for class in FAMILIES {
         let raw = sample(
@@ -59,19 +60,19 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         let instances = keep_guaranteed_at(raw, factor.clone());
         let budget = Budget::default().segments(ctx.scale.success_segments);
 
-        let asym = run_batch(&instances, |inst| {
+        let asym = Campaign::custom(budget.clone(), |inst, b| {
             solve_asymmetric(
                 inst,
                 inst.r.clone(),
                 &inst.r * &factor,
                 almost_universal_rv(),
                 almost_universal_rv(),
-                &budget,
+                b,
             )
-        });
-        let equal = run_batch(&instances, |inst| solve(inst, &budget));
-        let sa = Summary::of(&asym);
-        let se = Summary::of(&equal);
+        })
+        .run(&instances);
+        let equal = Campaign::aur(budget).run(&instances);
+        let (sa, se) = (&asym.stats, &equal.stats);
         table.row([
             format!("{class:?}"),
             instances.len().to_string(),
@@ -79,10 +80,13 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             sa.median_time_str(),
             se.median_time_str(),
         ]);
+        stats.push((format!("{class:?} / asym"), asym.stats.clone()));
+        stats.push((format!("{class:?} / equal"), equal.stats.clone()));
     }
 
     ctx.write("t4_asymmetric_radii.md", &table.to_markdown());
     ctx.write("t4_asymmetric_radii.csv", &table.to_csv());
+    ctx.write_stats_json("t4_stats.json", "t4", &stats);
 
     let markdown = format!(
         "Section 5 extension: r1 = r, r2 = r/4. The far-sighted agent \
@@ -98,6 +102,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         artifacts: vec![
             "t4_asymmetric_radii.md".into(),
             "t4_asymmetric_radii.csv".into(),
+            "t4_stats.json".into(),
         ],
     }
 }

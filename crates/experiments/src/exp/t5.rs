@@ -7,7 +7,7 @@
 //! infeasible at `t = 0` and excluded from the contract.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{run_batch, Summary};
+use crate::runner::{Campaign, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
 use crate::workloads::sample;
@@ -60,6 +60,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         "median time",
         "min dist / r",
     ]);
+    let mut stats = Vec::new();
 
     for (name, instances, in_contract) in families {
         let budget = if in_contract {
@@ -67,8 +68,9 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         } else {
             Budget::default().segments(ctx.scale.failure_segments)
         };
-        let results = run_batch(&instances, |inst| solve_pair(inst, cgkk(), cgkk(), &budget));
-        let s = Summary::of(&results);
+        let report =
+            Campaign::custom(budget, |inst, b| solve_pair(inst, cgkk(), cgkk(), b)).run(&instances);
+        let s = &report.stats;
         table.row([
             name.to_string(),
             if in_contract {
@@ -80,10 +82,12 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             s.median_time_str(),
             fnum(s.min_dist_over_r),
         ]);
+        stats.push((name.to_string(), report.stats));
     }
 
     ctx.write("t5_cgkk_contract.md", &table.to_markdown());
     ctx.write("t5_cgkk_contract.csv", &table.to_csv());
+    ctx.write_stats_json("t5_stats.json", "t5", &stats);
 
     let markdown = format!(
         "Contract validation of the reconstructed CGKK procedure \
@@ -96,6 +100,10 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         id: "t5",
         title: "CGKK contract validation",
         markdown,
-        artifacts: vec!["t5_cgkk_contract.md".into(), "t5_cgkk_contract.csv".into()],
+        artifacts: vec![
+            "t5_cgkk_contract.md".into(),
+            "t5_cgkk_contract.csv".into(),
+            "t5_stats.json".into(),
+        ],
     }
 }

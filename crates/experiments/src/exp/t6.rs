@@ -7,7 +7,7 @@
 //! it must meet, faster the larger the slack.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{run_batch, Summary};
+use crate::runner::{Campaign, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
 use rv_baselines::latecomers;
@@ -49,6 +49,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         "median time",
         "min dist / r",
     ]);
+    let mut stats = Vec::new();
 
     for (p, q) in RATIOS {
         let rho = ratio(p, q);
@@ -74,10 +75,11 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         } else {
             Budget::default().segments(ctx.scale.failure_segments)
         };
-        let results = run_batch(&instances, |inst| {
-            solve_pair(inst, latecomers(), latecomers(), &budget)
-        });
-        let s = Summary::of(&results);
+        let report = Campaign::custom(budget, |inst, b| {
+            solve_pair(inst, latecomers(), latecomers(), b)
+        })
+        .run(&instances);
+        let s = &report.stats;
         table.row([
             format!("{p}/{q}"),
             if feasible { "yes".into() } else { "no".into() },
@@ -85,10 +87,12 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             s.median_time_str(),
             fnum(s.min_dist_over_r),
         ]);
+        stats.push((format!("rho={p}/{q}"), report.stats));
     }
 
     ctx.write("t6_latecomers_contract.md", &table.to_markdown());
     ctx.write("t6_latecomers_contract.csv", &table.to_csv());
+    ctx.write_stats_json("t6_stats.json", "t6", &stats);
 
     let markdown = format!(
         "Contract validation of the reconstructed Latecomers procedure \
@@ -104,6 +108,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         artifacts: vec![
             "t6_latecomers_contract.md".into(),
             "t6_latecomers_contract.csv".into(),
+            "t6_stats.json".into(),
         ],
     }
 }

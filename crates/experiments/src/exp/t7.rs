@@ -10,11 +10,11 @@
 //! proof reasons about.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::run_batch;
+use crate::runner::Campaign;
 use crate::table::Table;
 use crate::workloads::sample;
 use rv_core::analysis::{phase_bound, phase_of_time};
-use rv_core::{solve, Budget};
+use rv_core::Budget;
 use rv_model::TargetClass;
 use rv_numeric::Ratio;
 
@@ -37,17 +37,18 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         "paper bound (median)",
         "violations (observed > bound)",
     ]);
+    let mut stats = Vec::new();
 
     for class in FAMILIES {
         let instances = sample(class, n, 0x77_0000 + class.expected() as u64);
         let budget = Budget::default().segments(ctx.scale.success_segments);
-        let results = run_batch(&instances, |inst| solve(inst, &budget));
+        let report = Campaign::aur(budget).run(&instances);
 
         let mut observed: Vec<u32> = Vec::new();
         let mut bounds: Vec<u32> = Vec::new();
         let mut violations = 0usize;
         let mut met = 0usize;
-        for (inst, res) in instances.iter().zip(&results) {
+        for (inst, res) in instances.iter().zip(&report.records) {
             let bound = phase_bound(inst).expect("guaranteed classes have bounds");
             bounds.push(bound);
             if let Some(t) = res.time {
@@ -82,10 +83,12 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             med(&bounds),
             violations.to_string(),
         ]);
+        stats.push((format!("{class:?}"), report.stats));
     }
 
     ctx.write("t7_phase_bounds.md", &table.to_markdown());
     ctx.write("t7_phase_bounds.csv", &table.to_csv());
+    ctx.write_stats_json("t7_stats.json", "t7", &stats);
 
     let markdown = format!(
         "Observed meeting phases vs the worst-case phase indices from the \
@@ -98,6 +101,10 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         id: "t7",
         title: "Phase-bound calibration (Lemmas 3.2–3.5)",
         markdown,
-        artifacts: vec!["t7_phase_bounds.md".into(), "t7_phase_bounds.csv".into()],
+        artifacts: vec![
+            "t7_phase_bounds.md".into(),
+            "t7_phase_bounds.csv".into(),
+            "t7_stats.json".into(),
+        ],
     }
 }

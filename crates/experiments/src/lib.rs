@@ -1,9 +1,10 @@
 //! # rv-experiments — the evaluation harness
 //!
 //! Regenerates every table and figure of the reproduction (`EXPERIMENTS.md`
-//! and `DESIGN.md` §5): seeded workloads per instance family, a
-//! crossbeam-based parallel batch runner, Markdown/CSV table rendering and
-//! self-contained SVG charts/canvases, plus one module per experiment.
+//! and `DESIGN.md` §5): seeded workloads per instance family, batch
+//! execution through [`rv_core::batch::Campaign`], Markdown/CSV/JSON
+//! rendering and self-contained SVG charts/canvases, plus one module per
+//! experiment.
 //!
 //! Run everything with:
 //!
@@ -14,7 +15,6 @@
 #![warn(missing_docs)]
 
 pub mod exp;
-pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod svg;

@@ -1,111 +1,33 @@
-//! Batch execution of solver runs with summary statistics.
+//! Batch execution for experiments, built on [`rv_core::batch`].
+//!
+//! The bespoke per-experiment loops (and the old lock-per-item parallel
+//! runner) are gone: every experiment constructs a [`Campaign`] — solver
+//! choice + per-run budget + parallelism — and consumes its records and
+//! aggregate stats. This module only adds the experiment-facing sugar:
+//! re-exports under the historical names and display helpers for tables.
 
-use crate::parallel::par_map;
-use rv_model::Instance;
-use rv_sim::SimReport;
+use crate::util::fnum;
 
-/// Distilled result of one run.
-#[derive(Clone, Debug)]
-pub struct RunResult {
-    /// Whether rendezvous happened.
-    pub met: bool,
-    /// Simulated meeting time (f64; None when not met).
-    pub time: Option<f64>,
-    /// Motion segments processed.
-    pub segments: u64,
-    /// Minimum distance observed.
-    pub min_dist: f64,
-    /// The instance radius (for min-dist normalisation).
-    pub radius: f64,
+pub use rv_core::batch::{
+    Campaign, CampaignReport, CampaignStats as Summary, RunRecord as RunResult,
+};
+
+/// Table-display helpers for [`Summary`] (kept out of `rv-core`, which
+/// stays formatting-free).
+pub trait SummaryExt {
+    /// Median time as a display string (or "—").
+    fn median_time_str(&self) -> String;
+    /// Max time as a display string (or "—").
+    fn max_time_str(&self) -> String;
 }
 
-impl RunResult {
-    /// Builds from a full report.
-    pub fn from_report(inst: &Instance, report: &SimReport) -> RunResult {
-        RunResult {
-            met: report.met(),
-            time: report.meeting_time(),
-            segments: report.segments,
-            min_dist: report.min_dist,
-            radius: inst.r.to_f64(),
-        }
-    }
-}
-
-/// Runs `solver` over all instances in parallel.
-pub fn run_batch<F>(instances: &[Instance], solver: F) -> Vec<RunResult>
-where
-    F: Fn(&Instance) -> SimReport + Sync,
-{
-    par_map(instances, |inst| {
-        RunResult::from_report(inst, &solver(inst))
-    })
-}
-
-/// Aggregate statistics of a batch.
-#[derive(Clone, Debug)]
-pub struct Summary {
-    /// Number of runs.
-    pub n: usize,
-    /// Number of successful rendezvous.
-    pub met: usize,
-    /// Median meeting time over successful runs.
-    pub median_time: Option<f64>,
-    /// Maximum meeting time over successful runs.
-    pub max_time: Option<f64>,
-    /// Median segments over all runs.
-    pub median_segments: u64,
-    /// Minimum over runs of (min distance / radius); < 1 means some run
-    /// got inside the radius.
-    pub min_dist_over_r: f64,
-}
-
-impl Summary {
-    /// Summarises a batch.
-    pub fn of(results: &[RunResult]) -> Summary {
-        let n = results.len();
-        let met = results.iter().filter(|r| r.met).count();
-        let mut times: Vec<f64> = results.iter().filter_map(|r| r.time).collect();
-        times.sort_by(|a, b| a.total_cmp(b));
-        let mut segs: Vec<u64> = results.iter().map(|r| r.segments).collect();
-        segs.sort_unstable();
-        let min_ratio = results
-            .iter()
-            .map(|r| r.min_dist / r.radius)
-            .fold(f64::INFINITY, f64::min);
-        Summary {
-            n,
-            met,
-            median_time: median_f64(&times),
-            max_time: times.last().copied(),
-            median_segments: if segs.is_empty() {
-                0
-            } else {
-                segs[segs.len() / 2]
-            },
-            min_dist_over_r: min_ratio,
-        }
+impl SummaryExt for Summary {
+    fn median_time_str(&self) -> String {
+        self.median_time.map(fnum).unwrap_or_else(|| "—".into())
     }
 
-    /// `met/n` as a display string.
-    pub fn rate(&self) -> String {
-        format!("{}/{}", self.met, self.n)
-    }
-
-    /// Median time display (or "—").
-    pub fn median_time_str(&self) -> String {
-        match self.median_time {
-            Some(t) => crate::util::fnum(t),
-            None => "—".into(),
-        }
-    }
-}
-
-fn median_f64(sorted: &[f64]) -> Option<f64> {
-    if sorted.is_empty() {
-        None
-    } else {
-        Some(sorted[sorted.len() / 2])
+    fn max_time_str(&self) -> String {
+        self.max_time.map(fnum).unwrap_or_else(|| "—".into())
     }
 }
 
@@ -116,14 +38,26 @@ mod tests {
     use rv_model::TargetClass;
 
     #[test]
-    fn batch_runs_and_summarises() {
+    fn campaign_runs_and_summarises() {
         let instances = crate::workloads::sample(TargetClass::S1, 6, 11);
-        let budget = Budget::default().segments(10_000);
-        let results = run_batch(&instances, |inst| solve_dedicated(inst, &budget));
-        let s = Summary::of(&results);
+        let report = Campaign::custom(Budget::default().segments(10_000), |inst, b| {
+            solve_dedicated(inst, b)
+        })
+        .run(&instances);
+        let s = &report.stats;
         assert_eq!(s.n, 6);
         assert_eq!(s.met, 6, "dedicated beeline must meet all S1 instances");
         assert!(s.median_time.is_some());
+        assert_ne!(s.median_time_str(), "—");
         assert!(s.min_dist_over_r <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn dedicated_constructor_matches_custom_closure() {
+        let instances = crate::workloads::sample(TargetClass::Type2, 4, 3);
+        let budget = Budget::default().segments(50_000);
+        let a = Campaign::dedicated(budget.clone()).run(&instances);
+        let b = Campaign::custom(budget, solve_dedicated).run(&instances);
+        assert_eq!(a, b);
     }
 }

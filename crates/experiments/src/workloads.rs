@@ -2,21 +2,27 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rv_core::batch::mix_seed;
 use rv_model::{generate, Instance, TargetClass};
-
-/// Golden-ratio multiplier for per-index seed derivation.
-const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Samples `n` instances of `class`, deterministically from `seed`.
 /// Each instance gets its own derived RNG, so samples are stable under
 /// reordering and parallel generation.
+///
+/// Per-index seeds go through [`mix_seed`]'s SplitMix64 finalizer; the
+/// previous `seed ^ i·GOLDEN` scheme reused `seed` verbatim at index 0
+/// and collided across distinct `(seed, i)` pairs under xor.
 pub fn sample(class: TargetClass, n: usize, seed: u64) -> Vec<Instance> {
     (0..n as u64)
-        .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seed ^ i.wrapping_mul(GOLDEN));
-            generate(&mut rng, class)
-        })
+        .map(|i| generate(&mut StdRng::seed_from_u64(mix_seed(seed, i)), class))
         .collect()
+}
+
+/// The single instance `sample(class, i + 1, seed)` would put at index
+/// `i`, generated without materialising the prefix — the seed-indexed
+/// form campaign streams consume.
+pub fn sample_one(class: TargetClass, seed: u64, i: u64) -> Instance {
+    generate(&mut StdRng::seed_from_u64(mix_seed(seed, i)), class)
 }
 
 /// Experiment scale knobs.
@@ -81,5 +87,43 @@ mod tests {
         let sa: Vec<String> = a.iter().map(|i| i.to_string()).collect();
         let sb: Vec<String> = b.iter().map(|i| i.to_string()).collect();
         assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn index_zero_does_not_reuse_the_raw_seed() {
+        // Regression for the xor scheme at the sample() level: index 0 of
+        // a sampled workload used the campaign seed verbatim, so two
+        // campaigns could share instances across indices. The workload
+        // at `seed` must differ from a direct raw-seed generation, and
+        // golden-ratio-shifted seeds must not reproduce each other's
+        // streams off by one (the xor scheme's collision class).
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rv_model::generate;
+
+        let seed = 0xAB_CDEF;
+        let raw = generate(&mut StdRng::seed_from_u64(seed), TargetClass::Type3).to_string();
+        assert_ne!(sample(TargetClass::Type3, 1, seed)[0].to_string(), raw);
+
+        const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+        let a = sample(TargetClass::Type3, 8, seed);
+        let b = sample(TargetClass::Type3, 8, seed.wrapping_add(GOLDEN));
+        for (i, inst) in a.iter().enumerate().skip(1) {
+            assert_ne!(
+                inst.to_string(),
+                b[i - 1].to_string(),
+                "golden-shifted workloads must not overlap (index {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_one_matches_sample_prefixes() {
+        for (i, inst) in sample(TargetClass::Type2, 5, 99).iter().enumerate() {
+            assert_eq!(
+                sample_one(TargetClass::Type2, 99, i as u64).to_string(),
+                inst.to_string()
+            );
+        }
     }
 }

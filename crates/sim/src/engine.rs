@@ -91,39 +91,55 @@ impl Tracer {
         let time = time.max(self.last_time);
         self.last_time = time;
         if self.counter.is_multiple_of(self.stride) {
-            self.samples.push(TraceSample {
+            let sample = TraceSample {
                 time,
                 pos_a,
                 pos_b,
                 dist: pos_a.dist(pos_b),
-            });
-            if self.samples.len() >= self.cap {
-                let mut keep = Vec::with_capacity(self.cap / 2 + 1);
-                for (i, s) in self.samples.drain(..).enumerate() {
-                    if i % 2 == 0 {
-                        keep.push(s);
+            };
+            if self.cap == 1 {
+                // Single-slot trace: keep the latest sample. Decimation
+                // would degenerate here (every push would halve-and-double
+                // forever, growing `stride` without bound).
+                self.samples.clear();
+                self.samples.push(sample);
+            } else {
+                self.samples.push(sample);
+                if self.samples.len() >= self.cap {
+                    let mut keep = Vec::with_capacity(self.cap / 2 + 1);
+                    for (i, s) in self.samples.drain(..).enumerate() {
+                        if i % 2 == 0 {
+                            keep.push(s);
+                        }
                     }
+                    self.samples = keep;
+                    self.stride = self.stride.saturating_mul(2);
                 }
-                self.samples = keep;
-                self.stride *= 2;
             }
         }
         self.counter += 1;
     }
 
-    /// Records unconditionally (used for the final/meeting sample).
+    /// Records unconditionally (used for the final/meeting sample),
+    /// replacing the newest sample when the trace is at capacity so
+    /// `samples.len() ≤ cap` holds for every cap, including 1.
     fn record_final(&mut self, time: f64, pos_a: Vec2, pos_b: Vec2) {
         if self.cap == 0 {
             return;
         }
         let time = time.max(self.last_time);
         self.last_time = time;
-        self.samples.push(TraceSample {
+        let sample = TraceSample {
             time,
             pos_a,
             pos_b,
             dist: pos_a.dist(pos_b),
-        });
+        };
+        if self.samples.len() >= self.cap {
+            *self.samples.last_mut().expect("cap > 0 ⇒ non-empty") = sample;
+        } else {
+            self.samples.push(sample);
+        }
     }
 }
 
@@ -560,6 +576,67 @@ mod tests {
         assert!(!report.met());
         assert!((report.min_dist - 5.0).abs() < 1e-9);
         assert!((report.min_dist_time - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tracer_tiny_caps_are_clamped() {
+        // Regression: cap = 1 used to decimate on every push and double
+        // `stride` without bound. Now cap 0 records nothing, cap 1 keeps
+        // exactly the latest sample at stride 1, cap 2 stays within cap
+        // with a saturating stride.
+        for cap in [0usize, 1, 2] {
+            let mut tracer = Tracer::new(cap);
+            for k in 0..10_000 {
+                tracer.record(k as f64, Vec2::new(k as f64, 0.0), Vec2::ZERO);
+            }
+            assert!(
+                tracer.samples.len() <= cap,
+                "cap {cap}: {} samples",
+                tracer.samples.len()
+            );
+            if cap == 1 {
+                assert_eq!(tracer.stride, 1, "cap 1 must not grow its stride");
+                assert_eq!(tracer.samples[0].time, 9_999.0, "cap 1 keeps the latest");
+            }
+            tracer.record_final(10_000.0, Vec2::ZERO, Vec2::ZERO);
+            assert!(tracer.samples.len() <= cap);
+            if cap > 0 {
+                assert_eq!(tracer.samples.last().unwrap().time, 10_000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tracer_stride_saturates() {
+        let mut tracer = Tracer::new(2);
+        tracer.stride = u64::MAX / 2 + 1;
+        // Counter 0 is a multiple of any stride: two pushes trigger a
+        // decimation whose doubling must saturate instead of overflowing.
+        tracer.counter = 0;
+        tracer.record(0.0, Vec2::ZERO, Vec2::ZERO);
+        tracer.counter = 0;
+        tracer.record(1.0, Vec2::ZERO, Vec2::ZERO);
+        assert_eq!(tracer.stride, u64::MAX);
+    }
+
+    #[test]
+    fn trace_cap_one_single_latest_sample_through_simulate() {
+        let prog_a = std::iter::repeat_with(|| {
+            vec![
+                Instr::go(Compass::East, ratio(1, 1)),
+                Instr::go(Compass::West, ratio(1, 1)),
+            ]
+        })
+        .flatten();
+        let config = cfg(1).max_time(ratio(100, 1)).trace(1);
+        let report = simulate(
+            AgentAttrs::reference(),
+            prog_a,
+            attrs_at(10.0, Ratio::zero()),
+            std::iter::empty(),
+            &config,
+        );
+        assert_eq!(report.trace.len(), 1);
     }
 
     #[test]

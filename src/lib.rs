@@ -31,7 +31,7 @@ pub use rv_trajectory as trajectory;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use rv_core::{classify, feasible, solve, solve_dedicated, solve_pair, Budget};
+    pub use rv_core::{classify, feasible, solve, solve_dedicated, solve_pair, Budget, Campaign};
     pub use rv_geometry::{Angle, Vec2};
     pub use rv_model::{Chirality, Classification, Instance};
     pub use rv_numeric::{int, ratio, Int, Ratio};

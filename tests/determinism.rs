@@ -74,6 +74,52 @@ fn giant_wait_does_not_perturb_subsequent_schedule() {
 }
 
 #[test]
+fn campaign_stats_are_identical_across_thread_counts() {
+    // A campaign over a fixed seed-indexed workload must produce
+    // byte-identical records and aggregate stats no matter how many
+    // workers run it: results land by index, stats fold over that order.
+    use plane_rendezvous::core::batch::mix_seed;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rv_model::{generate, TargetClass};
+
+    let instances: Vec<Instance> = (0..24)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(0xCA_FE, i));
+            generate(&mut rng, TargetClass::Type3)
+        })
+        .collect();
+    let budget = Budget::default().segments(150_000);
+
+    let baseline = Campaign::aur(budget.clone()).threads(1).run(&instances);
+    assert!(baseline.stats.met > 0, "workload must exercise real runs");
+    for threads in [2, 4, 0] {
+        let multi = Campaign::aur(budget.clone())
+            .threads(threads)
+            .run(&instances);
+        // Structural equality first (clear failure messages)…
+        assert_eq!(baseline.records, multi.records, "threads = {threads}");
+        assert_eq!(baseline.stats, multi.stats, "threads = {threads}");
+        // …then byte-level identity of every float in the aggregate.
+        for (a, b) in [
+            (baseline.stats.median_time, multi.stats.median_time),
+            (baseline.stats.p90_time, multi.stats.p90_time),
+            (baseline.stats.max_time, multi.stats.max_time),
+            (
+                Some(baseline.stats.min_dist_over_r),
+                Some(multi.stats.min_dist_over_r),
+            ),
+        ] {
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+        assert_eq!(
+            format!("{:?}", baseline.stats),
+            format!("{:?}", multi.stats)
+        );
+    }
+}
+
+#[test]
 fn simulation_time_is_independent_of_budget_slack() {
     // Increasing the budget must not change the outcome of a meeting run.
     let inst = Instance::builder()
