@@ -1,10 +1,17 @@
 //! B7 — the batch-campaign engine: parallel-map overhead and end-to-end
 //! campaign throughput (the primitive every sweep and future sharding PR
 //! sits on).
+//!
+//! Unlike the other suites this one has a hand-written `main`: after the
+//! criterion groups run it exports `target/BENCH_campaign.json` (median /
+//! mean / min ns per iteration for every benchmark), so the perf
+//! trajectory of the campaign hot path is machine-readable across PRs.
+//! Override the output path with the `BENCH_CAMPAIGN_OUT` environment
+//! variable.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, Criterion};
 use rv_core::batch::{mix_seed, Campaign};
-use rv_core::{par_map, Budget};
+use rv_core::{json, par_map, Budget, Dedicated, FixedPair};
 use rv_model::Instance;
 use rv_numeric::{ratio, Ratio};
 
@@ -64,11 +71,63 @@ fn bench_campaign(c: &mut Criterion) {
         b.iter(|| black_box(campaign.run(&pool)).stats.met)
     });
     g.bench_function("dedicated_64x50k_auto", |b| {
-        let campaign = Campaign::dedicated(budget.clone());
+        let campaign = Campaign::new(Dedicated, budget.clone());
         b.iter(|| black_box(campaign.run(&pool)).stats.met)
+    });
+    // Dyn-dispatch sanity: a FixedPair solver through the same engine
+    // (the Arc<dyn Solver> indirection must stay noise-level against the
+    // simulation cost).
+    g.bench_function("stay_put_64_auto", |b| {
+        let campaign = Campaign::new(
+            FixedPair::symmetric("stay-put", |_| std::iter::empty()),
+            budget.clone(),
+        );
+        b.iter(|| black_box(campaign.run(&pool)).stats.n)
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_par_map, bench_campaign);
-criterion_main!(benches);
+/// Renders the recorded measurements as the `BENCH_campaign.json`
+/// artifact (strict JSON, schema-versioned like the experiment stats).
+fn results_json(c: &Criterion) -> String {
+    let mut out =
+        String::from("{\n  \"schema\": 2,\n  \"bench\": \"campaign\",\n  \"results\": [\n");
+    let results = c.results();
+    for (k, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}}}",
+            json::string(&r.id),
+            json::f64(r.median_ns),
+            json::f64(r.mean_ns),
+            json::f64(r.min_ns)
+        ));
+        if k + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_par_map(&mut criterion);
+    bench_campaign(&mut criterion);
+
+    // Bench binaries run with CWD = the package dir; anchor the default
+    // to the *workspace* target dir so the artifact has a stable home.
+    let out = std::env::var("BENCH_CAMPAIGN_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../target/BENCH_campaign.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out, results_json(&criterion)) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

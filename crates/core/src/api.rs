@@ -1,8 +1,8 @@
-//! Top-level rendezvous API: run `AlmostUniversalRV` (or any program pair)
-//! on an instance under a budget.
+//! Top-level rendezvous API: the [`Budget`], the dedicated-algorithm
+//! [`Recommendation`], and thin one-liner wrappers over the first-class
+//! [`crate::Solver`] impls for callers who just want a report.
 
-use crate::aur::almost_universal_rv;
-use rv_baselines::{beeline, canonical_march};
+use crate::solver::{Aur, Dedicated, Solver};
 use rv_model::{classify, Classification, Instance};
 use rv_numeric::Ratio;
 use rv_sim::{simulate, SimConfig, SimReport};
@@ -72,7 +72,7 @@ impl Budget {
         self
     }
 
-    fn sim_config(&self, r_a: Ratio, r_b: Ratio) -> SimConfig {
+    pub(crate) fn sim_config(&self, r_a: Ratio, r_b: Ratio) -> SimConfig {
         SimConfig {
             radius_a: r_a,
             radius_b: r_b,
@@ -85,14 +85,20 @@ impl Budget {
 }
 
 /// Runs `AlmostUniversalRV` on both agents of `inst` (Theorem 3.2's
-/// algorithm) until rendezvous or budget exhaustion.
+/// algorithm) until rendezvous or budget exhaustion. One-liner wrapper
+/// over the [`Aur`] solver.
 pub fn solve(inst: &Instance, budget: &Budget) -> SimReport {
-    solve_pair(inst, almost_universal_rv(), almost_universal_rv(), budget)
+    Aur.solve(inst, budget)
 }
 
 /// Runs an arbitrary pair of programs on the two agents of `inst`.
 /// (Anonymous algorithms pass the *same* program twice; the two arguments
 /// exist so experiments can also explore asymmetric what-ifs.)
+///
+/// Prefer [`crate::FixedPair`] when the pair is a reusable strategy (a
+/// campaign solver, a baseline in a report): it is a storable value that
+/// can mint fresh programs per run. This function remains for one-shot
+/// calls that already hold the iterators.
 pub fn solve_pair<PA, PB>(inst: &Instance, prog_a: PA, prog_b: PB, budget: &Budget) -> SimReport
 where
     PA: Iterator<Item = Instr>,
@@ -104,6 +110,9 @@ where
 
 /// Section 5 extension: different visibility radii. `r_a`/`r_b` override
 /// the instance radius; rendezvous means reaching the smaller radius.
+///
+/// Prefer [`crate::FixedPair`] with a [`crate::Visibility`] option — this
+/// wrapper exists for one-shot calls that already hold the iterators.
 pub fn solve_asymmetric<PA, PB>(
     inst: &Instance,
     r_a: Ratio,
@@ -134,37 +143,55 @@ pub enum DedicatedChoice {
     Aur,
 }
 
-/// Picks the dedicated algorithm per the constructive proofs.
-pub fn dedicated_choice(inst: &Instance) -> DedicatedChoice {
-    match classify(inst) {
+/// What a full-knowledge solver would run on an instance — and whether
+/// any algorithm can succeed at all.
+///
+/// Theorem 3.1's negative side means infeasible instances have *no*
+/// working algorithm; the old API silently handed them to AUR, hiding the
+/// verdict. `feasible: false` makes that explicit (the chosen solver is
+/// still [`DedicatedChoice::Aur`], so callers can observe the guaranteed
+/// failure), and the flag is carried into
+/// [`crate::batch::RunRecord::feasible`] so infeasible-heavy sweeps stay
+/// visible in campaign stats.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Recommendation {
+    /// The dedicated algorithm per the constructive proofs.
+    pub solver: DedicatedChoice,
+    /// Whether the instance is feasible at all (Theorem 3.1).
+    pub feasible: bool,
+}
+
+/// Picks the dedicated algorithm per the constructive proofs and reports
+/// feasibility explicitly.
+pub fn recommend(inst: &Instance) -> Recommendation {
+    let class = classify(inst);
+    let solver = match class {
         Classification::Trivial => DedicatedChoice::StayPut,
         Classification::Type2 | Classification::ExceptionS1 => DedicatedChoice::Beeline,
         Classification::Type1 | Classification::ExceptionS2 => DedicatedChoice::CanonicalMarch,
         Classification::Type3 | Classification::Type4 => DedicatedChoice::Aur,
-        // Infeasible: no algorithm works; run AUR so callers can observe
-        // the (guaranteed) failure.
+        // Infeasible: no algorithm works; recommend AUR so callers can
+        // observe the (guaranteed) failure — flagged by `feasible: false`.
         Classification::Infeasible => DedicatedChoice::Aur,
+    };
+    Recommendation {
+        solver,
+        feasible: class.feasible(),
     }
+}
+
+/// Picks the dedicated algorithm per the constructive proofs. One-liner
+/// wrapper over [`recommend`] for callers that only need the choice.
+pub fn dedicated_choice(inst: &Instance) -> DedicatedChoice {
+    recommend(inst).solver
 }
 
 /// Runs the per-instance dedicated algorithm from the constructive side of
 /// Theorem 3.1 (both agents execute the same program, built from the
-/// instance they are both given).
+/// instance they are both given). One-liner wrapper over the
+/// [`Dedicated`] solver.
 pub fn solve_dedicated(inst: &Instance, budget: &Budget) -> SimReport {
-    match dedicated_choice(inst) {
-        DedicatedChoice::StayPut => {
-            solve_pair(inst, std::iter::empty(), std::iter::empty(), budget)
-        }
-        DedicatedChoice::Beeline => {
-            let p = beeline(inst);
-            solve_pair(inst, p.clone().into_iter(), p.into_iter(), budget)
-        }
-        DedicatedChoice::CanonicalMarch => {
-            let p = canonical_march(inst);
-            solve_pair(inst, p.clone().into_iter(), p.into_iter(), budget)
-        }
-        DedicatedChoice::Aur => solve(inst, budget),
-    }
+    Dedicated.solve(inst, budget)
 }
 
 #[cfg(test)]
@@ -229,6 +256,31 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(dedicated_choice(&t3), DedicatedChoice::Aur);
+    }
+
+    #[test]
+    fn recommend_flags_infeasible_explicitly() {
+        // Sync, shifts, t = 0 < dist − r: infeasible by Theorem 3.1.
+        let bad = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .build()
+            .unwrap();
+        let rec = recommend(&bad);
+        assert_eq!(rec.solver, DedicatedChoice::Aur);
+        assert!(!rec.feasible, "infeasible must be explicit, not silent");
+
+        // A feasible type-3 instance keeps feasible: true.
+        let good = Instance::builder()
+            .position(ratio(3, 1), Ratio::zero())
+            .tau(ratio(2, 1))
+            .build()
+            .unwrap();
+        let rec = recommend(&good);
+        assert_eq!(rec.solver, DedicatedChoice::Aur);
+        assert!(rec.feasible);
+        // The legacy helper stays a one-liner over recommend.
+        assert_eq!(dedicated_choice(&good), rec.solver);
     }
 
     #[test]

@@ -1,11 +1,22 @@
-//! The batch-campaign engine: run a solver over many instances in
+//! The batch-campaign engine: run a [`Solver`] over many instances in
 //! parallel and aggregate the outcomes.
 //!
-//! A [`Campaign`] bundles a solver choice ([`solve`], [`solve_dedicated`],
-//! or any custom `Fn(&Instance, &Budget) -> SimReport`), a per-run
-//! [`Budget`], and a worker count. Running it over an instance slice (or a
-//! seed-indexed generator, via [`Campaign::run_seeded`]) produces one
-//! distilled [`RunRecord`] per instance plus aggregate [`CampaignStats`].
+//! A [`Campaign`] bundles a first-class solver (any [`Solver`] impl — the
+//! bundled [`crate::Aur`] / [`crate::Dedicated`] / [`crate::FixedPair`] /
+//! [`crate::Closure`], or your own), a per-run [`Budget`], a worker
+//! count, and an optional streaming [`RecordSink`]. Running it over an
+//! instance slice (or a seed-indexed generator, via
+//! [`Campaign::run_seeded`]) produces one distilled [`RunRecord`] per
+//! instance plus aggregate [`CampaignStats`]. Because the solver is type-
+//! erased behind an `Arc`, campaigns are plain storable, clonable values.
+//!
+//! Aggregation is an explicit monoid: [`StatsAccumulator`] folds records
+//! one [`push`](StatsAccumulator::push) at a time, two accumulators
+//! [`merge`](StatsAccumulator::merge), and
+//! [`finish`](StatsAccumulator::finish) produces the [`CampaignStats`].
+//! Merging the accumulators of *any* partition of a record stream yields
+//! stats byte-identical to a single-shot fold — the shape sharded
+//! campaigns (across processes or hosts) need.
 //!
 //! Determinism: records land in *input order* (the parallel map writes by
 //! index, see [`crate::parallel`]), every instance is identified by its
@@ -16,10 +27,14 @@
 //! [`mix_seed`], which (unlike a plain xor) maps distinct `(seed, index)`
 //! pairs to well-separated RNG seeds.
 
-use crate::api::{solve, solve_dedicated, Budget};
+use crate::api::Budget;
+use crate::json;
 use crate::parallel::par_map_indexed_with;
+use crate::solver::{Aur, Closure, Dedicated, Solver};
+use crate::stream::RecordSink;
 use rv_model::{classify, Classification, Instance};
 use rv_sim::SimReport;
+use std::sync::Arc;
 
 /// The SplitMix64 finalizer: bijective, full-avalanche.
 fn splitmix_finalize(mut z: u64) -> u64 {
@@ -51,6 +66,10 @@ pub fn mix_seed(seed: u64, index: u64) -> u64 {
 pub struct RunRecord {
     /// Taxonomy class of the instance.
     pub class: Classification,
+    /// Whether the instance is feasible at all (Theorem 3.1; see
+    /// [`crate::recommend`]). Infeasible runs are *expected* to miss, and
+    /// stats keep them visible via [`CampaignStats::infeasible`].
+    pub feasible: bool,
     /// Whether rendezvous happened.
     pub met: bool,
     /// Simulated meeting time (`None` when not met).
@@ -66,8 +85,10 @@ pub struct RunRecord {
 impl RunRecord {
     /// Distils a full simulation report.
     pub fn from_report(inst: &Instance, report: &SimReport) -> RunRecord {
+        let class = classify(inst);
         RunRecord {
-            class: classify(inst),
+            class,
+            feasible: class.feasible(),
             met: report.met(),
             time: report.meeting_time(),
             segments: report.segments,
@@ -80,16 +101,34 @@ impl RunRecord {
     pub fn min_dist_over_r(&self) -> f64 {
         self.min_dist / self.radius
     }
+
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"class\": {}, \"feasible\": {}, \"met\": {}, \"time\": {}, \
+             \"segments\": {}, \"min_dist_over_r\": {}}}",
+            json::string(&self.class.to_string()),
+            self.feasible,
+            self.met,
+            json::opt_f64(self.time),
+            self.segments,
+            json::f64(self.min_dist_over_r()),
+        )
+    }
 }
 
 /// Aggregate statistics of a campaign, folded from the index-ordered
-/// record stream (scheduling-independent by construction).
+/// record stream (scheduling-independent by construction). Produced by
+/// [`StatsAccumulator::finish`] / [`CampaignStats::of`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignStats {
     /// Number of runs.
     pub n: usize,
     /// Number of successful rendezvous.
     pub met: usize,
+    /// Number of runs on infeasible instances (expected misses; a high
+    /// count explains a low met-rate without any solver defect).
+    pub infeasible: usize,
     /// Median meeting time over successful runs.
     pub median_time: Option<f64>,
     /// 90th-percentile meeting time over successful runs.
@@ -120,6 +159,19 @@ pub struct ClassStats {
     pub met: usize,
     /// Median meeting time over this class's successful runs.
     pub median_time: Option<f64>,
+}
+
+impl ClassStats {
+    /// Renders the class breakdown as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"class\": {}, \"n\": {}, \"met\": {}, \"median_time\": {}}}",
+            json::string(&self.class.to_string()),
+            self.n,
+            self.met,
+            json::opt_f64(self.median_time)
+        )
+    }
 }
 
 /// Fixed presentation order for per-class breakdowns (deterministic
@@ -159,42 +211,116 @@ fn median_u64(sorted: &[u64]) -> u64 {
     sorted.get(sorted.len() / 2).copied().unwrap_or(0)
 }
 
-impl CampaignStats {
-    /// Folds the aggregate from an ordered record stream in a single pass
-    /// (plus the quantile sorts).
-    pub fn of(records: &[RunRecord]) -> CampaignStats {
-        let n = records.len();
-        let mut met = 0usize;
-        let mut times: Vec<f64> = Vec::new();
-        let mut segs: Vec<u64> = Vec::with_capacity(n);
-        let mut min_ratio = f64::INFINITY;
-        // (n, met, times) per CLASS_ORDER slot, filled in one traversal.
-        let mut buckets: [(usize, usize, Vec<f64>); CLASS_ORDER.len()] =
-            std::array::from_fn(|_| (0, 0, Vec::new()));
+/// Incremental, mergeable aggregation state over [`RunRecord`] streams.
+///
+/// `(StatsAccumulator, merge)` is a commutative monoid with
+/// [`StatsAccumulator::new`] as identity: quantiles are computed from the
+/// full value multisets at [`finish`](StatsAccumulator::finish) time (the
+/// sort erases accumulation order), counts and the min-ratio fold are
+/// order-free. Consequently, folding any partition of a record stream
+/// shard-by-shard and merging gives stats *byte-identical* to folding the
+/// whole stream at once — the contract sharded campaigns rely on, and the
+/// one the `stats_merge` property suite pins down.
+#[derive(Clone, Debug)]
+pub struct StatsAccumulator {
+    n: usize,
+    met: usize,
+    infeasible: usize,
+    times: Vec<f64>,
+    segments: Vec<u64>,
+    min_ratio: f64,
+    /// (n, met, times) per [`CLASS_ORDER`] slot.
+    buckets: [(usize, usize, Vec<f64>); CLASS_ORDER.len()],
+}
 
-        for r in records {
-            if r.met {
-                met += 1;
-            }
-            if let Some(t) = r.time {
-                times.push(t);
-            }
-            segs.push(r.segments);
-            min_ratio = min_ratio.min(r.min_dist_over_r());
-            let slot = CLASS_ORDER
-                .iter()
-                .position(|&c| c == r.class)
-                .expect("CLASS_ORDER covers every classification");
-            buckets[slot].0 += 1;
-            if r.met {
-                buckets[slot].1 += 1;
-            }
-            if let Some(t) = r.time {
-                buckets[slot].2.push(t);
-            }
+impl Default for StatsAccumulator {
+    fn default() -> StatsAccumulator {
+        StatsAccumulator::new()
+    }
+}
+
+impl StatsAccumulator {
+    /// The empty accumulator (the monoid identity).
+    pub fn new() -> StatsAccumulator {
+        StatsAccumulator {
+            n: 0,
+            met: 0,
+            infeasible: 0,
+            times: Vec::new(),
+            segments: Vec::new(),
+            min_ratio: f64::INFINITY,
+            buckets: std::array::from_fn(|_| (0, 0, Vec::new())),
         }
+    }
+
+    /// Folds one record in.
+    pub fn push(&mut self, rec: &RunRecord) {
+        self.n += 1;
+        if rec.met {
+            self.met += 1;
+        }
+        if !rec.feasible {
+            self.infeasible += 1;
+        }
+        if let Some(t) = rec.time {
+            self.times.push(t);
+        }
+        self.segments.push(rec.segments);
+        self.min_ratio = self.min_ratio.min(rec.min_dist_over_r());
+        let slot = CLASS_ORDER
+            .iter()
+            .position(|&c| c == rec.class)
+            .expect("CLASS_ORDER covers every classification");
+        self.buckets[slot].0 += 1;
+        if rec.met {
+            self.buckets[slot].1 += 1;
+        }
+        if let Some(t) = rec.time {
+            self.buckets[slot].2.push(t);
+        }
+    }
+
+    /// Combines two accumulators (the monoid operation). Associative, and
+    /// commutative up to [`finish`](StatsAccumulator::finish) — quantile
+    /// sorts erase concatenation order.
+    pub fn merge(mut self, other: StatsAccumulator) -> StatsAccumulator {
+        self.n += other.n;
+        self.met += other.met;
+        self.infeasible += other.infeasible;
+        self.times.extend(other.times);
+        self.segments.extend(other.segments);
+        self.min_ratio = self.min_ratio.min(other.min_ratio);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+            mine.2.extend(theirs.2);
+        }
+        self
+    }
+
+    /// Number of records folded in so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no record has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sorts the value multisets and produces the aggregate stats.
+    pub fn finish(self) -> CampaignStats {
+        let StatsAccumulator {
+            n,
+            met,
+            infeasible,
+            mut times,
+            mut segments,
+            min_ratio,
+            mut buckets,
+        } = self;
         times.sort_by(|a, b| a.total_cmp(b));
-        segs.sort_unstable();
+        segments.sort_unstable();
 
         let per_class = CLASS_ORDER
             .iter()
@@ -214,20 +340,56 @@ impl CampaignStats {
         CampaignStats {
             n,
             met,
+            infeasible,
             median_time: median_f64(&times),
             p90_time: p90_f64(&times),
             max_time: times.last().copied(),
-            median_segments: median_u64(&segs),
-            p90_segments: p90_u64(&segs),
-            max_segments: segs.last().copied().unwrap_or(0),
+            median_segments: median_u64(&segments),
+            p90_segments: p90_u64(&segments),
+            max_segments: segments.last().copied().unwrap_or(0),
             min_dist_over_r: min_ratio,
             per_class,
         }
+    }
+}
+
+impl CampaignStats {
+    /// Folds the aggregate from an ordered record stream: one
+    /// [`StatsAccumulator`] pass plus the quantile sorts.
+    pub fn of(records: &[RunRecord]) -> CampaignStats {
+        let mut acc = StatsAccumulator::new();
+        for rec in records {
+            acc.push(rec);
+        }
+        acc.finish()
     }
 
     /// `met/n` as a display string.
     pub fn rate(&self) -> String {
         format!("{}/{}", self.met, self.n)
+    }
+
+    /// Renders the aggregate as a JSON object (schema 2: includes the
+    /// `infeasible` count; non-finite floats become `null`).
+    pub fn to_json(&self) -> String {
+        let per_class: Vec<String> = self.per_class.iter().map(ClassStats::to_json).collect();
+        format!(
+            "{{\"n\": {}, \"met\": {}, \"infeasible\": {}, \
+             \"median_time\": {}, \"p90_time\": {}, \"max_time\": {}, \
+             \"median_segments\": {}, \"p90_segments\": {}, \"max_segments\": {}, \
+             \"min_dist_over_r\": {}, \"per_class\": [{}]}}",
+            self.n,
+            self.met,
+            self.infeasible,
+            json::opt_f64(self.median_time),
+            json::opt_f64(self.p90_time),
+            json::opt_f64(self.max_time),
+            self.median_segments,
+            self.p90_segments,
+            self.max_segments,
+            json::f64(self.min_dist_over_r),
+            per_class.join(", ")
+        )
     }
 }
 
@@ -246,9 +408,23 @@ impl CampaignReport {
         let stats = CampaignStats::of(&records);
         CampaignReport { records, stats }
     }
+
+    /// Renders the whole report (schema version, aggregate stats, and the
+    /// per-run record array in input order) as a JSON object.
+    pub fn to_json(&self) -> String {
+        let records: Vec<String> = self.records.iter().map(RunRecord::to_json).collect();
+        format!(
+            "{{\"schema\": 2, \"stats\": {}, \"records\": [{}]}}",
+            self.stats.to_json(),
+            records.join(", ")
+        )
+    }
 }
 
-/// A batch campaign: solver choice + per-run budget + parallelism.
+/// A batch campaign: a first-class solver + per-run budget + parallelism
+/// (+ an optional streaming sink). A plain value — clonable, storable,
+/// shippable across threads — because the solver is an `Arc<dyn Solver>`
+/// rather than a type parameter.
 ///
 /// ```
 /// use rv_core::batch::Campaign;
@@ -269,61 +445,94 @@ impl CampaignReport {
 /// assert_eq!(report.stats.n, 8);
 /// assert_eq!(report.stats.met, 8); // type 3 is AUR-guaranteed
 /// ```
-pub struct Campaign<F = fn(&Instance, &Budget) -> SimReport>
-where
-    F: Fn(&Instance, &Budget) -> SimReport + Sync,
-{
-    solver: F,
+#[derive(Clone)]
+pub struct Campaign {
+    solver: Arc<dyn Solver>,
     budget: Budget,
     threads: usize,
+    sink: Option<Arc<dyn RecordSink>>,
 }
 
 impl Campaign {
-    /// Campaign running `AlmostUniversalRV` on both agents ([`solve`]).
-    pub fn aur(budget: Budget) -> Campaign {
-        Campaign {
-            solver: solve,
-            budget,
-            threads: 0,
-        }
+    /// Campaign running an arbitrary [`Solver`] value.
+    pub fn new(solver: impl Solver + 'static, budget: Budget) -> Campaign {
+        Campaign::from_arc(Arc::new(solver), budget)
     }
 
-    /// Campaign running the per-instance dedicated algorithm
-    /// ([`solve_dedicated`]).
-    pub fn dedicated(budget: Budget) -> Campaign {
-        Campaign {
-            solver: solve_dedicated,
-            budget,
-            threads: 0,
-        }
-    }
-}
-
-impl<F> Campaign<F>
-where
-    F: Fn(&Instance, &Budget) -> SimReport + Sync,
-{
-    /// Campaign with an arbitrary solver (e.g. a [`crate::solve_pair`]
-    /// closure running a baseline program on both agents).
-    pub fn custom(budget: Budget, solver: F) -> Campaign<F> {
+    /// Campaign running an already-shared solver.
+    pub fn from_arc(solver: Arc<dyn Solver>, budget: Budget) -> Campaign {
         Campaign {
             solver,
             budget,
             threads: 0,
+            sink: None,
         }
     }
 
+    /// Campaign running `AlmostUniversalRV` on both agents
+    /// ([`crate::Aur`]).
+    pub fn aur(budget: Budget) -> Campaign {
+        Campaign::new(Aur, budget)
+    }
+
+    /// Campaign running the per-instance dedicated algorithm
+    /// ([`crate::Dedicated`]).
+    pub fn dedicated(budget: Budget) -> Campaign {
+        Campaign::new(Dedicated, budget)
+    }
+
+    /// Campaign with an arbitrary solver closure (shorthand for
+    /// [`Campaign::new`] over a [`Closure`] named `"custom"`).
+    pub fn custom<F>(budget: Budget, solver: F) -> Campaign
+    where
+        F: Fn(&Instance, &Budget) -> SimReport + Send + Sync + 'static,
+    {
+        Campaign::new(Closure::new("custom", solver), budget)
+    }
+
     /// Sets the worker count (`0` = all available cores, the default).
-    pub fn threads(mut self, threads: usize) -> Campaign<F> {
+    pub fn threads(mut self, threads: usize) -> Campaign {
         self.threads = threads;
         self
+    }
+
+    /// Attaches a streaming [`RecordSink`]: workers report every finished
+    /// run to it as the run lands (see [`crate::stream`]).
+    pub fn sink(mut self, sink: impl RecordSink + 'static) -> Campaign {
+        self.sink = Some(Arc::new(sink));
+        self
+    }
+
+    /// [`Campaign::sink`] for an already-shared sink (e.g. a
+    /// [`crate::stream::VecSink`] the caller wants to keep a handle to).
+    pub fn sink_arc(mut self, sink: Arc<dyn RecordSink>) -> Campaign {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The solver's machine-friendly name (for labels and artifacts).
+    pub fn solver_name(&self) -> &str {
+        self.solver.name()
+    }
+
+    /// The solver's human description (for report prose).
+    pub fn describe_solver(&self) -> String {
+        self.solver.describe()
+    }
+
+    /// One record: solve, distill, notify the sink.
+    fn run_one(&self, index: usize, inst: &Instance) -> RunRecord {
+        let rec = RunRecord::from_report(inst, &self.solver.solve(inst, &self.budget));
+        if let Some(sink) = &self.sink {
+            sink.record(index, &rec);
+        }
+        rec
     }
 
     /// Runs the campaign over a materialised instance slice.
     pub fn run(&self, instances: &[Instance]) -> CampaignReport {
         CampaignReport::of(par_map_indexed_with(self.threads, instances.len(), |i| {
-            let inst = &instances[i];
-            RunRecord::from_report(inst, &(self.solver)(inst, &self.budget))
+            self.run_one(i, &instances[i])
         }))
     }
 
@@ -336,8 +545,7 @@ where
         G: Fn(usize) -> Instance + Sync,
     {
         CampaignReport::of(par_map_indexed_with(self.threads, n, |i| {
-            let inst = gen(i);
-            RunRecord::from_report(&inst, &(self.solver)(&inst, &self.budget))
+            self.run_one(i, &gen(i))
         }))
     }
 }
@@ -345,7 +553,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::solve_pair;
+    use crate::api::{solve_dedicated, solve_pair};
+    use crate::solver::FixedPair;
+    use crate::stream::{ChannelSink, VecSink};
     use rv_numeric::{ratio, Ratio};
 
     fn type3(k: i64) -> Instance {
@@ -366,11 +576,35 @@ mod tests {
         let report = Campaign::aur(Budget::default().segments(300_000)).run(&instances);
         assert_eq!(report.stats.n, 6);
         assert_eq!(report.stats.met, 6);
+        assert_eq!(report.stats.infeasible, 0);
         assert_eq!(report.stats.rate(), "6/6");
         assert!(report.stats.median_time.is_some());
         assert_eq!(report.stats.per_class.len(), 1);
         assert_eq!(report.stats.per_class[0].class, Classification::Type3);
         assert_eq!(report.stats.per_class[0].met, 6);
+    }
+
+    #[test]
+    fn campaigns_are_plain_clonable_values() {
+        // The whole point of dropping the type parameter: campaigns with
+        // *different* solvers share one type and can live in collections.
+        let budget = Budget::default().segments(50_000);
+        let fleet: Vec<Campaign> = vec![
+            Campaign::aur(budget.clone()),
+            Campaign::dedicated(budget.clone()),
+            Campaign::new(
+                FixedPair::symmetric("stay-put", |_| std::iter::empty()),
+                budget.clone(),
+            ),
+            Campaign::custom(budget, |inst, b| {
+                solve_pair(inst, std::iter::empty(), std::iter::empty(), b)
+            }),
+        ];
+        let names: Vec<&str> = fleet.iter().map(Campaign::solver_name).collect();
+        assert_eq!(names, ["aur", "dedicated", "stay-put", "custom"]);
+        let cloned = fleet[0].clone();
+        let instances: Vec<Instance> = (0..3).map(type3).collect();
+        assert_eq!(cloned.run(&instances), fleet[0].run(&instances));
     }
 
     #[test]
@@ -419,13 +653,100 @@ mod tests {
     }
 
     #[test]
+    fn infeasible_runs_are_counted_not_hidden() {
+        // One infeasible instance (sync shifts, t = 0 < dist − r) among
+        // feasible type-3 ones: the record carries feasible: false and
+        // the aggregate surfaces the count.
+        let bad = Instance::builder()
+            .position(ratio(5, 1), Ratio::zero())
+            .r(Ratio::one())
+            .build()
+            .unwrap();
+        let instances = vec![type3(0), bad, type3(1)];
+        let report = Campaign::dedicated(Budget::default().segments(50_000)).run(&instances);
+        assert!(report.records[0].feasible);
+        assert!(!report.records[1].feasible);
+        assert!(!report.records[1].met);
+        assert_eq!(report.stats.infeasible, 1);
+        assert_eq!(report.stats.met, 2);
+    }
+
+    #[test]
     fn empty_campaign_is_well_defined() {
         let report = Campaign::aur(Budget::default()).run(&[]);
         assert_eq!(report.stats.n, 0);
+        assert_eq!(report.stats.infeasible, 0);
         assert_eq!(report.stats.median_time, None);
         assert_eq!(report.stats.median_segments, 0);
         assert!(report.stats.min_dist_over_r.is_infinite());
         assert!(report.stats.per_class.is_empty());
+    }
+
+    #[test]
+    fn accumulator_merge_matches_single_shot_fold() {
+        let instances: Vec<Instance> = (0..9).map(type3).collect();
+        let campaign = Campaign::aur(Budget::default().segments(100_000));
+        let full = campaign.run(&instances);
+
+        // Shard the record stream at every split point: merged stats must
+        // be byte-identical to the single-shot fold.
+        for split in 0..=full.records.len() {
+            let (left, right) = full.records.split_at(split);
+            let mut a = StatsAccumulator::new();
+            left.iter().for_each(|r| a.push(r));
+            let mut b = StatsAccumulator::new();
+            right.iter().for_each(|r| b.push(r));
+            assert_eq!(a.len() + b.len(), full.records.len());
+            let merged = a.merge(b).finish();
+            assert_eq!(merged, full.stats, "split at {split}");
+            assert_eq!(format!("{merged:?}"), format!("{:?}", full.stats));
+        }
+
+        // Identity on both sides.
+        let mut acc = StatsAccumulator::new();
+        assert!(acc.is_empty());
+        full.records.iter().for_each(|r| acc.push(r));
+        assert_eq!(
+            acc.clone().merge(StatsAccumulator::new()).finish(),
+            full.stats
+        );
+        assert_eq!(StatsAccumulator::new().merge(acc).finish(), full.stats);
+    }
+
+    #[test]
+    fn sink_sees_every_record_exactly_once() {
+        let instances: Vec<Instance> = (0..10).map(type3).collect();
+        let budget = Budget::default().segments(50_000);
+        for threads in [1, 3, 0] {
+            let sink = Arc::new(VecSink::new());
+            let report = Campaign::aur(budget.clone())
+                .threads(threads)
+                .sink_arc(sink.clone())
+                .run(&instances);
+            let mut seen = sink.take();
+            seen.sort_by_key(|(i, _)| *i);
+            assert_eq!(seen.len(), instances.len(), "threads = {threads}");
+            for (i, (idx, rec)) in seen.iter().enumerate() {
+                assert_eq!(*idx, i, "threads = {threads}");
+                assert_eq!(rec, &report.records[i], "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_sink_streams_seeded_campaigns() {
+        let instances: Vec<Instance> = (0..8).map(type3).collect();
+        let (sink, rx) = ChannelSink::new();
+        let campaign = Campaign::aur(Budget::default().segments(50_000)).sink(sink);
+        let report = campaign.run_seeded(instances.len(), |i| instances[i].clone());
+        // All sends happened during the run; drain the buffered channel.
+        let mut seen: Vec<(usize, RunRecord)> = rx.try_iter().collect();
+        seen.sort_by_key(|(i, _)| *i);
+        assert_eq!(seen.len(), report.records.len());
+        for (i, (idx, rec)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(rec, &report.records[i]);
+        }
     }
 
     #[test]
@@ -456,18 +777,22 @@ mod tests {
         }
     }
 
-    #[test]
-    fn stats_quantiles_follow_sorted_order() {
-        let mk = |time: Option<f64>, segments: u64| RunRecord {
+    fn synthetic(time: Option<f64>, segments: u64) -> RunRecord {
+        RunRecord {
             class: Classification::Type3,
+            feasible: true,
             met: time.is_some(),
             time,
             segments,
             min_dist: 1.0,
             radius: 2.0,
-        };
+        }
+    }
+
+    #[test]
+    fn stats_quantiles_follow_sorted_order() {
         let records: Vec<RunRecord> = (0..10)
-            .map(|i| mk(Some(i as f64), 100 - i as u64))
+            .map(|i| synthetic(Some(i as f64), 100 - i as u64))
             .collect();
         let s = CampaignStats::of(&records);
         assert_eq!(s.median_time, Some(5.0));
@@ -478,5 +803,35 @@ mod tests {
         assert_eq!(s.p90_segments, 99);
         assert_eq!(s.max_segments, 100);
         assert_eq!(s.min_dist_over_r, 0.5);
+    }
+
+    #[test]
+    fn report_json_is_schema_2_and_balanced() {
+        let records = vec![synthetic(Some(2.5), 10), synthetic(None, 40)];
+        let report = CampaignReport::of(records);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema\": 2, "));
+        assert!(json.contains("\"infeasible\": 0"));
+        assert!(json.contains("\"class\": \"type 3\""));
+        assert!(json.contains("\"met\": true"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        // Non-finite floats must render as null (strict JSON).
+        let empty = CampaignStats::of(&[]).to_json();
+        assert!(empty.contains("\"min_dist_over_r\": null"));
+    }
+
+    #[test]
+    fn legacy_solve_dedicated_matches_dedicated_campaign() {
+        let instances: Vec<Instance> = (0..4).map(type3).collect();
+        let budget = Budget::default().segments(50_000);
+        let via_campaign = Campaign::dedicated(budget.clone()).run(&instances);
+        let via_wrapper = Campaign::custom(budget, solve_dedicated).run(&instances);
+        assert_eq!(via_campaign.records, via_wrapper.records);
     }
 }

@@ -1,0 +1,60 @@
+//! Minimal hand-rolled JSON value rendering (the offline dependency set
+//! has no serde). Used by the `to_json` methods on the batch types and by
+//! the experiment artifact emitters; output is strict JSON (non-finite
+//! floats become `null`, strings are escaped).
+
+/// Renders `s` as a JSON string literal (escaped, quoted).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number, or `null` when non-finite.
+pub fn f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is valid JSON for finite f64.
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders an optional float as a JSON number or `null`.
+pub fn opt_f64(v: Option<f64>) -> String {
+    v.map(f64).unwrap_or_else(|| "null".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_follow_strict_json() {
+        assert_eq!(f64(1.5), "1.5");
+        assert_eq!(f64(f64::INFINITY), "null");
+        assert_eq!(f64(f64::NAN), "null");
+        assert_eq!(opt_f64(None), "null");
+        assert_eq!(opt_f64(Some(0.25)), "0.25");
+    }
+}

@@ -47,16 +47,22 @@ pub mod analysis;
 mod api;
 mod aur;
 pub mod batch;
+pub mod json;
 pub mod parallel;
+pub mod solver;
+pub mod stream;
 
 pub use api::{
-    dedicated_choice, solve, solve_asymmetric, solve_dedicated, solve_pair, Budget, DedicatedChoice,
+    dedicated_choice, recommend, solve, solve_asymmetric, solve_dedicated, solve_pair, Budget,
+    DedicatedChoice, Recommendation,
 };
 pub use aur::{
     almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE,
 };
-pub use batch::{Campaign, CampaignReport, CampaignStats, RunRecord};
+pub use batch::{Campaign, CampaignReport, CampaignStats, RunRecord, StatsAccumulator};
 pub use parallel::{par_map, par_map_indexed};
+pub use solver::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
+pub use stream::{ChannelSink, RecordSink, VecSink};
 
 // The theorem-level predicates and the search walks are part of the
 // paper-facing API surface.

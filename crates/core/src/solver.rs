@@ -1,0 +1,457 @@
+//! First-class solvers: the [`Solver`] trait and its concrete impls.
+//!
+//! The paper's Theorem 3.1/3.2 dichotomy — per-class dedicated algorithms
+//! vs. the single `AlmostUniversalRV` — used to live in four free
+//! functions. Making solver choice a *value* turns it into an extension
+//! point: campaigns store an `Arc<dyn Solver>`, reports can ask a solver
+//! for its [`name`](Solver::name), and whole strategy families from
+//! related work (Pelc–Yadav time-symmetry-breaking, Czyzowicz–Labourel–
+//! Pelc asynchronous meeting) can plug in side-by-side without touching
+//! the campaign engine.
+//!
+//! The four bundled impls:
+//!
+//! * [`Aur`] — `AlmostUniversalRV` on both agents (Theorem 3.2);
+//! * [`Dedicated`] — the per-instance algorithm from the constructive
+//!   side of Theorem 3.1 (see [`crate::recommend`]);
+//! * [`FixedPair`] — an arbitrary program (pair) run on the two agents,
+//!   with per-agent [`Visibility`] radii (Section 5), subsuming the old
+//!   `solve_pair` / `solve_asymmetric` free functions;
+//! * [`Closure`] — any `Fn(&Instance, &Budget) -> SimReport`.
+//!
+//! Any of them (or your own impl) plugs straight into a campaign:
+//!
+//! ```
+//! use rv_core::batch::Campaign;
+//! use rv_core::{solve, Budget, Closure};
+//! use rv_model::Instance;
+//! use rv_numeric::ratio;
+//!
+//! // A custom solver: AUR, but never spend more than 300k segments per
+//! // run, whatever the campaign budget says.
+//! let frugal = Closure::new("capped-aur", |inst: &Instance, b: &Budget| {
+//!     solve(inst, &b.clone().segments(b.max_segments.min(300_000)))
+//! });
+//!
+//! let instances: Vec<Instance> = (0..4)
+//!     .map(|k| {
+//!         Instance::builder()
+//!             .position(ratio(3 + k, 1), ratio(0, 1))
+//!             .tau(ratio(2, 1))
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! let campaign = Campaign::new(frugal, Budget::default());
+//! assert_eq!(campaign.solver_name(), "capped-aur");
+//! assert_eq!(campaign.run(&instances).stats.met, 4);
+//! ```
+
+use crate::api::{recommend, Budget, DedicatedChoice};
+use crate::aur::almost_universal_rv;
+use rv_baselines::{beeline, canonical_march};
+use rv_model::Instance;
+use rv_numeric::Ratio;
+use rv_sim::{simulate, SimReport};
+use rv_trajectory::Instr;
+use std::sync::Arc;
+
+/// A rendezvous-solving strategy: maps one instance (under a budget) to a
+/// full simulation report.
+///
+/// Implementations must be deterministic — a solver is run from many
+/// worker threads and campaign output is defined as a pure function of
+/// `(instances, budget, solver)`.
+pub trait Solver: Send + Sync {
+    /// Runs the solver on `inst` until rendezvous or budget exhaustion.
+    fn solve(&self, inst: &Instance, budget: &Budget) -> SimReport;
+
+    /// Short machine-friendly identifier (stable across runs; used in
+    /// labels and JSON artifacts).
+    fn name(&self) -> &str;
+
+    /// One-line human description for reports. Defaults to [`name`].
+    ///
+    /// [`name`]: Solver::name
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+impl<S: Solver + ?Sized> Solver for Arc<S> {
+    fn solve(&self, inst: &Instance, budget: &Budget) -> SimReport {
+        (**self).solve(inst, budget)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Per-agent visibility radii (Section 5 extension). Rendezvous means
+/// reaching the *smaller* of the two radii; the far-sighted agent stops
+/// on first sight.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Visibility {
+    /// Both agents use the instance radius `r` (the paper's base model).
+    #[default]
+    Symmetric,
+    /// Each agent's radius is the instance radius scaled by its factor.
+    Scaled {
+        /// Agent A's radius as a multiple of `r`.
+        a: Ratio,
+        /// Agent B's radius as a multiple of `r`.
+        b: Ratio,
+    },
+    /// Absolute per-agent radii, independent of the instance.
+    Fixed {
+        /// Agent A's radius.
+        a: Ratio,
+        /// Agent B's radius.
+        b: Ratio,
+    },
+}
+
+impl Visibility {
+    /// The concrete `(r_a, r_b)` pair for one instance.
+    pub fn radii(&self, inst: &Instance) -> (Ratio, Ratio) {
+        match self {
+            Visibility::Symmetric => (inst.r.clone(), inst.r.clone()),
+            Visibility::Scaled { a, b } => (&inst.r * a, &inst.r * b),
+            Visibility::Fixed { a, b } => (a.clone(), b.clone()),
+        }
+    }
+}
+
+/// `AlmostUniversalRV` on both agents — the Theorem 3.2 algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Aur;
+
+impl Solver for Aur {
+    fn solve(&self, inst: &Instance, budget: &Budget) -> SimReport {
+        let cfg = budget.sim_config(inst.r.clone(), inst.r.clone());
+        simulate(
+            inst.agent_a(),
+            almost_universal_rv(),
+            inst.agent_b(),
+            almost_universal_rv(),
+            &cfg,
+        )
+    }
+
+    fn name(&self) -> &str {
+        "aur"
+    }
+
+    fn describe(&self) -> String {
+        "AlmostUniversalRV (Theorem 3.2) on both agents".into()
+    }
+}
+
+/// The per-instance dedicated algorithm from the constructive side of
+/// Theorem 3.1: both agents run the program [`crate::recommend`] picks for
+/// the instance they are both given. On infeasible instances (where
+/// `recommend` reports `feasible: false`) it runs `AlmostUniversalRV` so
+/// callers can observe the guaranteed failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Dedicated;
+
+impl Solver for Dedicated {
+    fn solve(&self, inst: &Instance, budget: &Budget) -> SimReport {
+        let cfg = budget.sim_config(inst.r.clone(), inst.r.clone());
+        let run_pair = |pa: Vec<Instr>, pb: Vec<Instr>| {
+            simulate(
+                inst.agent_a(),
+                pa.into_iter(),
+                inst.agent_b(),
+                pb.into_iter(),
+                &cfg,
+            )
+        };
+        match recommend(inst).solver {
+            DedicatedChoice::StayPut => run_pair(Vec::new(), Vec::new()),
+            DedicatedChoice::Beeline => {
+                let p = beeline(inst);
+                run_pair(p.clone(), p)
+            }
+            DedicatedChoice::CanonicalMarch => {
+                let p = canonical_march(inst);
+                run_pair(p.clone(), p)
+            }
+            DedicatedChoice::Aur => Aur.solve(inst, budget),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "dedicated"
+    }
+
+    fn describe(&self) -> String {
+        "per-instance dedicated algorithm (Theorem 3.1, constructive side)".into()
+    }
+}
+
+/// A program factory: builds a fresh instruction stream for one run.
+/// (Programs are consumed by the simulator, so a solver that runs many
+/// times must be able to mint them on demand.)
+type ProgFactory = Arc<dyn Fn(&Instance) -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync>;
+
+/// An arbitrary fixed program pair run on the two agents, with optional
+/// per-agent [`Visibility`] radii.
+///
+/// Subsumes the old `solve_pair` / `solve_asymmetric` free functions:
+/// anonymous algorithms use [`FixedPair::symmetric`] (same program twice),
+/// asymmetric what-ifs use [`FixedPair::asymmetric`], and Section 5's
+/// different-radii model is a [`visibility`](FixedPair::visibility) call
+/// instead of a separate entry point.
+///
+/// ```
+/// use rv_core::{Budget, FixedPair, Solver};
+/// use rv_model::Instance;
+/// use rv_numeric::ratio;
+///
+/// // Empty programs: only already-met instances "meet".
+/// let stay = FixedPair::symmetric("stay-put", |_| std::iter::empty());
+/// let near = Instance::builder()
+///     .position(ratio(1, 2), ratio(0, 1))
+///     .build()
+///     .unwrap();
+/// assert!(stay.solve(&near, &Budget::default().segments(10)).met());
+/// ```
+#[derive(Clone)]
+pub struct FixedPair {
+    name: String,
+    prog_a: ProgFactory,
+    prog_b: ProgFactory,
+    visibility: Visibility,
+}
+
+impl FixedPair {
+    /// Both (anonymous) agents run the same program, rebuilt per instance
+    /// by `prog`. Baselines that ignore the instance simply drop the
+    /// argument (`FixedPair::symmetric("cgkk", |_| cgkk())`); dedicated
+    /// constructions pass the builder itself
+    /// (`FixedPair::symmetric("beeline", beeline)`).
+    pub fn symmetric<I, F>(name: impl Into<String>, prog: F) -> FixedPair
+    where
+        I: IntoIterator<Item = Instr>,
+        I::IntoIter: Send + 'static,
+        F: Fn(&Instance) -> I + Send + Sync + 'static,
+    {
+        let factory: ProgFactory = Arc::new(move |inst| Box::new(prog(inst).into_iter()));
+        FixedPair {
+            name: name.into(),
+            prog_a: factory.clone(),
+            prog_b: factory,
+            visibility: Visibility::Symmetric,
+        }
+    }
+
+    /// Each agent runs its own program (experiments exploring asymmetric
+    /// what-ifs; anonymous algorithms should use [`FixedPair::symmetric`]).
+    pub fn asymmetric<IA, IB, FA, FB>(name: impl Into<String>, prog_a: FA, prog_b: FB) -> FixedPair
+    where
+        IA: IntoIterator<Item = Instr>,
+        IB: IntoIterator<Item = Instr>,
+        IA::IntoIter: Send + 'static,
+        IB::IntoIter: Send + 'static,
+        FA: Fn(&Instance) -> IA + Send + Sync + 'static,
+        FB: Fn(&Instance) -> IB + Send + Sync + 'static,
+    {
+        FixedPair {
+            name: name.into(),
+            prog_a: Arc::new(move |inst| Box::new(prog_a(inst).into_iter())),
+            prog_b: Arc::new(move |inst| Box::new(prog_b(inst).into_iter())),
+            visibility: Visibility::Symmetric,
+        }
+    }
+
+    /// Sets the per-agent visibility radii (Section 5).
+    pub fn visibility(mut self, v: Visibility) -> FixedPair {
+        self.visibility = v;
+        self
+    }
+}
+
+impl Solver for FixedPair {
+    fn solve(&self, inst: &Instance, budget: &Budget) -> SimReport {
+        let (r_a, r_b) = self.visibility.radii(inst);
+        let cfg = budget.sim_config(r_a, r_b);
+        simulate(
+            inst.agent_a(),
+            (self.prog_a)(inst),
+            inst.agent_b(),
+            (self.prog_b)(inst),
+            &cfg,
+        )
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A solver from any `Fn(&Instance, &Budget) -> SimReport` — the escape
+/// hatch for strategies that do not fit the fixed-program shape (e.g.
+/// instance-adaptive hybrids).
+#[derive(Clone)]
+pub struct Closure<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> Closure<F>
+where
+    F: Fn(&Instance, &Budget) -> SimReport + Send + Sync,
+{
+    /// Wraps `f` under a report-facing name.
+    pub fn new(name: impl Into<String>, f: F) -> Closure<F> {
+        Closure {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Solver for Closure<F>
+where
+    F: Fn(&Instance, &Budget) -> SimReport + Send + Sync,
+{
+    fn solve(&self, inst: &Instance, budget: &Budget) -> SimReport {
+        (self.f)(inst, budget)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{solve, solve_asymmetric, solve_dedicated, solve_pair};
+    use rv_numeric::ratio;
+
+    fn type3() -> Instance {
+        Instance::builder()
+            .position(ratio(3, 1), ratio(0, 1))
+            .tau(ratio(2, 1))
+            .build()
+            .unwrap()
+    }
+
+    fn s1() -> Instance {
+        Instance::builder()
+            .position(ratio(5, 1), ratio(0, 1))
+            .r(Ratio::one())
+            .delay(ratio(4, 1))
+            .build()
+            .unwrap()
+    }
+
+    fn same_report(a: &SimReport, b: &SimReport) {
+        assert_eq!(a.met(), b.met());
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(a.min_dist.to_bits(), b.min_dist.to_bits());
+        assert_eq!(
+            a.meeting_time().map(f64::to_bits),
+            b.meeting_time().map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn aur_solver_matches_solve_wrapper() {
+        let inst = type3();
+        let budget = Budget::default().segments(300_000);
+        same_report(&Aur.solve(&inst, &budget), &solve(&inst, &budget));
+    }
+
+    #[test]
+    fn dedicated_solver_matches_solve_dedicated_wrapper() {
+        let budget = Budget::default().segments(100_000);
+        for inst in [type3(), s1()] {
+            same_report(
+                &Dedicated.solve(&inst, &budget),
+                &solve_dedicated(&inst, &budget),
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_pair_matches_solve_pair() {
+        let inst = s1();
+        let budget = Budget::default().segments(50_000);
+        let pair = FixedPair::symmetric("beeline", beeline);
+        let direct = {
+            let p = beeline(&inst);
+            solve_pair(&inst, p.clone().into_iter(), p.into_iter(), &budget)
+        };
+        same_report(&pair.solve(&inst, &budget), &direct);
+    }
+
+    #[test]
+    fn scaled_visibility_matches_solve_asymmetric() {
+        let inst = type3();
+        let budget = Budget::default().segments(400_000);
+        let quarter = ratio(1, 4);
+        let pair =
+            FixedPair::symmetric("aur", |_| almost_universal_rv()).visibility(Visibility::Scaled {
+                a: Ratio::one(),
+                b: quarter.clone(),
+            });
+        let direct = solve_asymmetric(
+            &inst,
+            inst.r.clone(),
+            &inst.r * &quarter,
+            almost_universal_rv(),
+            almost_universal_rv(),
+            &budget,
+        );
+        same_report(&pair.solve(&inst, &budget), &direct);
+    }
+
+    #[test]
+    fn fixed_visibility_uses_absolute_radii() {
+        let inst = s1(); // r = 1, dist = 5
+        let wide =
+            FixedPair::symmetric("stay", |_| std::iter::empty()).visibility(Visibility::Fixed {
+                a: ratio(6, 1),
+                b: ratio(6, 1),
+            });
+        // Radius 6 > dist 5: the agents already see each other.
+        assert!(wide.solve(&inst, &Budget::default().segments(10)).met());
+    }
+
+    #[test]
+    fn closure_solver_delegates_and_names() {
+        let c = Closure::new("my-aur", solve);
+        assert_eq!(c.name(), "my-aur");
+        assert_eq!(c.describe(), "my-aur");
+        let inst = type3();
+        let budget = Budget::default().segments(300_000);
+        same_report(&c.solve(&inst, &budget), &solve(&inst, &budget));
+    }
+
+    #[test]
+    fn arc_dyn_solver_delegates() {
+        let solver: Arc<dyn Solver> = Arc::new(Aur);
+        assert_eq!(solver.name(), "aur");
+        let inst = type3();
+        let budget = Budget::default().segments(300_000);
+        same_report(&solver.solve(&inst, &budget), &solve(&inst, &budget));
+    }
+
+    #[test]
+    fn solver_names_are_stable() {
+        assert_eq!(Aur.name(), "aur");
+        assert_eq!(Dedicated.name(), "dedicated");
+        assert!(Aur.describe().contains("Theorem 3.2"));
+        assert!(Dedicated.describe().contains("Theorem 3.1"));
+        let p = FixedPair::symmetric("cgkk", |_| std::iter::empty());
+        assert_eq!(p.name(), "cgkk");
+    }
+}

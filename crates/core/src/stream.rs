@@ -1,0 +1,81 @@
+//! Streaming observation of campaign runs: the [`RecordSink`] observer
+//! and the bundled [`ChannelSink`] / [`VecSink`] impls.
+//!
+//! A [`crate::batch::Campaign`] can carry a sink; its workers call
+//! [`RecordSink::record`] for every finished run, *as it lands* and from
+//! whatever thread computed it. This is the async/streaming front-end the
+//! batch engine was missing: a server can forward records to clients
+//! while the campaign is still running instead of waiting for the final
+//! [`crate::batch::CampaignReport`].
+//!
+//! Contract: every index in `0..n` is reported exactly once, tagged with
+//! its input index (arrival *order* is scheduling-dependent; the index is
+//! what makes the stream re-orderable). The final report is unaffected by
+//! the sink — records still land in input order and the stats fold is
+//! unchanged.
+
+use crate::batch::RunRecord;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+/// Observer of per-run campaign results, called from worker threads as
+/// each run finishes.
+pub trait RecordSink: Send + Sync {
+    /// Called exactly once per campaign index, from the worker that
+    /// computed the record. Must not panic; keep it cheap — it sits on
+    /// the workers' hot path.
+    fn record(&self, index: usize, rec: &RunRecord);
+}
+
+/// A [`RecordSink`] that forwards `(index, record)` pairs over an
+/// [`mpsc`](std::sync::mpsc) channel, so a consumer thread can stream
+/// records while the campaign runs.
+///
+/// Dropped receivers are tolerated: send failures are ignored, so a
+/// consumer may stop listening mid-campaign without poisoning the run.
+pub struct ChannelSink {
+    tx: Sender<(usize, RunRecord)>,
+}
+
+impl ChannelSink {
+    /// Creates the sink plus the receiving end for the consumer.
+    pub fn new() -> (ChannelSink, Receiver<(usize, RunRecord)>) {
+        let (tx, rx) = channel();
+        (ChannelSink { tx }, rx)
+    }
+}
+
+impl RecordSink for ChannelSink {
+    fn record(&self, index: usize, rec: &RunRecord) {
+        let _ = self.tx.send((index, rec.clone()));
+    }
+}
+
+/// A [`RecordSink`] that collects `(index, record)` pairs in arrival
+/// order behind a mutex — handy in tests and for small campaigns where a
+/// consumer thread is overkill.
+#[derive(Default)]
+pub struct VecSink {
+    seen: Mutex<Vec<(usize, RunRecord)>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// Drains the collected records (in arrival order).
+    pub fn take(&self) -> Vec<(usize, RunRecord)> {
+        std::mem::take(&mut *self.seen.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl RecordSink for VecSink {
+    fn record(&self, index: usize, rec: &RunRecord) {
+        self.seen
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((index, rec.clone()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the `StatsAccumulator` monoid: folding any
+//! partition of a record stream shard-by-shard and merging must equal
+//! `CampaignStats::of` over the whole stream, byte for byte — the law
+//! sharded campaigns rely on. Also pins associativity and the two-sided
+//! identity of `StatsAccumulator::new()`.
+//!
+//! Case counts are capped for CI-friendly wall time; override with
+//! `PROPTEST_CASES` for a deep run.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rv_core::batch::{CampaignStats, RunRecord, StatsAccumulator};
+use rv_model::Classification;
+
+const CLASSES: [Classification; 8] = [
+    Classification::Trivial,
+    Classification::Type1,
+    Classification::Type2,
+    Classification::Type3,
+    Classification::Type4,
+    Classification::ExceptionS1,
+    Classification::ExceptionS2,
+    Classification::Infeasible,
+];
+
+/// A synthetic record: class index, met flag, coarse time/segment/dist
+/// grids (coarse on purpose, so duplicate values — the quantile tie
+/// cases — show up often).
+fn record_strategy() -> impl Strategy<Value = RunRecord> {
+    (
+        0usize..CLASSES.len(),
+        any::<bool>(),
+        0i64..50,
+        0u64..1000,
+        0i64..40,
+        1i64..8,
+    )
+        .prop_map(
+            |(class_idx, met, time_grid, segments, dist_grid, radius_grid)| {
+                let class = CLASSES[class_idx];
+                RunRecord {
+                    class,
+                    feasible: class.feasible(),
+                    met,
+                    time: met.then_some(time_grid as f64 / 4.0),
+                    segments,
+                    min_dist: dist_grid as f64 / 8.0,
+                    radius: radius_grid as f64,
+                }
+            },
+        )
+}
+
+/// Byte-level equality: structural `==` plus the Debug rendering (which
+/// distinguishes float bit patterns `PartialEq` may conflate) plus the
+/// JSON artifact form.
+fn assert_byte_identical(a: &CampaignStats, b: &CampaignStats, ctx: &str) {
+    assert_eq!(a, b, "{ctx}");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{ctx}");
+    assert_eq!(a.to_json(), b.to_json(), "{ctx}");
+}
+
+fn fold(records: &[RunRecord]) -> StatsAccumulator {
+    let mut acc = StatsAccumulator::new();
+    for r in records {
+        acc.push(r);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn any_shard_assignment_merges_to_the_single_shot_fold(
+        tagged in vec((record_strategy(), 0u8..4), 0..60)
+    ) {
+        // Records are scattered over 4 shards (an arbitrary, generally
+        // non-contiguous partition); each shard folds its own records in
+        // stream order, then the shards merge in shard order.
+        let all: Vec<RunRecord> = tagged.iter().map(|(r, _)| r.clone()).collect();
+        let mut shards: Vec<StatsAccumulator> =
+            (0..4).map(|_| StatsAccumulator::new()).collect();
+        for (rec, shard) in &tagged {
+            shards[*shard as usize].push(rec);
+        }
+        let merged = shards
+            .into_iter()
+            .fold(StatsAccumulator::new(), StatsAccumulator::merge);
+        prop_assert_eq!(merged.len(), all.len());
+        assert_byte_identical(&merged.finish(), &CampaignStats::of(&all), "shard assignment");
+    }
+
+    #[test]
+    fn every_contiguous_split_merges_to_the_single_shot_fold(
+        records in vec(record_strategy(), 0..40)
+    ) {
+        let whole = CampaignStats::of(&records);
+        for split in 0..=records.len() {
+            let (left, right) = records.split_at(split);
+            let merged = fold(left).merge(fold(right)).finish();
+            assert_byte_identical(&merged, &whole, &format!("split at {split}"));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative_after_finish(
+        a in vec(record_strategy(), 0..20),
+        b in vec(record_strategy(), 0..20),
+        c in vec(record_strategy(), 0..20),
+    ) {
+        let (fa, fb, fc) = (fold(&a), fold(&b), fold(&c));
+        let left = fa.clone().merge(fb.clone()).merge(fc.clone()).finish();
+        let right = fa.clone().merge(fb.clone().merge(fc.clone())).finish();
+        assert_byte_identical(&left, &right, "associativity");
+        // Commutativity holds after finish: the quantile sorts erase
+        // concatenation order.
+        let swapped = fc.merge(fa).merge(fb).finish();
+        assert_byte_identical(&left, &swapped, "commutativity");
+    }
+
+    #[test]
+    fn new_is_a_two_sided_identity(records in vec(record_strategy(), 0..30)) {
+        let acc = fold(&records);
+        let whole = CampaignStats::of(&records);
+        assert_byte_identical(
+            &acc.clone().merge(StatsAccumulator::new()).finish(),
+            &whole,
+            "right identity",
+        );
+        assert_byte_identical(
+            &StatsAccumulator::new().merge(acc).finish(),
+            &whole,
+            "left identity",
+        );
+    }
+
+    #[test]
+    fn accumulator_len_tracks_pushes(records in vec(record_strategy(), 0..30)) {
+        let acc = fold(&records);
+        prop_assert_eq!(acc.len(), records.len());
+        prop_assert_eq!(acc.is_empty(), records.is_empty());
+        prop_assert_eq!(acc.finish().n, records.len());
+    }
+}

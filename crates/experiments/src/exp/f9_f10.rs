@@ -3,12 +3,12 @@
 //! their home-turf instances.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::Campaign;
+use crate::runner::{Campaign, FixedPair};
 use crate::svg::{Chart, Series};
 use crate::table::Table;
 use crate::workloads::sample;
 use rv_baselines::{cgkk, latecomers};
-use rv_core::{solve, solve_pair, Budget};
+use rv_core::{solve, Budget};
 use rv_geometry::Chirality;
 use rv_model::{Instance, TargetClass};
 use rv_numeric::{ratio, Ratio};
@@ -86,10 +86,8 @@ pub fn f10(ctx: &Ctx) -> ExperimentOutput {
         })
         .collect();
     let cgkk_times: Vec<(Option<f64>, Option<f64>)> = {
-        let base = Campaign::custom(budget.clone(), |inst, b| {
-            solve_pair(inst, cgkk(), cgkk(), b)
-        })
-        .run(&cgkk_instances);
+        let base = Campaign::new(FixedPair::symmetric("cgkk", |_| cgkk()), budget.clone())
+            .run(&cgkk_instances);
         let aur = Campaign::aur(budget.clone()).run(&cgkk_instances);
         base.records
             .iter()
@@ -101,9 +99,10 @@ pub fn f10(ctx: &Ctx) -> ExperimentOutput {
     // Home turf of Latecomers: type-2 instances.
     let late_instances = sample(TargetClass::Type2, n, 0xF10_002);
     let late_times: Vec<(Option<f64>, Option<f64>)> = {
-        let base = Campaign::custom(budget.clone(), |inst, b| {
-            solve_pair(inst, latecomers(), latecomers(), b)
-        })
+        let base = Campaign::new(
+            FixedPair::symmetric("latecomers", |_| latecomers()),
+            budget.clone(),
+        )
         .run(&late_instances);
         let aur = Campaign::aur(budget.clone()).run(&late_instances);
         base.records

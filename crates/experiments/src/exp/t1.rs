@@ -11,7 +11,7 @@ use crate::runner::{Campaign, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
 use crate::workloads::sample;
-use rv_core::{dedicated_choice, Budget};
+use rv_core::{recommend, Budget};
 use rv_model::TargetClass;
 
 /// Runs the experiment.
@@ -34,7 +34,12 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             0x71_0000 + class.expected() as u64,
         );
         let expected = class.expected();
-        let feasible = expected.feasible();
+        // The explicit Recommendation makes infeasibility visible instead
+        // of silently running AUR: the table shows the verdict and the
+        // schema-2 stats carry the per-campaign `infeasible` count.
+        let rec = recommend(&instances[0]);
+        let feasible = rec.feasible;
+        debug_assert_eq!(feasible, expected.feasible());
         let budget = if feasible {
             Budget::default().segments(ctx.scale.success_segments)
         } else {
@@ -42,7 +47,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         };
         let report = Campaign::dedicated(budget).run(&instances);
         let s = &report.stats;
-        let alg = format!("{:?}", dedicated_choice(&instances[0]));
+        let alg = format!("{:?}", rec.solver);
         table.row([
             format!("{class:?}"),
             expected.to_string(),

@@ -9,7 +9,7 @@ use crate::report::{Ctx, ExperimentOutput};
 use crate::runner::{Campaign, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
-use crate::workloads::sample;
+use crate::workloads::generator;
 use rv_core::Budget;
 use rv_model::TargetClass;
 
@@ -34,13 +34,14 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
     let mut stats = Vec::new();
 
     for class in FAMILIES {
-        let instances = sample(
-            class,
-            ctx.scale.per_family,
-            0x72_0000 + class.expected() as u64,
-        );
+        // Seed-indexed stream: instances are generated inside the
+        // workers (same per-index seeds as the materialised `sample`),
+        // so only the distilled records are ever held.
         let budget = Budget::default().segments(ctx.scale.success_segments);
-        let report = Campaign::aur(budget).run(&instances);
+        let report = Campaign::aur(budget).run_seeded(
+            ctx.scale.per_family,
+            generator(class, 0x72_0000 + class.expected() as u64),
+        );
         let s = &report.stats;
         table.row([
             format!("{class:?}"),

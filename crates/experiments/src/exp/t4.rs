@@ -9,10 +9,10 @@
 //! radius).
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{Campaign, SummaryExt};
+use crate::runner::{Campaign, FixedPair, SummaryExt, Visibility};
 use crate::table::Table;
 use crate::workloads::sample;
-use rv_core::{almost_universal_rv, solve_asymmetric, Budget};
+use rv_core::{almost_universal_rv, Budget};
 use rv_model::{classify_with_eps, Instance, TargetClass};
 use rv_numeric::{ratio, Ratio};
 
@@ -60,17 +60,15 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         let instances = keep_guaranteed_at(raw, factor.clone());
         let budget = Budget::default().segments(ctx.scale.success_segments);
 
-        let asym = Campaign::custom(budget.clone(), |inst, b| {
-            solve_asymmetric(
-                inst,
-                inst.r.clone(),
-                &inst.r * &factor,
-                almost_universal_rv(),
-                almost_universal_rv(),
-                b,
-            )
-        })
-        .run(&instances);
+        // Section 5's per-agent radii are a Visibility option on the AUR
+        // program pair, not a separate solve entry point.
+        let asym_solver = FixedPair::symmetric("aur-asym", |_| almost_universal_rv()).visibility(
+            Visibility::Scaled {
+                a: Ratio::one(),
+                b: factor.clone(),
+            },
+        );
+        let asym = Campaign::new(asym_solver, budget.clone()).run(&instances);
         let equal = Campaign::aur(budget).run(&instances);
         let (sa, se) = (&asym.stats, &equal.stats);
         table.row([

@@ -7,12 +7,12 @@
 //! infeasible at `t = 0` and excluded from the contract.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{Campaign, SummaryExt};
+use crate::runner::{Campaign, FixedPair, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
 use crate::workloads::sample;
 use rv_baselines::cgkk;
-use rv_core::{solve_pair, Budget};
+use rv_core::Budget;
 use rv_model::{Instance, TargetClass};
 use rv_numeric::Ratio;
 
@@ -69,7 +69,7 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
             Budget::default().segments(ctx.scale.failure_segments)
         };
         let report =
-            Campaign::custom(budget, |inst, b| solve_pair(inst, cgkk(), cgkk(), b)).run(&instances);
+            Campaign::new(FixedPair::symmetric("cgkk", |_| cgkk()), budget).run(&instances);
         let s = &report.stats;
         table.row([
             name.to_string(),

@@ -7,11 +7,11 @@
 //! it must meet, faster the larger the slack.
 
 use crate::report::{Ctx, ExperimentOutput};
-use crate::runner::{Campaign, SummaryExt};
+use crate::runner::{Campaign, FixedPair, SummaryExt};
 use crate::table::Table;
 use crate::util::fnum;
 use rv_baselines::latecomers;
-use rv_core::{solve_pair, Budget};
+use rv_core::Budget;
 use rv_model::{classify, Instance};
 use rv_numeric::{ratio, Ratio};
 
@@ -75,10 +75,8 @@ pub fn run(ctx: &Ctx) -> ExperimentOutput {
         } else {
             Budget::default().segments(ctx.scale.failure_segments)
         };
-        let report = Campaign::custom(budget, |inst, b| {
-            solve_pair(inst, latecomers(), latecomers(), b)
-        })
-        .run(&instances);
+        let report = Campaign::new(FixedPair::symmetric("latecomers", |_| latecomers()), budget)
+            .run(&instances);
         let s = &report.stats;
         table.row([
             format!("{p}/{q}"),

@@ -3,6 +3,7 @@
 
 use crate::workloads::Scale;
 use rv_core::batch::CampaignStats;
+use rv_core::json;
 use std::fs;
 use std::path::PathBuf;
 
@@ -38,50 +39,28 @@ impl Ctx {
     }
 }
 
-/// Renders labelled campaign statistics as machine-readable JSON:
+/// Renders labelled campaign statistics as machine-readable JSON
+/// (schema 2: a `"schema"` version field at the top, per-campaign stats
+/// rendered by [`CampaignStats::to_json`], which now includes the
+/// `infeasible` count):
 ///
 /// ```json
-/// {"experiment": "t2", "campaigns": [{"label": "...", "n": 30, ...}]}
+/// {"schema": 2, "experiment": "t2", "campaigns": [{"label": "...", "stats": {"n": 30, ...}}]}
 /// ```
 ///
-/// Hand-rolled (the offline dependency set has no serde); non-finite
-/// floats become `null` so the output is strict JSON.
+/// Hand-rolled via [`rv_core::json`] (the offline dependency set has no
+/// serde); non-finite floats become `null` so the output is strict JSON.
 pub fn stats_json(id: &str, entries: &[(String, CampaignStats)]) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"experiment\": {},\n", json_str(id)));
+    out.push_str("  \"schema\": 2,\n");
+    out.push_str(&format!("  \"experiment\": {},\n", json::string(id)));
     out.push_str("  \"campaigns\": [\n");
     for (k, (label, s)) in entries.iter().enumerate() {
-        out.push_str("    {");
-        out.push_str(&format!("\"label\": {}, ", json_str(label)));
-        out.push_str(&format!("\"n\": {}, ", s.n));
-        out.push_str(&format!("\"met\": {}, ", s.met));
         out.push_str(&format!(
-            "\"median_time\": {}, ",
-            json_opt_f64(s.median_time)
+            "    {{\"label\": {}, \"stats\": {}}}",
+            json::string(label),
+            s.to_json()
         ));
-        out.push_str(&format!("\"p90_time\": {}, ", json_opt_f64(s.p90_time)));
-        out.push_str(&format!("\"max_time\": {}, ", json_opt_f64(s.max_time)));
-        out.push_str(&format!("\"median_segments\": {}, ", s.median_segments));
-        out.push_str(&format!("\"p90_segments\": {}, ", s.p90_segments));
-        out.push_str(&format!("\"max_segments\": {}, ", s.max_segments));
-        out.push_str(&format!(
-            "\"min_dist_over_r\": {}, ",
-            json_f64(s.min_dist_over_r)
-        ));
-        out.push_str("\"per_class\": [");
-        for (j, c) in s.per_class.iter().enumerate() {
-            out.push_str(&format!(
-                "{{\"class\": {}, \"n\": {}, \"met\": {}, \"median_time\": {}}}",
-                json_str(&c.class.to_string()),
-                c.n,
-                c.met,
-                json_opt_f64(c.median_time)
-            ));
-            if j + 1 < s.per_class.len() {
-                out.push_str(", ");
-            }
-        }
-        out.push_str("]}");
         if k + 1 < entries.len() {
             out.push(',');
         }
@@ -89,37 +68,6 @@ pub fn stats_json(id: &str, entries: &[(String, CampaignStats)]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        // Rust's shortest-roundtrip Display is valid JSON for finite f64.
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-fn json_opt_f64(v: Option<f64>) -> String {
-    v.map(json_f64).unwrap_or_else(|| "null".into())
 }
 
 #[cfg(test)]
@@ -133,6 +81,7 @@ mod tests {
         let records = vec![
             RunRecord {
                 class: Classification::Type3,
+                feasible: true,
                 met: true,
                 time: Some(12.5),
                 segments: 100,
@@ -141,6 +90,7 @@ mod tests {
             },
             RunRecord {
                 class: Classification::Infeasible,
+                feasible: false,
                 met: false,
                 time: None,
                 segments: 400,
@@ -150,12 +100,15 @@ mod tests {
         ];
         let stats = CampaignStats::of(&records);
         let json = stats_json("t9", &[("family \"x\"".into(), stats)]);
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"experiment\": \"t9\""));
         assert!(json.contains("\\\"x\\\""));
         assert!(json.contains("\"met\": 1"));
+        assert!(json.contains("\"infeasible\": 1"));
         assert!(json.contains("\"class\": \"type 3\""));
         // Empty campaigns produce `null` for the non-finite min ratio.
         let empty = stats_json("t0", &[("empty".into(), CampaignStats::of(&[]))]);
+        assert!(empty.contains("\"schema\": 2"));
         assert!(empty.contains("\"min_dist_over_r\": null"));
         // Balanced braces/brackets as a cheap well-formedness proxy.
         for (open, close) in [('{', '}'), ('[', ']')] {

@@ -1,16 +1,20 @@
 //! Batch execution for experiments, built on [`rv_core::batch`].
 //!
 //! The bespoke per-experiment loops (and the old lock-per-item parallel
-//! runner) are gone: every experiment constructs a [`Campaign`] — solver
-//! choice + per-run budget + parallelism — and consumes its records and
-//! aggregate stats. This module only adds the experiment-facing sugar:
-//! re-exports under the historical names and display helpers for tables.
+//! runner) are gone: every experiment constructs a [`Campaign`] — a
+//! first-class [`Solver`] value + per-run budget + parallelism — and
+//! consumes its records and aggregate stats. Baseline programs plug in as
+//! [`FixedPair`] solvers (with [`Visibility`] for Section 5's per-agent
+//! radii) rather than ad-hoc closures. This module only adds the
+//! experiment-facing sugar: re-exports under the historical names and
+//! display helpers for tables.
 
 use crate::util::fnum;
 
 pub use rv_core::batch::{
-    Campaign, CampaignReport, CampaignStats as Summary, RunRecord as RunResult,
+    Campaign, CampaignReport, CampaignStats as Summary, RunRecord as RunResult, StatsAccumulator,
 };
+pub use rv_core::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
 
 /// Table-display helpers for [`Summary`] (kept out of `rv-core`, which
 /// stays formatting-free).
@@ -40,13 +44,11 @@ mod tests {
     #[test]
     fn campaign_runs_and_summarises() {
         let instances = crate::workloads::sample(TargetClass::S1, 6, 11);
-        let report = Campaign::custom(Budget::default().segments(10_000), |inst, b| {
-            solve_dedicated(inst, b)
-        })
-        .run(&instances);
+        let report = Campaign::new(Dedicated, Budget::default().segments(10_000)).run(&instances);
         let s = &report.stats;
         assert_eq!(s.n, 6);
         assert_eq!(s.met, 6, "dedicated beeline must meet all S1 instances");
+        assert_eq!(s.infeasible, 0);
         assert!(s.median_time.is_some());
         assert_ne!(s.median_time_str(), "—");
         assert!(s.min_dist_over_r <= 1.0 + 1e-6);
@@ -56,8 +58,10 @@ mod tests {
     fn dedicated_constructor_matches_custom_closure() {
         let instances = crate::workloads::sample(TargetClass::Type2, 4, 3);
         let budget = Budget::default().segments(50_000);
-        let a = Campaign::dedicated(budget.clone()).run(&instances);
-        let b = Campaign::custom(budget, solve_dedicated).run(&instances);
-        assert_eq!(a, b);
+        let dedicated = Campaign::dedicated(budget.clone());
+        let custom = Campaign::custom(budget, solve_dedicated);
+        assert_eq!(dedicated.solver_name(), "dedicated");
+        assert_eq!(custom.solver_name(), "custom");
+        assert_eq!(dedicated.run(&instances), custom.run(&instances));
     }
 }

@@ -25,6 +25,14 @@ pub fn sample_one(class: TargetClass, seed: u64, i: u64) -> Instance {
     generate(&mut StdRng::seed_from_u64(mix_seed(seed, i)), class)
 }
 
+/// The [`sample_one`] stream as a ready-to-pass generator for
+/// [`rv_core::batch::Campaign::run_seeded`]: `generator(class, seed)` is
+/// the `Fn(usize) -> Instance` whose index `i` equals
+/// `sample(class, n, seed)[i]` for every `n > i`.
+pub fn generator(class: TargetClass, seed: u64) -> impl Fn(usize) -> Instance + Sync {
+    move |i| sample_one(class, seed, i as u64)
+}
+
 /// Experiment scale knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct Scale {
@@ -124,6 +132,14 @@ mod tests {
                 sample_one(TargetClass::Type2, 99, i as u64).to_string(),
                 inst.to_string()
             );
+        }
+    }
+
+    #[test]
+    fn generator_matches_materialised_sample() {
+        let gen = generator(TargetClass::Type3, 1234);
+        for (i, inst) in sample(TargetClass::Type3, 6, 1234).iter().enumerate() {
+            assert_eq!(gen(i).to_string(), inst.to_string());
         }
     }
 }

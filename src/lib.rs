@@ -31,7 +31,10 @@ pub use rv_trajectory as trajectory;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use rv_core::{classify, feasible, solve, solve_dedicated, solve_pair, Budget, Campaign};
+    pub use rv_core::{
+        classify, feasible, recommend, solve, solve_dedicated, solve_pair, Aur, Budget, Campaign,
+        Closure, Dedicated, FixedPair, RecordSink, Solver, StatsAccumulator, Visibility,
+    };
     pub use rv_geometry::{Angle, Vec2};
     pub use rv_model::{Chirality, Classification, Instance};
     pub use rv_numeric::{int, ratio, Int, Ratio};

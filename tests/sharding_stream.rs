@@ -1,0 +1,126 @@
+//! The two ROADMAP capabilities the Solver/accumulator/sink redesign
+//! unlocks, exercised end to end through the umbrella crate:
+//!
+//! * **Sharding** — run a campaign as two half-campaigns (as separate
+//!   processes or hosts would), fold each half's record stream into its
+//!   own `StatsAccumulator`, merge, and get stats *byte-identical* to the
+//!   single-shot run.
+//! * **Streaming** — attach a `ChannelSink` and have a consumer thread
+//!   observe every record of a seeded campaign while it runs.
+
+use plane_rendezvous::core::batch::{mix_seed, CampaignStats, RunRecord, StatsAccumulator};
+use plane_rendezvous::core::ChannelSink;
+use plane_rendezvous::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rv_model::{generate, TargetClass};
+
+fn workload(n: usize) -> Vec<Instance> {
+    // Mixed classes (including infeasible) so the merged per-class
+    // breakdown and the infeasible count are both non-trivial.
+    let classes = [
+        TargetClass::Type1,
+        TargetClass::Type3,
+        TargetClass::S1,
+        TargetClass::InfeasibleShift,
+    ];
+    (0..n)
+        .map(|i| {
+            let class = classes[i % classes.len()];
+            let mut rng = StdRng::seed_from_u64(mix_seed(0x5AAD, i as u64));
+            generate(&mut rng, class)
+        })
+        .collect()
+}
+
+fn assert_byte_identical(a: &CampaignStats, b: &CampaignStats) {
+    assert_eq!(a, b);
+    // Debug and JSON renderings distinguish float bit patterns that
+    // PartialEq may conflate (-0.0 vs 0.0), so this is bit-level.
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn two_half_campaigns_merge_into_the_single_shot_stats() {
+    let instances = workload(22);
+    let budget = Budget::default().segments(60_000);
+
+    // Single-shot reference run.
+    let full = Campaign::dedicated(budget.clone()).run(&instances);
+    assert!(full.stats.met > 0, "workload must exercise real runs");
+    assert!(
+        full.stats.infeasible > 0,
+        "workload must include infeasible"
+    );
+
+    // Two shards, as two processes would run them (each its own
+    // campaign value over its own slice), each folding its own records.
+    let (left, right) = instances.split_at(instances.len() / 2);
+    let mut acc_a = StatsAccumulator::new();
+    for rec in &Campaign::dedicated(budget.clone()).run(left).records {
+        acc_a.push(rec);
+    }
+    let mut acc_b = StatsAccumulator::new();
+    for rec in &Campaign::dedicated(budget).run(right).records {
+        acc_b.push(rec);
+    }
+
+    let merged = acc_a.merge(acc_b).finish();
+    assert_byte_identical(&merged, &full.stats);
+}
+
+#[test]
+fn channel_sink_consumer_observes_all_records_while_the_campaign_runs() {
+    let n = 16;
+    let budget = Budget::default().segments(60_000);
+    let (sink, rx) = ChannelSink::new();
+    let campaign = Campaign::aur(budget).threads(2).sink(sink);
+
+    // Consumer thread drains the channel concurrently with the run; its
+    // receive loop ends only when every sink handle is dropped.
+    let consumer = std::thread::spawn(move || {
+        let mut seen: Vec<(usize, RunRecord)> = Vec::new();
+        while let Ok(pair) = rx.recv() {
+            seen.push(pair);
+        }
+        seen
+    });
+
+    let report = campaign.run_seeded(n, |i| {
+        let mut rng = StdRng::seed_from_u64(mix_seed(0x57EA, i as u64));
+        generate(&mut rng, TargetClass::Type3)
+    });
+    drop(campaign); // last sink handle: lets the consumer loop end
+    let mut seen = consumer.join().expect("consumer thread");
+
+    // Exactly one record per index, matching the final report.
+    seen.sort_by_key(|(i, _)| *i);
+    assert_eq!(seen.len(), n);
+    for (expect, (idx, rec)) in seen.iter().enumerate() {
+        assert_eq!(*idx, expect, "indices must cover 0..n exactly once");
+        assert_eq!(rec, &report.records[*idx]);
+    }
+}
+
+#[test]
+fn channel_sink_delivers_exactly_once_across_thread_counts() {
+    let instances = workload(12);
+    let budget = Budget::default().segments(30_000);
+    for threads in [1, 2, 4, 0] {
+        let (sink, rx) = ChannelSink::new();
+        let campaign = Campaign::dedicated(budget.clone())
+            .threads(threads)
+            .sink(sink);
+        let report = campaign.run(&instances);
+        drop(campaign);
+        let mut indices: Vec<usize> = rx.iter().map(|(i, _)| i).collect();
+        indices.sort_unstable();
+        assert_eq!(
+            indices,
+            (0..instances.len()).collect::<Vec<_>>(),
+            "threads = {threads}: every index exactly once"
+        );
+        assert_eq!(report.records.len(), instances.len());
+    }
+}

@@ -52,7 +52,22 @@ impl Default for Settings {
     }
 }
 
-fn run_bench<O, F>(id: &str, settings: Settings, mut routine: F)
+/// Measured timings of one benchmark, in nanoseconds per iteration.
+/// Collected by [`Criterion`] so harnesses can export machine-readable
+/// artifacts (e.g. the campaign bench's `BENCH_campaign.json`).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` for grouped benches).
+    pub id: String,
+    /// Mean ns/iteration over all timed batches.
+    pub mean_ns: f64,
+    /// Median over the per-batch ns/iteration samples.
+    pub median_ns: f64,
+    /// Fastest per-batch ns/iteration sample.
+    pub min_ns: f64,
+}
+
+fn run_bench<O, F>(id: &str, settings: Settings, mut routine: F) -> BenchResult
 where
     F: FnMut(&mut Bencher) -> O,
 {
@@ -85,8 +100,8 @@ where
         .max(1.0) as u64;
 
     let mut total = Duration::ZERO;
-    let mut best = Duration::MAX;
     let mut total_iters = 0u64;
+    let mut per_iter_secs: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher {
             iters: per_batch,
@@ -95,17 +110,24 @@ where
         routine(&mut b);
         total += b.elapsed;
         total_iters += per_batch;
-        let per_iter = b.elapsed / per_batch.max(1) as u32;
-        if per_iter < best {
-            best = per_iter;
-        }
+        per_iter_secs.push(b.elapsed.as_secs_f64() / per_batch.max(1) as f64);
     }
+    per_iter_secs.sort_by(|a, b| a.total_cmp(b));
     let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    let median = per_iter_secs[per_iter_secs.len() / 2];
+    let best = per_iter_secs[0];
     println!(
-        "{id:<48} mean {:>12}  min {:>12}  ({samples} x {per_batch} iters)",
+        "{id:<48} mean {:>12}  median {:>12}  min {:>12}  ({samples} x {per_batch} iters)",
         format_time(mean),
-        format_time(best.as_secs_f64()),
+        format_time(median),
+        format_time(best),
     );
+    BenchResult {
+        id: id.to_string(),
+        mean_ns: mean * 1e9,
+        median_ns: median * 1e9,
+        min_ns: best * 1e9,
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -121,9 +143,13 @@ fn format_time(secs: f64) -> String {
 }
 
 /// Top-level benchmark driver (mirror of `criterion::Criterion`).
+/// Beyond the real criterion's API it keeps every measurement in
+/// [`Criterion::results`], so `harness = false` mains can export
+/// machine-readable artifacts after running their groups.
 #[derive(Default)]
 pub struct Criterion {
     settings: Settings,
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
@@ -145,7 +171,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher) -> O,
     {
-        run_bench(&id.into(), self.settings, routine);
+        let result = run_bench(&id.into(), self.settings, routine);
+        self.results.push(result);
         self
     }
 
@@ -153,16 +180,21 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         let settings = self.settings;
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             settings,
         }
+    }
+
+    /// Every measurement taken by this driver so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
 /// A group of benchmarks sharing a name prefix and settings.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     settings: Settings,
 }
@@ -187,7 +219,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher) -> O,
     {
         let full = format!("{}/{}", self.name, id.into());
-        run_bench(&full, self.settings, routine);
+        let result = run_bench(&full, self.settings, routine);
+        self.parent.results.push(result);
         self
     }
 
@@ -233,6 +266,25 @@ mod tests {
             })
         });
         assert!(hits > 0);
+    }
+
+    #[test]
+    fn results_are_recorded_with_sane_timings() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(5));
+        c.bench_function("first", |b| b.iter(|| black_box(2 + 2)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("second", |b| b.iter(|| black_box(3 + 3)));
+        g.finish();
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "first");
+        assert_eq!(results[1].id, "grp/second");
+        for r in results {
+            assert!(r.min_ns > 0.0, "{}: min must be positive", r.id);
+            assert!(r.min_ns <= r.median_ns, "{}: min ≤ median", r.id);
+            assert!(r.median_ns.is_finite() && r.mean_ns.is_finite());
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
 //!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`]
 //!   macros;
-//! * [`ProptestConfig`](test_runner::ProptestConfig) with
+//! * [`test_runner::ProptestConfig`] with
 //!   `PROPTEST_CASES` environment override.
 //!
 //! Differences from real proptest: failing cases are **not shrunk** (the

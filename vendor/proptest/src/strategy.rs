@@ -10,8 +10,8 @@ pub type TestRng = StdRng;
 /// A recipe for generating random values of one type.
 ///
 /// Object-safe: every combinator carries a `Self: Sized` bound, so
-/// `Box<dyn Strategy<Value = T>>` works (this is what [`prop_oneof!`]
-/// produces).
+/// `Box<dyn Strategy<Value = T>>` works (this is what the `prop_oneof!`
+/// macro produces).
 pub trait Strategy {
     /// The type of generated values.
     type Value;
@@ -158,7 +158,8 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-/// Weighted union over same-valued strategies (built by [`prop_oneof!`]).
+/// Weighted union over same-valued strategies (built by the
+/// `prop_oneof!` macro).
 pub struct Union<T> {
     options: Vec<(u32, BoxedStrategy<T>)>,
     total: u64,

@@ -1,4 +1,4 @@
-//! The case-running machinery behind the [`proptest!`] macro:
+//! The case-running machinery behind the `proptest!` macro:
 //! [`ProptestConfig`], [`TestCaseError`], and [`run_cases`].
 
 use crate::strategy::Strategy;

@@ -61,7 +61,7 @@ pub trait Rng: RngCore {
         unit < p
     }
 
-    /// Samples a value of a [`Standard`]-distributed type.
+    /// Samples a value of a `Standard`-distributed type.
     fn gen<T: StandardSample>(&mut self) -> T {
         T::sample(self)
     }
