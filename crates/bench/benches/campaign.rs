@@ -10,9 +10,9 @@
 //! variable.
 
 use criterion::{black_box, Criterion};
-use rv_core::batch::{mix_seed, Campaign};
-use rv_core::{json, par_map, Budget, Dedicated, FixedPair};
-use rv_model::Instance;
+use rv_core::batch::{mix_seed, Campaign, RunRecord};
+use rv_core::{json, par_map, wire, Budget, Dedicated, FixedPair, StatsAccumulator};
+use rv_model::{Classification, Instance};
 use rv_numeric::{ratio, Ratio};
 
 /// A small type-3 pool (clock mismatch ⇒ AUR meets within a few phases).
@@ -87,6 +87,52 @@ fn bench_campaign(c: &mut Criterion) {
     g.finish();
 }
 
+/// The gather half of the cross-process shard protocol: decode the
+/// accumulator lines the workers shipped, merge them, finish. Encoding is
+/// benched too — it is the per-shard egress cost.
+fn bench_shard_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_gather");
+    // Synthetic record stream: 1024 records scattered over 4 shard
+    // accumulators, encoded as the wire lines a worker would emit.
+    let records: Vec<RunRecord> = (0..1024u64)
+        .map(|i| RunRecord {
+            class: Classification::Type3,
+            feasible: true,
+            met: i % 3 != 0,
+            time: (i % 3 != 0).then_some(i as f64 / 7.0),
+            segments: i * 13 % 997,
+            min_dist: (i % 31) as f64 / 8.0,
+            radius: 2.0,
+        })
+        .collect();
+    let shard_accs: Vec<StatsAccumulator> = records
+        .chunks(records.len() / 4)
+        .map(|chunk| {
+            let mut acc = StatsAccumulator::new();
+            chunk.iter().for_each(|r| acc.push(r));
+            acc
+        })
+        .collect();
+    let lines: Vec<String> = shard_accs.iter().map(wire::encode_accumulator).collect();
+
+    g.bench_function("decode_merge_finish_4x256", |b| {
+        b.iter(|| {
+            let merged = lines
+                .iter()
+                .map(|l| wire::decode_accumulator(l).expect("bench line"))
+                .fold(StatsAccumulator::new(), StatsAccumulator::merge);
+            black_box(merged.finish()).n
+        })
+    });
+    g.bench_function("encode_acc_256", |b| {
+        b.iter(|| black_box(wire::encode_accumulator(&shard_accs[0])).len())
+    });
+    g.bench_function("encode_record_line", |b| {
+        b.iter(|| black_box(wire::encode_record(512, &records[512])).len())
+    });
+    g.finish();
+}
+
 /// Renders the recorded measurements as the `BENCH_campaign.json`
 /// artifact (strict JSON, schema-versioned like the experiment stats).
 fn results_json(c: &Criterion) -> String {
@@ -114,6 +160,7 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_par_map(&mut criterion);
     bench_campaign(&mut criterion);
+    bench_shard_gather(&mut criterion);
 
     // Bench binaries run with CWD = the package dir; anchor the default
     // to the *workspace* target dir so the artifact has a stable home.

@@ -200,24 +200,8 @@ mod tests {
     use rv_geometry::{Angle, Chirality};
     use rv_numeric::ratio;
 
-    #[test]
-    fn for_phase_saturates_instead_of_overflowing() {
-        // Regression: `(3i+1) << (3i+2)` panicked in debug (wrapped in
-        // release) from i = 21 on; i = 20 already overflows the top bits.
-        assert_eq!(Budget::for_phase(20).max_segments, u64::MAX);
-        assert_eq!(Budget::for_phase(21).max_segments, u64::MAX);
-        assert_eq!(Budget::for_phase(u32::MAX).max_segments, u64::MAX);
-        // Small phases keep their exact sizing…
-        assert_eq!(Budget::for_phase(0).max_segments, 10_000);
-        assert_eq!(Budget::for_phase(3).max_segments, (10u64 << 11) * 8);
-        // …and the schedule is monotone non-decreasing throughout.
-        let mut prev = 0u64;
-        for i in 0..64 {
-            let b = Budget::for_phase(i).max_segments;
-            assert!(b >= prev, "phase {i}: {b} < {prev}");
-            prev = b;
-        }
-    }
+    // `Budget::for_phase` saturation/extreme coverage lives in
+    // `tests/edge_budgets.rs` (consolidated with the `mix_seed` edges).
 
     #[test]
     fn trivial_instance_meets_instantly() {

@@ -175,8 +175,9 @@ impl ClassStats {
 }
 
 /// Fixed presentation order for per-class breakdowns (deterministic
-/// regardless of which classes a workload happens to contain).
-const CLASS_ORDER: [Classification; 8] = [
+/// regardless of which classes a workload happens to contain). The wire
+/// format's accumulator bucket array uses the same order.
+pub(crate) const CLASS_ORDER: [Classification; 8] = [
     Classification::Trivial,
     Classification::Type1,
     Classification::Type2,
@@ -221,16 +222,16 @@ fn median_u64(sorted: &[u64]) -> u64 {
 /// shard-by-shard and merging gives stats *byte-identical* to folding the
 /// whole stream at once — the contract sharded campaigns rely on, and the
 /// one the `stats_merge` property suite pins down.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StatsAccumulator {
-    n: usize,
-    met: usize,
-    infeasible: usize,
-    times: Vec<f64>,
-    segments: Vec<u64>,
-    min_ratio: f64,
+    pub(crate) n: usize,
+    pub(crate) met: usize,
+    pub(crate) infeasible: usize,
+    pub(crate) times: Vec<f64>,
+    pub(crate) segments: Vec<u64>,
+    pub(crate) min_ratio: f64,
     /// (n, met, times) per [`CLASS_ORDER`] slot.
-    buckets: [(usize, usize, Vec<f64>); CLASS_ORDER.len()],
+    pub(crate) buckets: [(usize, usize, Vec<f64>); CLASS_ORDER.len()],
 }
 
 impl Default for StatsAccumulator {
@@ -749,33 +750,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn mix_seed_has_no_trivial_collisions() {
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
-        for seed in 0..16u64 {
-            for i in 0..256u64 {
-                assert!(seen.insert(mix_seed(seed, i)), "collision at ({seed}, {i})");
-            }
-        }
-        // Index 0 must not reuse the seed verbatim (the old xor scheme did).
-        for seed in [0u64, 1, 42, u64::MAX] {
-            assert_ne!(mix_seed(seed, 0), seed);
-        }
-        // No linear collision class either: shifting the seed by the
-        // golden-ratio constant must not equal shifting the index by one
-        // (an additive pre-combination would make these always equal).
-        const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
-        for seed in [0u64, 0xCAFE, 0xDEAD_BEEF, u64::MAX / 3] {
-            for i in 0..64u64 {
-                assert_ne!(
-                    mix_seed(seed, i + 1),
-                    mix_seed(seed.wrapping_add(GOLDEN), i),
-                    "golden-shift collision at ({seed}, {i})"
-                );
-            }
-        }
-    }
+    // `mix_seed` edge-case coverage lives in `tests/edge_budgets.rs`
+    // (consolidated with the `Budget::for_phase` extremes).
 
     fn synthetic(time: Option<f64>, segments: u64) -> RunRecord {
         RunRecord {

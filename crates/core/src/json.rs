@@ -53,8 +53,40 @@ mod tests {
     fn floats_follow_strict_json() {
         assert_eq!(f64(1.5), "1.5");
         assert_eq!(f64(f64::INFINITY), "null");
+        assert_eq!(f64(f64::NEG_INFINITY), "null");
         assert_eq!(f64(f64::NAN), "null");
+        assert_eq!(f64(-0.0), "-0");
         assert_eq!(opt_f64(None), "null");
         assert_eq!(opt_f64(Some(0.25)), "0.25");
+        assert_eq!(opt_f64(Some(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn degenerate_quantiles_never_emit_bare_non_finite_tokens() {
+        // Regression: degenerate runs can push NaN/inf into the quantile
+        // pools (a 0-radius ratio gives min_dist/r = inf or NaN; a NaN
+        // meeting time sorts to the top via total_cmp and becomes
+        // max_time). The artifact JSON must stay strict — `null`, never a
+        // bare `NaN`/`inf` token, which JSON parsers reject.
+        use crate::batch::{CampaignStats, RunRecord};
+        use rv_model::Classification;
+        let weird = RunRecord {
+            class: Classification::Type3,
+            feasible: true,
+            met: true,
+            time: Some(f64::NAN),
+            segments: 10,
+            min_dist: 1.0,
+            radius: 0.0, // min_dist_over_r = inf
+        };
+        let stats = CampaignStats::of(std::slice::from_ref(&weird));
+        for json in [stats.to_json(), weird.to_json()] {
+            assert!(!json.contains("NaN"), "bare NaN leaked: {json}");
+            assert!(!json.contains(": inf"), "bare inf leaked: {json}");
+            // And it must actually parse as strict JSON.
+            crate::wire::Value::parse(&json).expect("artifact must be strict JSON");
+        }
+        assert!(stats.to_json().contains("\"max_time\": null"));
+        assert!(stats.to_json().contains("\"min_dist_over_r\": null"));
     }
 }

@@ -49,8 +49,10 @@ mod aur;
 pub mod batch;
 pub mod json;
 pub mod parallel;
+pub mod shard;
 pub mod solver;
 pub mod stream;
+pub mod wire;
 
 pub use api::{
     dedicated_choice, recommend, solve, solve_asymmetric, solve_dedicated, solve_pair, Budget,
@@ -59,10 +61,12 @@ pub use api::{
 pub use aur::{
     almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE,
 };
-pub use batch::{Campaign, CampaignReport, CampaignStats, RunRecord, StatsAccumulator};
+pub use batch::{Campaign, CampaignReport, CampaignStats, ClassStats, RunRecord, StatsAccumulator};
 pub use parallel::{par_map, par_map_indexed};
+pub use shard::{CampaignSpec, ShardDriver, ShardError, ShardResult, ShardSpec, SolverSpec};
 pub use solver::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
-pub use stream::{ChannelSink, RecordSink, VecSink};
+pub use stream::{ChannelSink, JsonLinesSink, RecordSink, VecSink};
+pub use wire::WireError;
 
 // The theorem-level predicates and the search walks are part of the
 // paper-facing API surface.

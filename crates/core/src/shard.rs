@@ -1,0 +1,622 @@
+//! Cross-process campaign sharding: split a seeded campaign's index range
+//! into [`ShardSpec`] work orders, execute them in worker subprocesses,
+//! and gather the merged [`CampaignStats`].
+//!
+//! The protocol is deliberately tiny, built entirely on [`crate::wire`]
+//! (schema-3 JSON lines):
+//!
+//! 1. **Scatter** — [`plan`] splits `0..n` into contiguous balanced
+//!    ranges; [`ShardDriver::scatter_gather`] spawns one worker process
+//!    per shard and writes each its [`ShardSpec`] as a single line on
+//!    stdin.
+//! 2. **Stream** — each worker executes its shard
+//!    ([`ShardSpec::execute`]) and streams one `record` line per finished
+//!    run to stdout (through a [`crate::JsonLinesSink`]), tagged with the
+//!    *global* campaign index, followed by a final `shard_result` line
+//!    carrying its folded [`StatsAccumulator`].
+//! 3. **Gather** — the driver forwards record lines to an optional
+//!    [`RecordSink`], merges the shard accumulators in shard order, and
+//!    [`StatsAccumulator::finish`]es the merge.
+//!
+//! **Determinism guarantee:** a campaign is a pure function of
+//! `(spec, seed, n)` — instances come from
+//! [`generate_seeded`]`(`[`mix_seed`]`(seed, index), class)`, records are
+//! folded in index order, and the accumulator merge is partition-
+//! invariant — so the gathered stats are **byte-identical** to the
+//! single-process [`CampaignSpec::run_local`] run for *any* shard count.
+//! The `shard_differential` suite pins exactly that, subprocesses
+//! included.
+
+use crate::api::Budget;
+use crate::batch::{
+    mix_seed, Campaign, CampaignReport, CampaignStats, RunRecord, StatsAccumulator,
+};
+use crate::stream::RecordSink;
+use crate::wire::{self, Line, WireError};
+use rv_model::{generate_seeded, Instance, TargetClass};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+/// Which bundled solver a shard runs. Arbitrary [`crate::Solver`] values
+/// cannot cross a process boundary, so the wire format names one of the
+/// closed set of reconstructible solvers instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverSpec {
+    /// [`crate::Aur`] — `AlmostUniversalRV` on both agents.
+    Aur,
+    /// [`crate::Dedicated`] — the per-instance dedicated algorithm.
+    Dedicated,
+}
+
+impl SolverSpec {
+    /// Stable wire name (round-trips through [`SolverSpec::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverSpec::Aur => "aur",
+            SolverSpec::Dedicated => "dedicated",
+        }
+    }
+
+    /// Parses a wire name back; `None` for unknown solvers.
+    pub fn from_name(name: &str) -> Option<SolverSpec> {
+        match name {
+            "aur" => Some(SolverSpec::Aur),
+            "dedicated" => Some(SolverSpec::Dedicated),
+            _ => None,
+        }
+    }
+}
+
+/// A reconstructible description of a seeded campaign: everything a
+/// worker process needs to rebuild instance `i` and solve it exactly as
+/// the single-process run would.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// The solver to run.
+    pub solver: SolverSpec,
+    /// Target classes, cycled by index (instance `i` samples
+    /// `classes[i % classes.len()]`). Must be non-empty.
+    pub classes: Vec<TargetClass>,
+    /// Per-run segment budget ([`Budget::segments`]).
+    pub segments: u64,
+}
+
+impl CampaignSpec {
+    /// Builds a spec. Panics if `classes` is empty (the wire decoder
+    /// rejects empty class lists with a typed error instead).
+    pub fn new(solver: SolverSpec, classes: Vec<TargetClass>, segments: u64) -> CampaignSpec {
+        assert!(!classes.is_empty(), "CampaignSpec needs at least one class");
+        CampaignSpec {
+            solver,
+            classes,
+            segments,
+        }
+    }
+
+    /// The per-run budget this spec describes.
+    pub fn budget(&self) -> Budget {
+        Budget::default().segments(self.segments)
+    }
+
+    /// Materialises the runnable [`Campaign`] value.
+    pub fn campaign(&self) -> Campaign {
+        match self.solver {
+            SolverSpec::Aur => Campaign::aur(self.budget()),
+            SolverSpec::Dedicated => Campaign::dedicated(self.budget()),
+        }
+    }
+
+    /// Instance `index` of the seeded campaign — a pure function of
+    /// `(self, seed, index)`, identical in every process.
+    pub fn instance(&self, seed: u64, index: usize) -> Instance {
+        let class = self.classes[index % self.classes.len()];
+        generate_seeded(mix_seed(seed, index as u64), class)
+    }
+
+    /// The single-process reference run over indices `0..n` (what the
+    /// sharded scatter/gather must reproduce byte-for-byte).
+    pub fn run_local(&self, seed: u64, n: usize) -> CampaignReport {
+        self.campaign().run_seeded(n, |i| self.instance(seed, i))
+    }
+}
+
+/// One shard's work order: a campaign spec plus the global index range
+/// this shard owns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSpec {
+    /// What to run.
+    pub campaign: CampaignSpec,
+    /// The campaign seed (shared by all shards; per-index seeds derive
+    /// from it via [`mix_seed`]).
+    pub seed: u64,
+    /// Global index range `start..end` this shard executes.
+    pub range: Range<usize>,
+    /// Position of this shard in the scatter (0-based).
+    pub shard_id: u32,
+}
+
+/// Re-indexes a shard-local sink stream to global campaign indices.
+struct OffsetSink {
+    base: usize,
+    inner: Arc<dyn RecordSink>,
+}
+
+impl RecordSink for OffsetSink {
+    fn record(&self, index: usize, rec: &RunRecord) {
+        self.inner.record(self.base + index, rec);
+    }
+}
+
+impl ShardSpec {
+    /// Executes the shard in-process: runs the campaign over the owned
+    /// range, reporting every record to `sink` *as it lands* (tagged with
+    /// its global index), and folds the shard's accumulator. Uses all
+    /// available cores; see [`ShardSpec::execute_threads`] when several
+    /// shard workers share one host.
+    pub fn execute(&self, sink: Arc<dyn RecordSink>) -> ShardResult {
+        self.execute_threads(sink, 0)
+    }
+
+    /// [`ShardSpec::execute`] with an explicit worker-thread count
+    /// (`0` = all available cores). K same-host workers should each run
+    /// `cores / K` threads so the scatter does not oversubscribe the CPU
+    /// K-fold; thread count never changes a single output byte.
+    pub fn execute_threads(&self, sink: Arc<dyn RecordSink>, threads: usize) -> ShardResult {
+        let offset = OffsetSink {
+            base: self.range.start,
+            inner: sink,
+        };
+        let report = self
+            .campaign
+            .campaign()
+            .threads(threads)
+            .sink(offset)
+            .run_seeded(self.range.len(), |i| {
+                self.campaign.instance(self.seed, self.range.start + i)
+            });
+        let mut acc = StatsAccumulator::new();
+        for rec in &report.records {
+            acc.push(rec);
+        }
+        ShardResult {
+            shard_id: self.shard_id,
+            start: self.range.start,
+            acc,
+        }
+    }
+}
+
+/// What a shard sends back: its identity plus the folded accumulator
+/// (the mergeable monoid state, *not* finished stats — finishing happens
+/// once, after the gather).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardResult {
+    /// Echo of [`ShardSpec::shard_id`].
+    pub shard_id: u32,
+    /// Echo of the owned range's start (integrity check for the gather).
+    pub start: usize,
+    /// The shard's folded aggregation state.
+    pub acc: StatsAccumulator,
+}
+
+/// Splits the seeded campaign `0..n` into `shards` contiguous balanced
+/// work orders (the first `n % shards` shards get one extra index).
+/// `shards` is clamped to `1..=max(n, 1)`, so empty shards never spawn.
+pub fn plan(campaign: &CampaignSpec, seed: u64, n: usize, shards: usize) -> Vec<ShardSpec> {
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|k| {
+            let len = base + usize::from(k < extra);
+            let spec = ShardSpec {
+                campaign: campaign.clone(),
+                seed,
+                range: start..start + len,
+                shard_id: k as u32,
+            };
+            start += len;
+            spec
+        })
+        .collect()
+}
+
+/// Why a scatter/gather failed. Worker misbehavior surfaces as typed
+/// errors; the driver never panics on worker output.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The worker binary could not be spawned.
+    Spawn(std::io::Error),
+    /// Pipe I/O with a worker failed.
+    Io {
+        /// Which shard.
+        shard_id: u32,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A worker emitted a line the wire decoder rejected.
+    Wire {
+        /// Which shard.
+        shard_id: u32,
+        /// The decoding failure.
+        source: WireError,
+    },
+    /// A worker exited unsuccessfully.
+    Worker {
+        /// Which shard.
+        shard_id: u32,
+        /// The exit code, if any.
+        code: Option<i32>,
+        /// Captured stderr (trimmed).
+        stderr: String,
+    },
+    /// A worker's output violated the protocol (missing result line,
+    /// identity or count mismatch, unexpected line kind).
+    Protocol {
+        /// Which shard.
+        shard_id: u32,
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spawn(e) => write!(f, "cannot spawn shard worker: {e}"),
+            ShardError::Io { shard_id, source } => write!(f, "shard {shard_id} I/O: {source}"),
+            ShardError::Wire { shard_id, source } => {
+                write!(f, "shard {shard_id} wire: {source}")
+            }
+            ShardError::Worker {
+                shard_id,
+                code,
+                stderr,
+            } => {
+                write!(f, "shard {shard_id} worker failed (code {code:?})")?;
+                if !stderr.is_empty() {
+                    write!(f, ": {stderr}")?;
+                }
+                Ok(())
+            }
+            ShardError::Protocol { shard_id, what } => {
+                write!(f, "shard {shard_id} protocol violation: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Spawn(e) | ShardError::Io { source: e, .. } => Some(e),
+            ShardError::Wire { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Scatter/gather driver: spawns one worker subprocess per shard (all
+/// concurrently), streams their stdout back, and merges the gathered
+/// accumulators into stats byte-identical to the single-process run.
+///
+/// The worker program must speak the schema-3 protocol: read one
+/// `shard_spec` line from stdin, write `record` lines plus a final
+/// `shard_result` line to stdout, exit 0. The `rv-shard` binary's
+/// `worker` mode is the bundled implementation:
+///
+/// ```no_run
+/// use rv_core::shard::{CampaignSpec, ShardDriver, SolverSpec};
+/// use rv_model::TargetClass;
+///
+/// let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
+/// let stats = ShardDriver::new("target/release/rv-shard")
+///     .arg("worker")
+///     .scatter_gather(&spec, 42, 1_000, 8, None)
+///     .expect("scatter/gather");
+/// assert_eq!(stats.n, 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardDriver {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl ShardDriver {
+    /// Driver spawning `program` for each shard.
+    pub fn new(program: impl Into<PathBuf>) -> ShardDriver {
+        ShardDriver {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends a fixed argument to every worker invocation (e.g. the
+    /// `worker` mode selector of the `rv-shard` binary).
+    pub fn arg(mut self, arg: impl Into<String>) -> ShardDriver {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Runs the seeded campaign `(campaign, seed, 0..n)` scattered over
+    /// `shards` worker subprocesses and gathers the merged stats.
+    ///
+    /// All workers run concurrently: each is spawned before any gathering
+    /// starts, and each gets its own drain thread, so no worker ever
+    /// blocks on a full stdout/stderr pipe (backpressure would otherwise
+    /// serialise the shards). Record lines therefore reach `sink`
+    /// interleaved across shards, each tagged with its global index — the
+    /// index, not arrival order, is the re-ordering key, exactly as with
+    /// in-process sinks. Accumulators are merged in shard order once all
+    /// workers are reaped (every child is waited on, success or failure,
+    /// so no zombies outlive this call). Returns the finished
+    /// [`CampaignStats`] — byte-identical to
+    /// [`CampaignSpec::run_local`]`(seed, n).stats` — or the
+    /// lowest-shard-id [`ShardError`].
+    pub fn scatter_gather(
+        &self,
+        campaign: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        shards: usize,
+        sink: Option<&dyn RecordSink>,
+    ) -> Result<CampaignStats, ShardError> {
+        let specs = plan(campaign, seed, n, shards);
+
+        // Scatter: spawn every worker and hand it its spec before reading
+        // anything back, so the shards execute concurrently.
+        let mut children = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let io = |source| ShardError::Io {
+                shard_id: spec.shard_id,
+                source,
+            };
+            let mut child = Command::new(&self.program)
+                .args(&self.args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .map_err(ShardError::Spawn)?;
+            let mut stdin = child.stdin.take().expect("stdin was piped");
+            let handed_over = stdin
+                .write_all(wire::encode_shard_spec(spec).as_bytes())
+                .and_then(|()| stdin.write_all(b"\n"));
+            // A worker that died before reading its spec breaks this pipe;
+            // swallow that case — the gather phase reports the exit status,
+            // which is strictly more informative than EPIPE.
+            match handed_over {
+                Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => return Err(io(e)),
+                _ => {}
+            }
+            drop(stdin); // EOF: the worker reads exactly one line
+            children.push(child);
+        }
+
+        // Gather: one drain thread per worker, then merge in shard order
+        // (the merge monoid makes the order immaterial to the bytes; the
+        // fixed order makes the first-error choice deterministic).
+        let outcomes: Vec<Result<ShardResult, ShardError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .zip(children)
+                .map(|(spec, child)| scope.spawn(move || gather_one(spec, child, sink)))
+                .collect();
+            handles
+                .into_iter()
+                .zip(&specs)
+                .map(|(h, spec)| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ShardError::Protocol {
+                            shard_id: spec.shard_id,
+                            what: "gather thread panicked".into(),
+                        })
+                    })
+                })
+                .collect()
+        });
+
+        let mut merged = StatsAccumulator::new();
+        let mut total = 0;
+        for outcome in outcomes {
+            let result = outcome?;
+            total += result.acc.len();
+            merged = merged.merge(result.acc);
+        }
+
+        debug_assert_eq!(total, n, "plan() covers 0..n exactly");
+        Ok(merged.finish())
+    }
+}
+
+/// Drains one worker: reads its stdout to EOF (forwarding record lines to
+/// `sink`), drains stderr on a side thread (a chatty worker must not
+/// deadlock against a full pipe), reaps the child, and validates the
+/// result against the shard's work order. On a stream error the child is
+/// killed and reaped before returning, so failed scatters leave neither
+/// zombies nor orphaned CPU burn.
+fn gather_one(
+    spec: &ShardSpec,
+    mut child: Child,
+    sink: Option<&dyn RecordSink>,
+) -> Result<ShardResult, ShardError> {
+    let shard_id = spec.shard_id;
+    let io = |source| ShardError::Io { shard_id, source };
+    let protocol = |what: String| ShardError::Protocol { shard_id, what };
+
+    let stderr_pipe = child.stderr.take();
+    let stderr_thread = std::thread::spawn(move || {
+        let mut text = String::new();
+        if let Some(mut pipe) = stderr_pipe {
+            let _ = pipe.read_to_string(&mut text);
+        }
+        text
+    });
+
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let streamed = (|| {
+        let mut result = None;
+        let mut records = 0usize;
+        for line in BufReader::new(stdout).lines() {
+            let line = line.map_err(io)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match wire::decode_line(&line)
+                .map_err(|source| ShardError::Wire { shard_id, source })?
+            {
+                Line::Record { index, record } => {
+                    if !spec.range.contains(&index) {
+                        return Err(protocol(format!(
+                            "record index {index} outside owned range {:?}",
+                            spec.range
+                        )));
+                    }
+                    records += 1;
+                    if let Some(sink) = sink {
+                        sink.record(index, &record);
+                    }
+                }
+                Line::ShardResult(r) => {
+                    if result.replace(r).is_some() {
+                        return Err(protocol("duplicate shard_result line".into()));
+                    }
+                }
+                other => {
+                    return Err(protocol(format!("unexpected line kind: {other:?}")));
+                }
+            }
+        }
+        Ok((result, records))
+    })();
+
+    let (result, records) = match streamed {
+        Ok(ok) => ok,
+        Err(e) => {
+            // A misbehaving worker is stopped, not abandoned.
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = stderr_thread.join();
+            return Err(e);
+        }
+    };
+
+    let status = child.wait().map_err(io)?;
+    let stderr = stderr_thread.join().unwrap_or_default();
+    if !status.success() {
+        return Err(ShardError::Worker {
+            shard_id,
+            code: status.code(),
+            stderr: stderr.trim().to_string(),
+        });
+    }
+    let result = result.ok_or_else(|| protocol("missing shard_result line".into()))?;
+    if result.shard_id != shard_id {
+        return Err(protocol(format!(
+            "shard_result identifies as shard {}",
+            result.shard_id
+        )));
+    }
+    if result.start != spec.range.start {
+        return Err(protocol(format!(
+            "shard_result start {} != owned start {}",
+            result.start, spec.range.start
+        )));
+    }
+    if result.acc.len() != spec.range.len() || records != spec.range.len() {
+        return Err(protocol(format!(
+            "expected {} records, streamed {records}, accumulated {}",
+            spec.range.len(),
+            result.acc.len()
+        )));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::VecSink;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new(
+            SolverSpec::Dedicated,
+            vec![TargetClass::Type3, TargetClass::S1],
+            30_000,
+        )
+    }
+
+    #[test]
+    fn plan_covers_the_range_exactly_once() {
+        let c = spec();
+        for n in [0usize, 1, 7, 16] {
+            for shards in [1usize, 2, 3, 5, 16, 100] {
+                let specs = plan(&c, 9, n, shards);
+                assert!(!specs.is_empty());
+                assert!(specs.len() <= shards.max(1));
+                let mut next = 0;
+                for (k, s) in specs.iter().enumerate() {
+                    assert_eq!(s.shard_id, k as u32);
+                    assert_eq!(s.range.start, next);
+                    assert!(!s.range.is_empty() || n == 0);
+                    assert_eq!(s.seed, 9);
+                    assert_eq!(s.campaign, c);
+                    next = s.range.end;
+                }
+                assert_eq!(next, n, "n = {n}, shards = {shards}");
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<usize> = specs.iter().map(|s| s.range.len()).collect();
+                let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(hi - lo <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn solver_spec_names_round_trip() {
+        for s in [SolverSpec::Aur, SolverSpec::Dedicated] {
+            assert_eq!(SolverSpec::from_name(s.name()), Some(s));
+        }
+        assert_eq!(SolverSpec::from_name("custom"), None);
+    }
+
+    #[test]
+    fn execute_reports_global_indices_and_matches_local_slice() {
+        let c = spec();
+        let seed = 0x5EED;
+        let n = 10;
+        let local = c.run_local(seed, n);
+        let shard = ShardSpec {
+            campaign: c,
+            seed,
+            range: 4..9,
+            shard_id: 1,
+        };
+        let sink = Arc::new(VecSink::new());
+        let result = shard.execute(sink.clone());
+        assert_eq!(result.shard_id, 1);
+        assert_eq!(result.start, 4);
+        assert_eq!(result.acc.len(), 5);
+        let mut seen = sink.take();
+        seen.sort_by_key(|(i, _)| *i);
+        let indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![4, 5, 6, 7, 8]);
+        for (i, rec) in &seen {
+            assert_eq!(rec, &local.records[*i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn driver_spawn_failure_is_typed() {
+        let err = ShardDriver::new("/nonexistent/rv-shard-worker")
+            .scatter_gather(&spec(), 1, 4, 2, None)
+            .unwrap_err();
+        assert!(matches!(err, ShardError::Spawn(_)), "{err}");
+        assert!(err.to_string().contains("cannot spawn"));
+    }
+}

@@ -1,12 +1,15 @@
 //! Streaming observation of campaign runs: the [`RecordSink`] observer
-//! and the bundled [`ChannelSink`] / [`VecSink`] impls.
+//! and the bundled [`ChannelSink`] / [`VecSink`] / [`JsonLinesSink`]
+//! impls.
 //!
 //! A [`crate::batch::Campaign`] can carry a sink; its workers call
 //! [`RecordSink::record`] for every finished run, *as it lands* and from
 //! whatever thread computed it. This is the async/streaming front-end the
 //! batch engine was missing: a server can forward records to clients
 //! while the campaign is still running instead of waiting for the final
-//! [`crate::batch::CampaignReport`].
+//! [`crate::batch::CampaignReport`], and a shard worker can stream
+//! schema-3 wire lines back to its parent process ([`JsonLinesSink`],
+//! see [`crate::shard`]).
 //!
 //! Contract: every index in `0..n` is reported exactly once, tagged with
 //! its input index (arrival *order* is scheduling-dependent; the index is
@@ -15,6 +18,9 @@
 //! unchanged.
 
 use crate::batch::RunRecord;
+use crate::wire;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 
@@ -31,23 +37,44 @@ pub trait RecordSink: Send + Sync {
 /// [`mpsc`](std::sync::mpsc) channel, so a consumer thread can stream
 /// records while the campaign runs.
 ///
-/// Dropped receivers are tolerated: send failures are ignored, so a
-/// consumer may stop listening mid-campaign without poisoning the run.
+/// **Hangup behavior (contractual):** a consumer may drop its receiver
+/// mid-campaign. From that point every subsequent record is *silently
+/// discarded* — the campaign itself never fails, slows, or panics because
+/// its observer left — and the final [`crate::batch::CampaignReport`] is
+/// unaffected. The drop is observable, not incidental:
+/// [`ChannelSink::is_disconnected`] latches `true` at the first discarded
+/// record, so a driver can tell "consumer saw everything" apart from
+/// "consumer hung up early".
 pub struct ChannelSink {
     tx: Sender<(usize, RunRecord)>,
+    disconnected: AtomicBool,
 }
 
 impl ChannelSink {
     /// Creates the sink plus the receiving end for the consumer.
     pub fn new() -> (ChannelSink, Receiver<(usize, RunRecord)>) {
         let (tx, rx) = channel();
-        (ChannelSink { tx }, rx)
+        (
+            ChannelSink {
+                tx,
+                disconnected: AtomicBool::new(false),
+            },
+            rx,
+        )
+    }
+
+    /// Whether at least one record was discarded because the receiver had
+    /// hung up. Latches: once `true`, stays `true`.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected.load(Ordering::Relaxed)
     }
 }
 
 impl RecordSink for ChannelSink {
     fn record(&self, index: usize, rec: &RunRecord) {
-        let _ = self.tx.send((index, rec.clone()));
+        if self.tx.send((index, rec.clone())).is_err() {
+            self.disconnected.store(true, Ordering::Relaxed);
+        }
     }
 }
 
@@ -77,5 +104,118 @@ impl RecordSink for VecSink {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push((index, rec.clone()));
+    }
+}
+
+/// A [`RecordSink`] that writes every record as a schema-3 wire line
+/// ([`wire::encode_record`], newline-terminated, flushed) to a writer —
+/// the stdout streaming half of the shard worker protocol
+/// (see [`crate::shard`]).
+///
+/// Writes from concurrent campaign workers are serialised behind a mutex,
+/// so lines never interleave. Write failures cannot propagate out of a
+/// sink; they latch [`JsonLinesSink::failed`] instead (mirroring
+/// [`ChannelSink`]'s hangup latch).
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+    failed: AtomicBool,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer (e.g. [`std::io::stdout()`]).
+    pub fn new(out: W) -> JsonLinesSink<W> {
+        JsonLinesSink {
+            out: Mutex::new(out),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any line failed to write (latches like
+    /// [`ChannelSink::is_disconnected`]).
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Unwraps the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<W: Write + Send> RecordSink for JsonLinesSink<W> {
+    fn record(&self, index: usize, rec: &RunRecord) {
+        let line = wire::encode_record(index, rec);
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let wrote = writeln!(out, "{line}").and_then(|()| out.flush());
+        if wrote.is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_model::Classification;
+
+    fn rec(i: u64) -> RunRecord {
+        RunRecord {
+            class: Classification::Type3,
+            feasible: true,
+            met: true,
+            time: Some(i as f64),
+            segments: i,
+            min_dist: 0.5,
+            radius: 1.0,
+        }
+    }
+
+    #[test]
+    fn channel_sink_latches_disconnect_and_never_fails_the_run() {
+        let (sink, rx) = ChannelSink::new();
+        sink.record(0, &rec(0));
+        assert!(!sink.is_disconnected(), "receiver still alive");
+        assert_eq!(rx.try_iter().count(), 1);
+
+        drop(rx);
+        // Hangup: records are discarded silently, the latch flips, and
+        // recording keeps working (no panic, no error).
+        sink.record(1, &rec(1));
+        assert!(sink.is_disconnected());
+        sink.record(2, &rec(2));
+        assert!(sink.is_disconnected(), "latch must stay set");
+    }
+
+    #[test]
+    fn json_lines_sink_writes_decodable_lines() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.record(3, &rec(7));
+        sink.record(4, &rec(8));
+        assert!(!sink.failed());
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(wire::decode_record(lines[0]).unwrap(), (3, rec(7)));
+        assert_eq!(wire::decode_record(lines[1]).unwrap(), (4, rec(8)));
+    }
+
+    /// A writer that always fails, to exercise the failure latch.
+    struct Broken;
+    impl Write for Broken {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("broken pipe"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_sink_latches_write_failures() {
+        let sink = JsonLinesSink::new(Broken);
+        assert!(!sink.failed());
+        sink.record(0, &rec(0)); // must not panic
+        assert!(sink.failed());
     }
 }

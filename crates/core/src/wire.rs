@@ -1,0 +1,1104 @@
+//! Schema-3 wire format: one JSON object per line, hand-rolled both ways
+//! (the offline dependency set has no serde), deterministic byte-for-byte.
+//!
+//! Every line is a single-line JSON object with a fixed key order and two
+//! header fields: `"schema": 3` and a `"kind"` tag naming the payload.
+//! The encodable kinds are
+//!
+//! | kind           | payload                                        |
+//! |----------------|------------------------------------------------|
+//! | `record`       | one [`RunRecord`] plus its campaign index      |
+//! | `class_stats`  | one [`ClassStats`] breakdown row               |
+//! | `acc`          | a whole [`StatsAccumulator`] (mergeable state) |
+//! | `shard_spec`   | a [`ShardSpec`] work order                     |
+//! | `shard_result` | a [`ShardResult`] (id, range, accumulator)     |
+//!
+//! Numbers are lossless: `u64`/`usize` are emitted as decimal integers and
+//! re-parsed from the raw lexeme (never through `f64`), finite floats use
+//! Rust's shortest-roundtrip `Display` (which re-parses to the identical
+//! bits), and non-finite floats — which strict JSON cannot carry as bare
+//! tokens — use the string sentinels `"inf"`, `"-inf"`, `"nan"`. Encoding
+//! is therefore a *fixed point*: `encode(decode(encode(x))) == encode(x)`,
+//! the property `wire_roundtrip` pins for every kind.
+//!
+//! Decoding is total: any input — truncated, corrupted, mis-typed, deeper
+//! than [`MAX_DEPTH`], or from a different schema version — produces a
+//! typed [`WireError`], never a panic. That makes the format safe to read
+//! from subprocess pipes and untrusted files.
+
+use crate::batch::{ClassStats, RunRecord, StatsAccumulator, CLASS_ORDER};
+use crate::json;
+use crate::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec};
+use rv_model::{Classification, TargetClass};
+use std::fmt;
+
+/// The wire schema version emitted and accepted by this module.
+pub const SCHEMA: u64 = 3;
+
+/// Maximum JSON nesting depth the decoder accepts (guards the recursive
+/// parser against stack exhaustion on adversarial input).
+pub const MAX_DEPTH: usize = 64;
+
+/// Typed decoding failure. Every malformed input maps to one of these —
+/// the decoder has no panicking paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended in the middle of a JSON value.
+    Truncated {
+        /// Byte offset where the input ran out.
+        offset: usize,
+    },
+    /// Structurally invalid JSON.
+    Syntax {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// What the parser expected or rejected.
+        what: &'static str,
+    },
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep {
+        /// Byte offset where the limit tripped.
+        offset: usize,
+    },
+    /// A complete JSON value was followed by more non-whitespace input.
+    Trailing {
+        /// Byte offset of the first trailing character.
+        offset: usize,
+    },
+    /// The `"schema"` header is missing or names a different version.
+    Schema {
+        /// The schema value found (rendered), or `"missing"`.
+        found: String,
+    },
+    /// The `"kind"` header is missing or names an unexpected payload.
+    Kind {
+        /// The kind found, or `"missing"`.
+        found: String,
+    },
+    /// A payload field is missing or has the wrong type/value.
+    Field {
+        /// The field name (dotted path for nested payloads).
+        field: &'static str,
+        /// What was wrong with it.
+        what: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset } => write!(f, "truncated input at byte {offset}"),
+            WireError::Syntax { offset, what } => write!(f, "bad JSON at byte {offset}: {what}"),
+            WireError::TooDeep { offset } => {
+                write!(f, "nesting deeper than {MAX_DEPTH} at byte {offset}")
+            }
+            WireError::Trailing { offset } => {
+                write!(f, "trailing data after JSON value at byte {offset}")
+            }
+            WireError::Schema { found } => {
+                write!(f, "wire schema mismatch: expected {SCHEMA}, found {found}")
+            }
+            WireError::Kind { found } => write!(f, "unexpected wire kind: {found}"),
+            WireError::Field { field, what } => write!(f, "field {field:?}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed JSON value. Number lexemes are kept verbatim
+/// ([`Value::Num`] holds the raw token) so integers up to `u64::MAX`
+/// survive decoding without a lossy trip through `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw lexeme (e.g. `"-12.5e3"`).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as key/value pairs in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses exactly one JSON value spanning the whole input
+    /// (surrounding whitespace allowed, trailing data rejected).
+    pub fn parse(text: &str) -> Result<Value, WireError> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(WireError::Trailing { offset: p.pos });
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object (`None` for non-objects too).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth >= MAX_DEPTH {
+            return Err(WireError::TooDeep { offset: self.pos });
+        }
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            None => Err(WireError::Truncated { offset: self.pos }),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(WireError::Syntax {
+                offset: self.pos,
+                what: "expected a JSON value",
+            }),
+        }
+    }
+
+    fn literal(&mut self, lit: &'static str, val: Value) -> Result<Value, WireError> {
+        let rest = &self.bytes[self.pos..];
+        if rest.starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else if lit.as_bytes().starts_with(rest) {
+            Err(WireError::Truncated {
+                offset: self.bytes.len(),
+            })
+        } else {
+            Err(WireError::Syntax {
+                offset: self.pos,
+                what: "invalid literal",
+            })
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.bytes.get(self.pos) {
+                None => return Err(WireError::Truncated { offset: self.pos }),
+                Some(c) if c.is_ascii_hexdigit() => (*c as char).to_digit(16).unwrap(),
+                Some(_) => {
+                    return Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "invalid \\u escape",
+                    })
+                }
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(WireError::Truncated { offset: self.pos }),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = match self.bytes.get(self.pos) {
+                        None => return Err(WireError::Truncated { offset: self.pos }),
+                        Some(c) => *c,
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let start = self.pos - 2;
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a low one must follow.
+                                if self.bytes.get(self.pos) != Some(&b'\\') {
+                                    if self.pos >= self.bytes.len() {
+                                        return Err(WireError::Truncated { offset: self.pos });
+                                    }
+                                    return Err(WireError::Syntax {
+                                        offset: start,
+                                        what: "lone high surrogate",
+                                    });
+                                }
+                                if self.bytes.get(self.pos + 1) != Some(&b'u') {
+                                    return Err(WireError::Syntax {
+                                        offset: start,
+                                        what: "lone high surrogate",
+                                    });
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(WireError::Syntax {
+                                        offset: start,
+                                        what: "invalid surrogate pair",
+                                    });
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(ch) => out.push(ch),
+                                None => {
+                                    return Err(WireError::Syntax {
+                                        offset: start,
+                                        what: "invalid unicode escape",
+                                    })
+                                }
+                            }
+                        }
+                        _ => {
+                            return Err(WireError::Syntax {
+                                offset: self.pos - 1,
+                                what: "invalid escape",
+                            })
+                        }
+                    }
+                }
+                Some(c) if *c < 0x20 => {
+                    return Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "raw control character in string",
+                    })
+                }
+                Some(_) => {
+                    // Input is a &str, so pos sits on a char boundary.
+                    let ch = self.text[self.pos..].chars().next().expect("char boundary");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn number(&mut self) -> Result<Value, WireError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return if self.pos >= self.bytes.len() {
+                Err(WireError::Truncated { offset: self.pos })
+            } else {
+                Err(WireError::Syntax {
+                    offset: self.pos,
+                    what: "expected digits",
+                })
+            };
+        }
+        // Strict JSON: no leading zeros ("0" itself is fine).
+        if int_digits > 1 && self.bytes[self.pos - int_digits] == b'0' {
+            return Err(WireError::Syntax {
+                offset: self.pos - int_digits,
+                what: "leading zero",
+            });
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return if self.pos >= self.bytes.len() {
+                    Err(WireError::Truncated { offset: self.pos })
+                } else {
+                    Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "expected fraction digits",
+                    })
+                };
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return if self.pos >= self.bytes.len() {
+                    Err(WireError::Truncated { offset: self.pos })
+                } else {
+                    Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "expected exponent digits",
+                    })
+                };
+            }
+        }
+        Ok(Value::Num(self.text[start..self.pos].to_string()))
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, WireError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                None => return Err(WireError::Truncated { offset: self.pos }),
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                Some(_) => {
+                    return Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "expected ',' or ']'",
+                    })
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, WireError> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                None => return Err(WireError::Truncated { offset: self.pos }),
+                Some(b'"') => {}
+                Some(_) => {
+                    return Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "expected object key",
+                    })
+                }
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                None => return Err(WireError::Truncated { offset: self.pos }),
+                Some(b':') => self.pos += 1,
+                Some(_) => {
+                    return Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "expected ':'",
+                    })
+                }
+            }
+            pairs.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                None => return Err(WireError::Truncated { offset: self.pos }),
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                Some(_) => {
+                    return Err(WireError::Syntax {
+                        offset: self.pos,
+                        what: "expected ',' or '}'",
+                    })
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lossless float / integer helpers
+// ---------------------------------------------------------------------------
+
+/// Renders an `f64` as a wire token: finite values as shortest-roundtrip
+/// JSON numbers, non-finite values as the string sentinels `"inf"`,
+/// `"-inf"`, `"nan"` (strict JSON has no tokens for them; the sentinels
+/// keep the encoding lossless where the schema-2 artifact form
+/// [`json::f64`] collapses them to `null`).
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"nan\"".into()
+    } else if v > 0.0 {
+        "\"inf\"".into()
+    } else {
+        "\"-inf\"".into()
+    }
+}
+
+/// Renders an optional `f64`: `null` for `None`, else [`float`]. The
+/// sentinels keep `Some(NAN)` distinguishable from `None`.
+pub fn opt_float(v: Option<f64>) -> String {
+    v.map(float).unwrap_or_else(|| "null".into())
+}
+
+fn field<'v>(obj: &'v Value, name: &'static str) -> Result<&'v Value, WireError> {
+    obj.get(name).ok_or(WireError::Field {
+        field: name,
+        what: "missing".into(),
+    })
+}
+
+fn get_bool(obj: &Value, name: &'static str) -> Result<bool, WireError> {
+    match field(obj, name)? {
+        Value::Bool(b) => Ok(*b),
+        other => Err(WireError::Field {
+            field: name,
+            what: format!("expected bool, found {other:?}"),
+        }),
+    }
+}
+
+fn get_u64(obj: &Value, name: &'static str) -> Result<u64, WireError> {
+    match field(obj, name)? {
+        Value::Num(raw) => raw.parse().map_err(|_| WireError::Field {
+            field: name,
+            what: format!("expected u64, found {raw:?}"),
+        }),
+        other => Err(WireError::Field {
+            field: name,
+            what: format!("expected number, found {other:?}"),
+        }),
+    }
+}
+
+fn get_u32(obj: &Value, name: &'static str) -> Result<u32, WireError> {
+    let wide = get_u64(obj, name)?;
+    u32::try_from(wide).map_err(|_| WireError::Field {
+        field: name,
+        what: format!("{wide} exceeds u32"),
+    })
+}
+
+fn get_usize(obj: &Value, name: &'static str) -> Result<usize, WireError> {
+    match field(obj, name)? {
+        Value::Num(raw) => raw.parse().map_err(|_| WireError::Field {
+            field: name,
+            what: format!("expected usize, found {raw:?}"),
+        }),
+        other => Err(WireError::Field {
+            field: name,
+            what: format!("expected number, found {other:?}"),
+        }),
+    }
+}
+
+fn get_str<'v>(obj: &'v Value, name: &'static str) -> Result<&'v str, WireError> {
+    match field(obj, name)? {
+        Value::Str(s) => Ok(s),
+        other => Err(WireError::Field {
+            field: name,
+            what: format!("expected string, found {other:?}"),
+        }),
+    }
+}
+
+fn float_of(v: &Value, name: &'static str) -> Result<f64, WireError> {
+    match v {
+        Value::Num(raw) => raw.parse().map_err(|_| WireError::Field {
+            field: name,
+            what: format!("unparseable number {raw:?}"),
+        }),
+        Value::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(WireError::Field {
+                field: name,
+                what: format!("expected float sentinel, found {other:?}"),
+            }),
+        },
+        other => Err(WireError::Field {
+            field: name,
+            what: format!("expected float, found {other:?}"),
+        }),
+    }
+}
+
+fn get_f64(obj: &Value, name: &'static str) -> Result<f64, WireError> {
+    float_of(field(obj, name)?, name)
+}
+
+fn get_opt_f64(obj: &Value, name: &'static str) -> Result<Option<f64>, WireError> {
+    match field(obj, name)? {
+        Value::Null => Ok(None),
+        other => float_of(other, name).map(Some),
+    }
+}
+
+fn get_arr<'v>(obj: &'v Value, name: &'static str) -> Result<&'v [Value], WireError> {
+    match field(obj, name)? {
+        Value::Arr(items) => Ok(items),
+        other => Err(WireError::Field {
+            field: name,
+            what: format!("expected array, found {other:?}"),
+        }),
+    }
+}
+
+fn classification_from_name(name: &str) -> Option<Classification> {
+    [
+        Classification::Trivial,
+        Classification::Type1,
+        Classification::Type2,
+        Classification::Type3,
+        Classification::Type4,
+        Classification::ExceptionS1,
+        Classification::ExceptionS2,
+        Classification::Infeasible,
+    ]
+    .into_iter()
+    .find(|c| c.to_string() == name)
+}
+
+fn get_classification(obj: &Value, name: &'static str) -> Result<Classification, WireError> {
+    let s = get_str(obj, name)?;
+    classification_from_name(s).ok_or_else(|| WireError::Field {
+        field: name,
+        what: format!("unknown classification {s:?}"),
+    })
+}
+
+/// Parses a line as a JSON object and checks the `"schema"`/`"kind"`
+/// headers, returning the object for payload extraction.
+fn header(line: &str, kind: &'static str) -> Result<Value, WireError> {
+    let v = parse_headed(line)?;
+    let found = get_str(&v, "kind")?;
+    if found != kind {
+        return Err(WireError::Kind {
+            found: found.to_string(),
+        });
+    }
+    Ok(v)
+}
+
+/// Parses a line and checks only the schema header (any kind).
+fn parse_headed(line: &str) -> Result<Value, WireError> {
+    let v = Value::parse(line)?;
+    match v.get("schema") {
+        Some(Value::Num(raw)) if raw == &SCHEMA.to_string() => {}
+        Some(other) => {
+            let found = match other {
+                Value::Num(raw) => raw.clone(),
+                other => format!("{other:?}"),
+            };
+            return Err(WireError::Schema { found });
+        }
+        None => {
+            return Err(WireError::Schema {
+                found: "missing".into(),
+            })
+        }
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// RunRecord
+// ---------------------------------------------------------------------------
+
+/// Encodes one campaign record (with its global campaign index) as a
+/// `kind: "record"` line.
+pub fn encode_record(index: usize, rec: &RunRecord) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"record\", \"index\": {index}, \
+         \"class\": {}, \"feasible\": {}, \"met\": {}, \"time\": {}, \
+         \"segments\": {}, \"min_dist\": {}, \"radius\": {}}}",
+        json::string(&rec.class.to_string()),
+        rec.feasible,
+        rec.met,
+        opt_float(rec.time),
+        rec.segments,
+        float(rec.min_dist),
+        float(rec.radius),
+    )
+}
+
+fn record_of(v: &Value) -> Result<(usize, RunRecord), WireError> {
+    Ok((
+        get_usize(v, "index")?,
+        RunRecord {
+            class: get_classification(v, "class")?,
+            feasible: get_bool(v, "feasible")?,
+            met: get_bool(v, "met")?,
+            time: get_opt_f64(v, "time")?,
+            segments: get_u64(v, "segments")?,
+            min_dist: get_f64(v, "min_dist")?,
+            radius: get_f64(v, "radius")?,
+        },
+    ))
+}
+
+/// Decodes a `kind: "record"` line back into `(index, record)`.
+pub fn decode_record(line: &str) -> Result<(usize, RunRecord), WireError> {
+    record_of(&header(line, "record")?)
+}
+
+// ---------------------------------------------------------------------------
+// ClassStats
+// ---------------------------------------------------------------------------
+
+/// Encodes one per-class breakdown row as a `kind: "class_stats"` line.
+pub fn encode_class_stats(cs: &ClassStats) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"class_stats\", \"class\": {}, \
+         \"n\": {}, \"met\": {}, \"median_time\": {}}}",
+        json::string(&cs.class.to_string()),
+        cs.n,
+        cs.met,
+        opt_float(cs.median_time),
+    )
+}
+
+/// Decodes a `kind: "class_stats"` line.
+pub fn decode_class_stats(line: &str) -> Result<ClassStats, WireError> {
+    let v = header(line, "class_stats")?;
+    Ok(ClassStats {
+        class: get_classification(&v, "class")?,
+        n: get_usize(&v, "n")?,
+        met: get_usize(&v, "met")?,
+        median_time: get_opt_f64(&v, "median_time")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// StatsAccumulator
+// ---------------------------------------------------------------------------
+
+fn float_list(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|&v| float(v)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn acc_body(acc: &StatsAccumulator) -> String {
+    let segments: Vec<String> = acc.segments.iter().map(u64::to_string).collect();
+    let buckets: Vec<String> = acc
+        .buckets
+        .iter()
+        .map(|(n, met, times)| format!("[{n}, {met}, {}]", float_list(times)))
+        .collect();
+    format!(
+        "{{\"n\": {}, \"met\": {}, \"infeasible\": {}, \"times\": {}, \
+         \"segments\": [{}], \"min_ratio\": {}, \"buckets\": [{}]}}",
+        acc.n,
+        acc.met,
+        acc.infeasible,
+        float_list(&acc.times),
+        segments.join(", "),
+        float(acc.min_ratio),
+        buckets.join(", "),
+    )
+}
+
+fn floats_of(items: &[Value], name: &'static str) -> Result<Vec<f64>, WireError> {
+    items.iter().map(|v| float_of(v, name)).collect()
+}
+
+fn bucket_of(raw: &Value) -> Result<(usize, usize, Vec<f64>), WireError> {
+    let bad = |what: String| WireError::Field {
+        field: "buckets",
+        what,
+    };
+    match raw {
+        Value::Arr(triple) if triple.len() == 3 => {
+            let n = match &triple[0] {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            };
+            let met = match &triple[1] {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            };
+            let times = match &triple[2] {
+                Value::Arr(items) => floats_of(items, "buckets").ok(),
+                _ => None,
+            };
+            match (n, met, times) {
+                (Some(n), Some(met), Some(times)) => Ok((n, met, times)),
+                _ => Err(bad("expected [n, met, [times]]".into())),
+            }
+        }
+        other => Err(bad(format!("expected [n, met, [times]], found {other:?}"))),
+    }
+}
+
+fn acc_of(v: &Value) -> Result<StatsAccumulator, WireError> {
+    let times = floats_of(get_arr(v, "times")?, "times")?;
+    let segments = get_arr(v, "segments")?
+        .iter()
+        .map(|item| match item {
+            Value::Num(raw) => raw.parse().map_err(|_| WireError::Field {
+                field: "segments",
+                what: format!("expected u64, found {raw:?}"),
+            }),
+            other => Err(WireError::Field {
+                field: "segments",
+                what: format!("expected number, found {other:?}"),
+            }),
+        })
+        .collect::<Result<Vec<u64>, WireError>>()?;
+    let raw_buckets = get_arr(v, "buckets")?;
+    if raw_buckets.len() != CLASS_ORDER.len() {
+        return Err(WireError::Field {
+            field: "buckets",
+            what: format!(
+                "expected {} class buckets, found {}",
+                CLASS_ORDER.len(),
+                raw_buckets.len()
+            ),
+        });
+    }
+    let mut buckets: [(usize, usize, Vec<f64>); CLASS_ORDER.len()] =
+        std::array::from_fn(|_| (0, 0, Vec::new()));
+    for (slot, raw) in buckets.iter_mut().zip(raw_buckets) {
+        *slot = bucket_of(raw)?;
+    }
+    let acc = StatsAccumulator {
+        n: get_usize(v, "n")?,
+        met: get_usize(v, "met")?,
+        infeasible: get_usize(v, "infeasible")?,
+        times,
+        segments,
+        min_ratio: get_f64(v, "min_ratio")?,
+        buckets,
+    };
+    // Internal consistency: this constructor bypasses every invariant
+    // `push()` maintains, so a corrupted-but-well-formed line (say, one
+    // deleted "segments" element) must not silently skew merged stats —
+    // the gather's only semantic cross-check reads `n`.
+    let inconsistent = acc.segments.len() != acc.n
+        || acc.times.len() > acc.n
+        || acc.met > acc.n
+        || acc.infeasible > acc.n
+        || acc.buckets.iter().map(|(bn, _, _)| bn).sum::<usize>() != acc.n
+        || acc.buckets.iter().map(|(_, bmet, _)| bmet).sum::<usize>() != acc.met
+        || acc.buckets.iter().map(|(_, _, bt)| bt.len()).sum::<usize>() != acc.times.len();
+    if inconsistent {
+        return Err(WireError::Field {
+            field: "acc",
+            what: "internally inconsistent accumulator (counts do not reconcile)".into(),
+        });
+    }
+    Ok(acc)
+}
+
+/// Encodes a whole accumulator (the mergeable aggregation state) as a
+/// `kind: "acc"` line — the payload shards ship back to the gatherer.
+pub fn encode_accumulator(acc: &StatsAccumulator) -> String {
+    let body = acc_body(acc);
+    format!("{{\"schema\": {SCHEMA}, \"kind\": \"acc\", \"acc\": {body}}}",)
+}
+
+/// Decodes a `kind: "acc"` line.
+pub fn decode_accumulator(line: &str) -> Result<StatsAccumulator, WireError> {
+    acc_of(field(&header(line, "acc")?, "acc")?)
+}
+
+// ---------------------------------------------------------------------------
+// ShardSpec / ShardResult
+// ---------------------------------------------------------------------------
+
+fn campaign_body(spec: &CampaignSpec) -> String {
+    let classes: Vec<String> = spec
+        .classes
+        .iter()
+        .map(|c| json::string(c.name()))
+        .collect();
+    format!(
+        "{{\"solver\": {}, \"segments\": {}, \"classes\": [{}]}}",
+        json::string(spec.solver.name()),
+        spec.segments,
+        classes.join(", "),
+    )
+}
+
+fn campaign_of(v: &Value) -> Result<CampaignSpec, WireError> {
+    let solver_name = get_str(v, "solver")?;
+    let solver = SolverSpec::from_name(solver_name).ok_or_else(|| WireError::Field {
+        field: "solver",
+        what: format!("unknown solver {solver_name:?}"),
+    })?;
+    let classes = get_arr(v, "classes")?
+        .iter()
+        .map(|item| match item {
+            Value::Str(s) => TargetClass::from_name(s).ok_or_else(|| WireError::Field {
+                field: "classes",
+                what: format!("unknown target class {s:?}"),
+            }),
+            other => Err(WireError::Field {
+                field: "classes",
+                what: format!("expected string, found {other:?}"),
+            }),
+        })
+        .collect::<Result<Vec<TargetClass>, WireError>>()?;
+    if classes.is_empty() {
+        return Err(WireError::Field {
+            field: "classes",
+            what: "must be non-empty".into(),
+        });
+    }
+    Ok(CampaignSpec {
+        solver,
+        segments: get_u64(v, "segments")?,
+        classes,
+    })
+}
+
+/// Encodes a shard work order as a `kind: "shard_spec"` line — what the
+/// driver writes to each worker's stdin.
+pub fn encode_shard_spec(spec: &ShardSpec) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"shard_spec\", \"shard_id\": {}, \
+         \"seed\": {}, \"start\": {}, \"end\": {}, \"campaign\": {}}}",
+        spec.shard_id,
+        spec.seed,
+        spec.range.start,
+        spec.range.end,
+        campaign_body(&spec.campaign),
+    )
+}
+
+/// Decodes a `kind: "shard_spec"` line.
+pub fn decode_shard_spec(line: &str) -> Result<ShardSpec, WireError> {
+    let v = header(line, "shard_spec")?;
+    let start = get_usize(&v, "start")?;
+    let end = get_usize(&v, "end")?;
+    if end < start {
+        return Err(WireError::Field {
+            field: "end",
+            what: format!("range end {end} before start {start}"),
+        });
+    }
+    Ok(ShardSpec {
+        campaign: campaign_of(field(&v, "campaign")?)?,
+        seed: get_u64(&v, "seed")?,
+        range: start..end,
+        shard_id: get_u32(&v, "shard_id")?,
+    })
+}
+
+/// Encodes a shard's gathered output as a `kind: "shard_result"` line —
+/// the last line a worker writes to stdout.
+pub fn encode_shard_result(result: &ShardResult) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"shard_result\", \"shard_id\": {}, \
+         \"start\": {}, \"acc\": {}}}",
+        result.shard_id,
+        result.start,
+        acc_body(&result.acc),
+    )
+}
+
+/// Decodes a `kind: "shard_result"` line.
+pub fn decode_shard_result(line: &str) -> Result<ShardResult, WireError> {
+    let v = header(line, "shard_result")?;
+    Ok(ShardResult {
+        shard_id: get_u32(&v, "shard_id")?,
+        start: get_usize(&v, "start")?,
+        acc: acc_of(field(&v, "acc")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Stream dispatch
+// ---------------------------------------------------------------------------
+
+/// One decoded wire line, dispatched on its `"kind"` header. This is what
+/// stream consumers (the scatter/gather driver reading worker stdout)
+/// use; the per-kind decoders are for callers that already know the kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Line {
+    /// A streamed campaign record with its global index.
+    Record {
+        /// Global campaign index of the record.
+        index: usize,
+        /// The record itself.
+        record: RunRecord,
+    },
+    /// A per-class breakdown row.
+    ClassStats(ClassStats),
+    /// A whole accumulator.
+    Accumulator(StatsAccumulator),
+    /// A shard work order.
+    ShardSpec(ShardSpec),
+    /// A shard's gathered output.
+    ShardResult(ShardResult),
+}
+
+/// Decodes any schema-3 line by its `"kind"` header.
+pub fn decode_line(line: &str) -> Result<Line, WireError> {
+    let v = parse_headed(line)?;
+    match get_str(&v, "kind")? {
+        "record" => record_of(&v).map(|(index, record)| Line::Record { index, record }),
+        "class_stats" => decode_class_stats(line).map(Line::ClassStats),
+        "acc" => decode_accumulator(line).map(Line::Accumulator),
+        "shard_spec" => decode_shard_spec(line).map(Line::ShardSpec),
+        "shard_result" => decode_shard_result(line).map(Line::ShardResult),
+        other => Err(WireError::Kind {
+            found: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_parses_scalars_and_containers() {
+        assert_eq!(Value::parse("null"), Ok(Value::Null));
+        assert_eq!(Value::parse(" true "), Ok(Value::Bool(true)));
+        assert_eq!(Value::parse("-12.5e3"), Ok(Value::Num("-12.5e3".into())));
+        assert_eq!(Value::parse("\"a\\nb\""), Ok(Value::Str("a\nb".into())));
+        assert_eq!(
+            Value::parse("[1, \"x\"]"),
+            Ok(Value::Arr(vec![
+                Value::Num("1".into()),
+                Value::Str("x".into())
+            ]))
+        );
+        let obj = Value::parse("{\"k\": [true, null]}").unwrap();
+        assert_eq!(
+            obj.get("k"),
+            Some(&Value::Arr(vec![Value::Bool(true), Value::Null]))
+        );
+    }
+
+    #[test]
+    fn value_preserves_u64_max_exactly() {
+        let raw = u64::MAX.to_string();
+        match Value::parse(&raw).unwrap() {
+            Value::Num(lexeme) => assert_eq!(lexeme, raw),
+            other => panic!("expected Num, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(Value::parse("\"\\u0041\""), Ok(Value::Str("A".into())));
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            Value::parse("\"\\ud83d\\ude00\""),
+            Ok(Value::Str("\u{1F600}".into()))
+        );
+        assert!(matches!(
+            Value::parse("\"\\ud83d\""),
+            Err(WireError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input_with_typed_errors() {
+        assert!(matches!(Value::parse(""), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Value::parse("{\"a\": "),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Value::parse("tru"),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(Value::parse("{]"), Err(WireError::Syntax { .. })));
+        assert!(matches!(Value::parse("01"), Err(WireError::Syntax { .. })));
+        assert!(matches!(
+            Value::parse("1 2"),
+            Err(WireError::Trailing { .. })
+        ));
+        let deep = "[".repeat(MAX_DEPTH + 1);
+        assert!(matches!(
+            Value::parse(&deep),
+            Err(WireError::TooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn float_sentinels_round_trip() {
+        assert_eq!(float(1.5), "1.5");
+        assert_eq!(float(f64::INFINITY), "\"inf\"");
+        assert_eq!(float(f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(float(f64::NAN), "\"nan\"");
+        assert_eq!(opt_float(None), "null");
+        let v = Value::parse("\"-inf\"").unwrap();
+        assert_eq!(float_of(&v, "x"), Ok(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn schema_and_kind_headers_are_enforced() {
+        let line = encode_class_stats(&ClassStats {
+            class: Classification::Type3,
+            n: 3,
+            met: 2,
+            median_time: Some(1.25),
+        });
+        assert!(decode_class_stats(&line).is_ok());
+        let wrong_schema = line.replace("\"schema\": 3", "\"schema\": 2");
+        assert_eq!(
+            decode_class_stats(&wrong_schema),
+            Err(WireError::Schema { found: "2".into() })
+        );
+        let wrong_kind = line.replace("class_stats", "bogus");
+        assert_eq!(
+            decode_class_stats(&wrong_kind),
+            Err(WireError::Kind {
+                found: "bogus".into()
+            })
+        );
+        assert_eq!(
+            decode_line(&wrong_kind),
+            Err(WireError::Kind {
+                found: "bogus".into()
+            })
+        );
+    }
+}

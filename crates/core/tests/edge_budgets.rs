@@ -1,0 +1,101 @@
+//! Consolidated edge-case coverage for the two deterministic scalar
+//! helpers every campaign leans on: [`Budget::for_phase`] (saturation at
+//! deep phases) and [`mix_seed`] (collision structure at the extremes).
+//! Formerly scattered across `api.rs` / `batch.rs` unit tests.
+
+use rv_core::batch::mix_seed;
+use rv_core::Budget;
+use std::collections::HashSet;
+
+#[test]
+fn for_phase_saturates_instead_of_overflowing() {
+    // Regression: `(3i+1) << (3i+2)` panicked in debug (wrapped in
+    // release) from i = 21 on; i = 20 already overflows the top bits.
+    assert_eq!(Budget::for_phase(19).max_segments, u64::MAX);
+    assert_eq!(Budget::for_phase(20).max_segments, u64::MAX);
+    assert_eq!(Budget::for_phase(21).max_segments, u64::MAX);
+    assert_eq!(Budget::for_phase(u32::MAX).max_segments, u64::MAX);
+}
+
+#[test]
+fn for_phase_small_phases_keep_exact_sizing() {
+    assert_eq!(Budget::for_phase(0).max_segments, 10_000);
+    assert_eq!(Budget::for_phase(3).max_segments, (10u64 << 11) * 8);
+}
+
+#[test]
+fn for_phase_schedule_is_monotone_non_decreasing() {
+    let mut prev = 0u64;
+    for i in 0..64 {
+        let b = Budget::for_phase(i).max_segments;
+        assert!(b >= prev, "phase {i}: {b} < {prev}");
+        prev = b;
+    }
+}
+
+#[test]
+fn for_phase_saturation_boundary_is_exact() {
+    // Phase 17 is the last exactly-sized budget: (3·17+1)·2^(3·17+2)·8
+    // = 52·2^56 fits. Phase 18's per-phase cost still fits a u64 but the
+    // ×8 agent factor saturates it; phase 19's per-phase cost itself
+    // exceeds u64 (58 > u64::MAX >> 59).
+    assert_eq!(Budget::for_phase(17).max_segments, 52u64 << 56);
+    assert_eq!(Budget::for_phase(18).max_segments, u64::MAX);
+    assert_eq!(Budget::for_phase(19).max_segments, u64::MAX);
+}
+
+#[test]
+fn mix_seed_has_no_trivial_collisions() {
+    let mut seen = HashSet::new();
+    for seed in 0..16u64 {
+        for i in 0..256u64 {
+            assert!(seen.insert(mix_seed(seed, i)), "collision at ({seed}, {i})");
+        }
+    }
+    // Index 0 must not reuse the seed verbatim (the old xor scheme did).
+    for seed in [0u64, 1, 42, u64::MAX] {
+        assert_ne!(mix_seed(seed, 0), seed);
+    }
+    // No linear collision class either: shifting the seed by the
+    // golden-ratio constant must not equal shifting the index by one
+    // (an additive pre-combination would make these always equal).
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    for seed in [0u64, 0xCAFE, 0xDEAD_BEEF, u64::MAX / 3] {
+        for i in 0..64u64 {
+            assert_ne!(
+                mix_seed(seed, i + 1),
+                mix_seed(seed.wrapping_add(GOLDEN), i),
+                "golden-shift collision at ({seed}, {i})"
+            );
+        }
+    }
+}
+
+#[test]
+fn mix_seed_extremes_are_total_and_distinct() {
+    // The wire format ships (seed, index) pairs across processes; the
+    // extremes must neither wrap-panic nor collapse onto each other.
+    let extremes = [0u64, 1, u64::MAX - 1, u64::MAX, usize::MAX as u64];
+    let mut outputs = HashSet::new();
+    for &seed in &extremes {
+        for &i in &extremes {
+            outputs.insert(mix_seed(seed, i));
+        }
+    }
+    // All 5×5 pairs distinct (usize::MAX == u64::MAX on 64-bit targets,
+    // so up to 16 unique pairs there — either way, no collisions).
+    let unique_pairs: HashSet<(u64, u64)> = extremes
+        .iter()
+        .flat_map(|&s| extremes.iter().map(move |&i| (s, i)))
+        .collect();
+    assert_eq!(outputs.len(), unique_pairs.len());
+}
+
+#[test]
+fn mix_seed_is_not_symmetric_in_its_arguments() {
+    // seed and index are finalized with distinct offsets, so swapping
+    // them must not produce the same stream (a plain xor would).
+    for (a, b) in [(0u64, 1u64), (3, 77), (0, u64::MAX), (12345, 54321)] {
+        assert_ne!(mix_seed(a, b), mix_seed(b, a), "symmetric at ({a}, {b})");
+    }
+}

@@ -1,0 +1,148 @@
+//! Infeasible-heavy campaigns through the new shard surface: the
+//! `Recommendation { feasible: false }` path must stay visible all the
+//! way to gathered stats (`infeasible == n`), and every wire artifact a
+//! shard emits for such a campaign must be valid schema-3 JSON. Also
+//! proves the *in-process* scatter/gather differential over the wire:
+//! encode spec → decode → execute → encode result → decode → merge is
+//! byte-identical to the single-process run (the subprocess version lives
+//! in `rv-experiments`' `shard_differential` suite, next to the
+//! `rv-shard` binary).
+
+use rv_core::shard::{plan, CampaignSpec, SolverSpec};
+use rv_core::stream::VecSink;
+use rv_core::wire::{self, Line, Value};
+use rv_core::{CampaignStats, StatsAccumulator};
+use rv_model::TargetClass;
+use std::sync::Arc;
+
+fn all_infeasible() -> CampaignSpec {
+    CampaignSpec::new(
+        SolverSpec::Dedicated,
+        vec![TargetClass::InfeasibleShift, TargetClass::InfeasibleMirror],
+        20_000,
+    )
+}
+
+fn assert_byte_identical(a: &CampaignStats, b: &CampaignStats, ctx: &str) {
+    assert_eq!(a, b, "{ctx}");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{ctx}");
+    assert_eq!(a.to_json(), b.to_json(), "{ctx}");
+}
+
+#[test]
+fn all_infeasible_campaign_counts_every_run_as_infeasible() {
+    let n = 12;
+    let report = all_infeasible().run_local(0xBAD5EED, n);
+    assert_eq!(report.stats.n, n);
+    assert_eq!(
+        report.stats.infeasible, n,
+        "every run must surface feasible: false"
+    );
+    assert_eq!(report.stats.met, 0, "Theorem 3.1: no algorithm can meet");
+    for rec in &report.records {
+        assert!(!rec.feasible);
+        assert!(!rec.met);
+        assert_eq!(rec.time, None);
+    }
+    // The aggregate keeps the per-class breakdown to the infeasible slot.
+    assert_eq!(report.stats.per_class.len(), 1);
+    assert_eq!(report.stats.per_class[0].n, n);
+    assert_eq!(report.stats.per_class[0].met, 0);
+    assert_eq!(report.stats.per_class[0].median_time, None);
+}
+
+#[test]
+fn all_infeasible_campaign_emits_valid_schema_3_wire_lines() {
+    let n = 8;
+    let spec = all_infeasible();
+    let report = spec.run_local(7, n);
+
+    // Every record line a worker would stream is strict JSON with the
+    // schema-3 header, and decodes back to the record bit-for-bit.
+    for (i, rec) in report.records.iter().enumerate() {
+        let line = wire::encode_record(i, rec);
+        let v = Value::parse(&line).expect("record line must be strict JSON");
+        assert_eq!(v.get("schema"), Some(&Value::Num("3".into())));
+        let (i2, rec2) = wire::decode_record(&line).unwrap();
+        assert_eq!((i2, &rec2), (i, rec));
+    }
+
+    // The shard-result accumulator round-trips, and its per-class stats
+    // line is valid too.
+    let mut acc = StatsAccumulator::new();
+    report.records.iter().for_each(|r| acc.push(r));
+    let acc_line = wire::encode_accumulator(&acc);
+    Value::parse(&acc_line).expect("accumulator line must be strict JSON");
+    let stats = wire::decode_accumulator(&acc_line).unwrap().finish();
+    assert_byte_identical(&stats, &report.stats, "wire accumulator");
+    assert_eq!(stats.infeasible, n);
+    for cs in &stats.per_class {
+        let cs_line = wire::encode_class_stats(cs);
+        Value::parse(&cs_line).expect("class_stats line must be strict JSON");
+        assert_eq!(&wire::decode_class_stats(&cs_line).unwrap(), cs);
+    }
+
+    // And the schema-2 artifact JSON (null for the degenerate quantiles
+    // of a campaign that never meets) parses strictly as well.
+    let artifact = report.stats.to_json();
+    Value::parse(&artifact).expect("stats artifact must be strict JSON");
+    assert!(artifact.contains("\"median_time\": null"));
+    assert!(artifact.contains(&format!("\"infeasible\": {n}")));
+}
+
+#[test]
+fn in_process_scatter_gather_over_the_wire_is_byte_identical() {
+    // Mixed workload (feasible + infeasible) so the merged per-class
+    // breakdown is non-trivial.
+    let spec = CampaignSpec::new(
+        SolverSpec::Dedicated,
+        vec![
+            TargetClass::Type3,
+            TargetClass::S1,
+            TargetClass::InfeasibleShift,
+        ],
+        30_000,
+    );
+    let seed = 0xD1FF;
+    let n = 15;
+    let local = spec.run_local(seed, n);
+    assert!(local.stats.met > 0, "workload must exercise real runs");
+    assert!(
+        local.stats.infeasible > 0,
+        "workload must include infeasible"
+    );
+
+    for shards in [1usize, 2, 4] {
+        let sink = Arc::new(VecSink::new());
+        let mut merged = StatsAccumulator::new();
+        for shard in plan(&spec, seed, n, shards) {
+            // Full wire trip in both directions, as the subprocess
+            // protocol would do it.
+            let sent = wire::encode_shard_spec(&shard);
+            let decoded = match wire::decode_line(&sent).unwrap() {
+                Line::ShardSpec(s) => s,
+                other => panic!("wrong kind: {other:?}"),
+            };
+            assert_eq!(decoded, shard);
+            let result = decoded.execute(sink.clone());
+            let returned = wire::encode_shard_result(&result);
+            let result = match wire::decode_line(&returned).unwrap() {
+                Line::ShardResult(r) => r,
+                other => panic!("wrong kind: {other:?}"),
+            };
+            assert_eq!(result.acc.len(), shard.range.len());
+            merged = merged.merge(result.acc);
+        }
+        assert_byte_identical(&merged.finish(), &local.stats, &format!("{shards} shards"));
+
+        // The streamed records cover 0..n exactly once with globally
+        // correct indices, matching the single-process records.
+        let mut seen = sink.take();
+        seen.sort_by_key(|(i, _)| *i);
+        assert_eq!(seen.len(), n, "{shards} shards");
+        for (expect, (idx, rec)) in seen.iter().enumerate() {
+            assert_eq!(*idx, expect);
+            assert_eq!(rec, &local.records[*idx], "{shards} shards, index {idx}");
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! The wire-format proof obligations: for every schema-3 wire type,
+//! `encode → decode → encode` is a *fixed point* (byte-identical second
+//! encoding, structurally identical decode), and the decoder is *total* —
+//! truncated, corrupted, wrong-schema, mis-kinded, or adversarially
+//! nested input produces a typed [`WireError`], never a panic.
+//!
+//! Case counts are capped for CI-friendly wall time; override with
+//! `PROPTEST_CASES` for a deep run.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rv_core::batch::{ClassStats, RunRecord, StatsAccumulator};
+use rv_core::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec};
+use rv_core::wire::{self, Line, Value, WireError, MAX_DEPTH};
+use rv_model::{Classification, TargetClass};
+
+const CLASSES: [Classification; 8] = [
+    Classification::Trivial,
+    Classification::Type1,
+    Classification::Type2,
+    Classification::Type3,
+    Classification::Type4,
+    Classification::ExceptionS1,
+    Classification::ExceptionS2,
+    Classification::Infeasible,
+];
+
+/// Synthetic records over coarse grids (ties on purpose) plus the
+/// non-finite specials the sentinel encoding must carry losslessly.
+fn record_strategy() -> impl Strategy<Value = RunRecord> {
+    (
+        0usize..CLASSES.len(),
+        any::<bool>(),
+        prop_oneof![
+            Just(None),
+            (0i64..200).prop_map(|g| Some(g as f64 / 8.0)),
+            Just(Some(f64::NAN)),
+            Just(Some(f64::INFINITY)),
+        ],
+        any::<u64>(),
+        prop_oneof![
+            (0i64..100).prop_map(|g| g as f64 / 16.0),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(-0.0),
+        ],
+        prop_oneof![(1i64..8).prop_map(|g| g as f64), Just(0.0)],
+    )
+        .prop_map(|(class_idx, met, time, segments, min_dist, radius)| {
+            let class = CLASSES[class_idx];
+            RunRecord {
+                class,
+                feasible: class.feasible(),
+                met,
+                time,
+                segments,
+                min_dist,
+                radius,
+            }
+        })
+}
+
+fn campaign_strategy() -> impl Strategy<Value = CampaignSpec> {
+    let all = TargetClass::all();
+    (any::<bool>(), vec(0usize..all.len(), 1..5), any::<u64>()).prop_map(
+        move |(aur, class_idx, segments)| CampaignSpec {
+            solver: if aur {
+                SolverSpec::Aur
+            } else {
+                SolverSpec::Dedicated
+            },
+            classes: class_idx.into_iter().map(|i| all[i]).collect(),
+            segments,
+        },
+    )
+}
+
+/// Bitwise record equality: `PartialEq` conflates NaN (`NaN != NaN`) and
+/// `-0.0 == 0.0`, so compare through the Debug rendering, which
+/// distinguishes both.
+fn assert_records_bitwise_eq(a: &RunRecord, b: &RunRecord) {
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn record_encoding_is_a_fixed_point(index in any::<usize>(), rec in record_strategy()) {
+        let line = wire::encode_record(index, &rec);
+        let (index2, rec2) = wire::decode_record(&line).expect("own encoding must decode");
+        prop_assert_eq!(index2, index);
+        assert_records_bitwise_eq(&rec2, &rec);
+        prop_assert_eq!(wire::encode_record(index2, &rec2), line, "second encode must be byte-identical");
+        // The generic line dispatcher agrees.
+        match wire::decode_line(&line).unwrap() {
+            Line::Record { index: i, record } => {
+                prop_assert_eq!(i, index);
+                assert_records_bitwise_eq(&record, &rec);
+            }
+            other => prop_assert!(false, "wrong kind: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn class_stats_encoding_is_a_fixed_point(
+        class_idx in 0usize..CLASSES.len(),
+        n in any::<usize>(),
+        met in any::<usize>(),
+        median in prop_oneof![
+            Just(None),
+            (0i64..100).prop_map(|g| Some(g as f64 / 4.0)),
+            Just(Some(f64::NAN)),
+        ],
+    ) {
+        let cs = ClassStats { class: CLASSES[class_idx], n, met, median_time: median };
+        let line = wire::encode_class_stats(&cs);
+        let cs2 = wire::decode_class_stats(&line).expect("own encoding must decode");
+        prop_assert_eq!(format!("{cs2:?}"), format!("{cs:?}"));
+        prop_assert_eq!(wire::encode_class_stats(&cs2), line);
+    }
+
+    #[test]
+    fn accumulator_encoding_is_a_fixed_point(records in vec(record_strategy(), 0..50)) {
+        let mut acc = StatsAccumulator::new();
+        for r in &records {
+            acc.push(r);
+        }
+        let line = wire::encode_accumulator(&acc);
+        let acc2 = wire::decode_accumulator(&line).expect("own encoding must decode");
+        prop_assert_eq!(format!("{acc2:?}"), format!("{acc:?}"), "decode must be lossless");
+        prop_assert_eq!(wire::encode_accumulator(&acc2), line, "second encode must be byte-identical");
+        // And the decoded accumulator finishes into byte-identical stats.
+        let (a, b) = (acc.finish(), acc2.finish());
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn shard_spec_encoding_is_a_fixed_point(
+        campaign in campaign_strategy(),
+        seed in any::<u64>(),
+        start in 0usize..1_000_000,
+        len in 0usize..1_000_000,
+        shard_id in any::<u32>(),
+    ) {
+        let spec = ShardSpec { campaign, seed, range: start..start + len, shard_id };
+        let line = wire::encode_shard_spec(&spec);
+        let spec2 = wire::decode_shard_spec(&line).expect("own encoding must decode");
+        prop_assert_eq!(&spec2, &spec);
+        prop_assert_eq!(wire::encode_shard_spec(&spec2), line);
+    }
+
+    #[test]
+    fn shard_result_encoding_is_a_fixed_point(
+        records in vec(record_strategy(), 0..30),
+        shard_id in any::<u32>(),
+        start in any::<usize>(),
+    ) {
+        let mut acc = StatsAccumulator::new();
+        for r in &records {
+            acc.push(r);
+        }
+        let result = ShardResult { shard_id, start, acc };
+        let line = wire::encode_shard_result(&result);
+        let result2 = wire::decode_shard_result(&line).expect("own encoding must decode");
+        prop_assert_eq!(format!("{result2:?}"), format!("{result:?}"));
+        prop_assert_eq!(wire::encode_shard_result(&result2), line);
+    }
+
+    // ---- decoder totality ------------------------------------------------
+
+    #[test]
+    fn decoder_never_panics_on_junk(junk in vec(any::<char>(), 0..120)) {
+        let text: String = junk.into_iter().collect();
+        // Any outcome is fine; panicking is not.
+        let _ = Value::parse(&text);
+        let _ = wire::decode_line(&text);
+        let _ = wire::decode_record(&text);
+        let _ = wire::decode_accumulator(&text);
+        let _ = wire::decode_shard_spec(&text);
+        let _ = wire::decode_shard_result(&text);
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_line_is_a_typed_error(
+        rec in record_strategy(),
+        index in 0usize..1000,
+    ) {
+        let line = wire::encode_record(index, &rec);
+        for cut in 0..line.len() {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &line[..cut];
+            let err = wire::decode_record(prefix).expect_err("strict prefix cannot decode");
+            // A cut mid-value truncates; a cut between tokens leaves a
+            // structurally incomplete object — both are typed, not panics.
+            prop_assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::Syntax { .. }),
+                "unexpected error for cut {}: {:?}", cut, err
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        rec in record_strategy(),
+        pos_seed in any::<usize>(),
+        replacement in any::<char>(),
+    ) {
+        let line = wire::encode_record(7, &rec);
+        let chars: Vec<char> = line.chars().collect();
+        let pos = pos_seed % chars.len();
+        let mutated: String = chars
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i == pos { replacement } else { c })
+            .collect();
+        let _ = wire::decode_record(&mutated); // may or may not decode; must not panic
+        let _ = wire::decode_line(&mutated);
+    }
+}
+
+#[test]
+fn wrong_schema_is_rejected_with_a_schema_error() {
+    let rec = RunRecord {
+        class: Classification::Type3,
+        feasible: true,
+        met: true,
+        time: Some(1.5),
+        segments: 12,
+        min_dist: 0.5,
+        radius: 1.0,
+    };
+    let line = wire::encode_record(0, &rec);
+    for schema in ["2", "4", "0", "-1", "\"3\"", "null"] {
+        let mutated = line.replace("\"schema\": 3", &format!("\"schema\": {schema}"));
+        let err = wire::decode_record(&mutated).expect_err("foreign schema must be rejected");
+        assert!(matches!(err, WireError::Schema { .. }), "{schema}: {err:?}");
+        assert!(
+            matches!(wire::decode_line(&mutated), Err(WireError::Schema { .. })),
+            "{schema}"
+        );
+    }
+    let headerless = line.replace("\"schema\": 3, ", "");
+    assert_eq!(
+        wire::decode_record(&headerless),
+        Err(WireError::Schema {
+            found: "missing".into()
+        })
+    );
+}
+
+#[test]
+fn missing_and_mistyped_fields_are_field_errors() {
+    let rec = RunRecord {
+        class: Classification::Type1,
+        feasible: true,
+        met: false,
+        time: None,
+        segments: 3,
+        min_dist: 2.0,
+        radius: 1.0,
+    };
+    let line = wire::encode_record(5, &rec);
+    let missing = line.replace("\"met\": false, ", "");
+    assert!(matches!(
+        wire::decode_record(&missing),
+        Err(WireError::Field { field: "met", .. })
+    ));
+    let mistyped = line.replace("\"segments\": 3", "\"segments\": -3");
+    assert!(matches!(
+        wire::decode_record(&mistyped),
+        Err(WireError::Field {
+            field: "segments",
+            ..
+        })
+    ));
+    let fractional = line.replace("\"index\": 5", "\"index\": 5.5");
+    assert!(matches!(
+        wire::decode_record(&fractional),
+        Err(WireError::Field { field: "index", .. })
+    ));
+    let bad_class = line.replace("type 1", "type 99");
+    assert!(matches!(
+        wire::decode_record(&bad_class),
+        Err(WireError::Field { field: "class", .. })
+    ));
+}
+
+#[test]
+fn adversarial_nesting_is_depth_limited_not_a_stack_overflow() {
+    for text in [
+        "[".repeat(10_000),
+        "{\"a\":".repeat(10_000),
+        format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        ),
+    ] {
+        let err = Value::parse(&text).expect_err("too deep");
+        assert!(matches!(err, WireError::TooDeep { .. }), "{err:?}");
+    }
+    // Exactly at the limit still parses.
+    let ok = format!(
+        "{}1{}",
+        "[".repeat(MAX_DEPTH - 1),
+        "]".repeat(MAX_DEPTH - 1)
+    );
+    assert!(Value::parse(&ok).is_ok());
+}
+
+#[test]
+fn empty_class_lists_are_rejected_not_panicking() {
+    let spec = ShardSpec {
+        campaign: CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 1000),
+        seed: 1,
+        range: 0..4,
+        shard_id: 0,
+    };
+    let line = wire::encode_shard_spec(&spec);
+    let empty = line.replace("[\"type3\"]", "[]");
+    assert!(matches!(
+        wire::decode_shard_spec(&empty),
+        Err(WireError::Field {
+            field: "classes",
+            ..
+        })
+    ));
+    let inverted = line.replace("\"start\": 0, \"end\": 4", "\"start\": 4, \"end\": 0");
+    assert!(matches!(
+        wire::decode_shard_spec(&inverted),
+        Err(WireError::Field { field: "end", .. })
+    ));
+}
+
+#[test]
+fn oversized_shard_ids_are_field_errors_not_truncations() {
+    // Regression: `as u32` would have decoded 2^32 as shard 0, letting a
+    // corrupted shard_result impersonate shard 0 past the gather check.
+    let spec = ShardSpec {
+        campaign: CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 1000),
+        seed: 1,
+        range: 0..4,
+        shard_id: 0,
+    };
+    let line =
+        wire::encode_shard_spec(&spec).replace("\"shard_id\": 0", "\"shard_id\": 4294967296");
+    assert!(matches!(
+        wire::decode_shard_spec(&line),
+        Err(WireError::Field {
+            field: "shard_id",
+            ..
+        })
+    ));
+    let result = ShardResult {
+        shard_id: 0,
+        start: 0,
+        acc: StatsAccumulator::new(),
+    };
+    let line =
+        wire::encode_shard_result(&result).replace("\"shard_id\": 0", "\"shard_id\": 4294967296");
+    assert!(matches!(
+        wire::decode_shard_result(&line),
+        Err(WireError::Field {
+            field: "shard_id",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn internally_inconsistent_accumulators_are_rejected() {
+    // A corruption that deletes one "segments" element is still valid
+    // JSON and leaves n unchanged — the decoder must catch the
+    // reconciliation failure rather than let it skew merged stats.
+    let mut acc = StatsAccumulator::new();
+    let rec = RunRecord {
+        class: Classification::Type3,
+        feasible: true,
+        met: true,
+        time: Some(1.5),
+        segments: 42,
+        min_dist: 0.5,
+        radius: 1.0,
+    };
+    acc.push(&rec);
+    acc.push(&rec);
+    let line = wire::encode_accumulator(&acc);
+    assert!(wire::decode_accumulator(&line).is_ok());
+    for corrupted in [
+        line.replace("\"segments\": [42, 42]", "\"segments\": [42]"),
+        line.replace("\"met\": 2", "\"met\": 3"),
+        line.replace("\"n\": 2", "\"n\": 1"),
+        line.replace("[2, 2, [1.5, 1.5]]", "[2, 2, [1.5]]"),
+    ] {
+        assert!(
+            matches!(
+                wire::decode_accumulator(&corrupted),
+                Err(WireError::Field { field: "acc", .. })
+            ),
+            "must reject: {corrupted}"
+        );
+    }
+}
+
+#[test]
+fn accumulator_bucket_arity_is_enforced() {
+    let acc = StatsAccumulator::new();
+    let line = wire::encode_accumulator(&acc);
+    // Drop one bucket: 8 are required (one per taxonomy class).
+    let mutated = line.replacen("[0, 0, []], ", "", 1);
+    assert!(matches!(
+        wire::decode_accumulator(&mutated),
+        Err(WireError::Field {
+            field: "buckets",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn empty_accumulator_round_trips_including_infinite_min_ratio() {
+    let acc = StatsAccumulator::new();
+    let line = wire::encode_accumulator(&acc);
+    assert!(
+        line.contains("\"min_ratio\": \"inf\""),
+        "empty accumulator's +inf identity must use the sentinel: {line}"
+    );
+    let acc2 = wire::decode_accumulator(&line).unwrap();
+    assert!(acc2.is_empty());
+    assert_eq!(format!("{acc2:?}"), format!("{acc:?}"));
+    assert_eq!(wire::encode_accumulator(&acc2), line);
+}

@@ -1,0 +1,130 @@
+//! `rv-shard` — the cross-process campaign shard worker and its
+//! scatter/gather driver CLI (the schema-3 wire protocol, see
+//! `rv_core::shard`).
+//!
+//! ```text
+//! rv-shard worker
+//!     Read one shard_spec JSON line from stdin, execute the shard,
+//!     stream one record line per finished run to stdout, then the final
+//!     shard_result line. Exit 0 on success, 2 on a bad spec.
+//!
+//! rv-shard campaign --n N [--shards K] [--seed S] [--solver aur|dedicated]
+//!                   [--classes type3,s1,...] [--segments M] [--local]
+//!     Scatter the seeded campaign over K worker subprocesses of this
+//!     same binary (or run single-process with --local) and print the
+//!     gathered CampaignStats JSON — byte-identical either way.
+//! ```
+
+use rv_core::shard::{CampaignSpec, ShardResult, SolverSpec};
+use rv_core::{wire, JsonLinesSink, RecordSink};
+use rv_experiments::runner::run_sharded;
+use rv_model::TargetClass;
+use std::io::BufRead;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => worker(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: rv-shard worker [--threads T] | rv-shard campaign --n N [--shards K] \
+                 [--seed S] [--solver aur|dedicated] [--classes a,b,...] [--segments M] [--local]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Worker mode: one shard spec in, record lines + shard result out.
+/// `--threads T` caps this worker's campaign threads (0 = all cores) so
+/// K same-host workers can split the CPU instead of oversubscribing it.
+fn worker(args: &[String]) {
+    let threads: usize = parsed_flag(args, "--threads", 0);
+    let mut line = String::new();
+    if let Err(e) = std::io::stdin().lock().read_line(&mut line) {
+        eprintln!("rv-shard worker: cannot read shard spec: {e}");
+        std::process::exit(2);
+    }
+    let spec = match wire::decode_shard_spec(line.trim()) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("rv-shard worker: bad shard spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Records stream as wire lines the moment each run lands; Stdout is
+    // line-buffered and the sink flushes, so the parent sees them live.
+    let sink = Arc::new(JsonLinesSink::new(std::io::stdout()));
+    let result: ShardResult = spec.execute_threads(sink.clone() as Arc<dyn RecordSink>, threads);
+    if sink.failed() {
+        eprintln!("rv-shard worker: record stream write failed");
+        std::process::exit(1);
+    }
+    println!("{}", wire::encode_shard_result(&result));
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("rv-shard: {name} needs a valid value, got {raw:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Driver mode: plan, scatter over subprocesses of this binary, gather,
+/// print the stats JSON.
+fn campaign(args: &[String]) {
+    let n: usize = parsed_flag(args, "--n", 0);
+    if n == 0 {
+        eprintln!("rv-shard campaign: --n N (> 0) is required");
+        std::process::exit(2);
+    }
+    let shards: usize = parsed_flag(args, "--shards", 1);
+    let seed: u64 = parsed_flag(args, "--seed", 0);
+    let segments: u64 = parsed_flag(args, "--segments", 60_000);
+    let solver_name = flag_value(args, "--solver").unwrap_or("aur");
+    let solver = SolverSpec::from_name(solver_name).unwrap_or_else(|| {
+        eprintln!("rv-shard: unknown solver {solver_name:?} (aur | dedicated)");
+        std::process::exit(2);
+    });
+    let classes: Vec<TargetClass> = flag_value(args, "--classes")
+        .unwrap_or("type3")
+        .split(',')
+        .map(|name| {
+            TargetClass::from_name(name.trim()).unwrap_or_else(|| {
+                eprintln!("rv-shard: unknown target class {name:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let spec = CampaignSpec::new(solver, classes, segments);
+
+    let stats = if args.iter().any(|a| a == "--local") {
+        spec.run_local(seed, n).stats
+    } else {
+        // Scatter over subprocesses of this very binary in worker mode.
+        let me = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("rv-shard: cannot locate own binary: {e}");
+            std::process::exit(1);
+        });
+        match run_sharded(&me, &spec, seed, n, shards) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("rv-shard campaign: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    println!("{}", stats.to_json());
+}

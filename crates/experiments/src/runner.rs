@@ -10,11 +10,39 @@
 //! display helpers for tables.
 
 use crate::util::fnum;
+use std::path::Path;
 
 pub use rv_core::batch::{
     Campaign, CampaignReport, CampaignStats as Summary, RunRecord as RunResult, StatsAccumulator,
 };
+pub use rv_core::shard::{plan as plan_shards, CampaignSpec, ShardDriver, ShardError, SolverSpec};
 pub use rv_core::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
+
+/// The `--shards N` execution path: scatters the seeded campaign
+/// `(spec, seed, 0..n)` over `shards` subprocesses of `worker` (an
+/// `rv-shard` binary, invoked in `worker` mode) and gathers the merged
+/// stats — byte-identical to [`CampaignSpec::run_local`] by the shard
+/// protocol's determinism guarantee.
+///
+/// The host's cores are split across the workers (`cores / shards`,
+/// minimum 1 thread each) so a same-host scatter does not oversubscribe
+/// the CPU `shards`-fold; thread counts never change a single output
+/// byte.
+pub fn run_sharded(
+    worker: &Path,
+    spec: &CampaignSpec,
+    seed: u64,
+    n: usize,
+    shards: usize,
+) -> Result<rv_core::CampaignStats, ShardError> {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let per_worker = (cores / shards.max(1)).max(1);
+    ShardDriver::new(worker)
+        .arg("worker")
+        .arg("--threads")
+        .arg(per_worker.to_string())
+        .scatter_gather(spec, seed, n, shards, None)
+}
 
 /// Table-display helpers for [`Summary`] (kept out of `rv-core`, which
 /// stays formatting-free).

@@ -1,0 +1,195 @@
+//! The headline differential: the same seeded campaign run single-process
+//! vs. scattered over 1/2/4 `rv-shard` worker *subprocesses* must produce
+//! byte-identical `CampaignStats` (struct, Debug rendering, and
+//! `to_json` artifact). Also exercises the driver's streamed-record
+//! forwarding and its typed failure paths against real processes.
+
+use rv_core::shard::{CampaignSpec, ShardDriver, ShardError, SolverSpec};
+use rv_core::stream::VecSink;
+use rv_core::CampaignStats;
+use rv_experiments::runner::run_sharded;
+use rv_model::TargetClass;
+use std::path::Path;
+use std::process::Command;
+
+/// The worker binary, built by cargo for this test run.
+const WORKER: &str = env!("CARGO_BIN_EXE_rv-shard");
+
+fn mixed_spec() -> CampaignSpec {
+    CampaignSpec::new(
+        SolverSpec::Dedicated,
+        vec![
+            TargetClass::Type1,
+            TargetClass::Type3,
+            TargetClass::S1,
+            TargetClass::InfeasibleShift,
+        ],
+        30_000,
+    )
+}
+
+fn assert_byte_identical(a: &CampaignStats, b: &CampaignStats, ctx: &str) {
+    assert_eq!(a, b, "{ctx}");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{ctx}");
+    assert_eq!(a.to_json(), b.to_json(), "{ctx}");
+}
+
+#[test]
+fn subprocess_scatter_gather_is_byte_identical_to_single_process() {
+    let spec = mixed_spec();
+    let seed = 0xD1FF_5EED;
+    let n = 24;
+    let local = spec.run_local(seed, n);
+    assert!(local.stats.met > 0, "workload must exercise real runs");
+    assert!(
+        local.stats.infeasible > 0,
+        "workload must include infeasible instances"
+    );
+
+    for shards in [1usize, 2, 4] {
+        let sink = VecSink::new();
+        let stats = ShardDriver::new(WORKER)
+            .arg("worker")
+            .scatter_gather(
+                &spec,
+                seed,
+                n,
+                shards,
+                Some(&sink as &dyn rv_core::RecordSink),
+            )
+            .unwrap_or_else(|e| panic!("{shards}-shard scatter/gather: {e}"));
+        assert_byte_identical(&stats, &local.stats, &format!("{shards} shards"));
+
+        // The records streamed back over the subprocess pipes cover 0..n
+        // exactly once and match the single-process records.
+        let mut seen = sink.take();
+        seen.sort_by_key(|(i, _)| *i);
+        assert_eq!(seen.len(), n, "{shards} shards");
+        for (expect, (idx, rec)) in seen.iter().enumerate() {
+            assert_eq!(*idx, expect, "{shards} shards");
+            assert_eq!(rec, &local.records[*idx], "{shards} shards, index {idx}");
+        }
+    }
+}
+
+#[test]
+fn aur_campaigns_shard_identically_too() {
+    let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
+    let seed = 42;
+    let n = 10;
+    let local = spec.run_local(seed, n).stats;
+    assert_eq!(local.met, n, "type 3 is AUR-guaranteed");
+    let sharded = run_sharded(Path::new(WORKER), &spec, seed, n, 2).expect("2-shard run");
+    assert_byte_identical(&sharded, &local, "aur 2 shards");
+}
+
+#[test]
+fn shard_counts_beyond_n_clamp_instead_of_spawning_empty_workers() {
+    let spec = mixed_spec();
+    let local = spec.run_local(3, 5).stats;
+    let sharded = run_sharded(Path::new(WORKER), &spec, 3, 5, 64).expect("clamped run");
+    assert_byte_identical(&sharded, &local, "clamped shards");
+}
+
+#[test]
+fn driver_failure_paths_are_typed_not_panics() {
+    let spec = mixed_spec();
+
+    // Nonexistent worker binary: Spawn.
+    let err = ShardDriver::new("/nonexistent/rv-shard")
+        .arg("worker")
+        .scatter_gather(&spec, 1, 4, 2, None)
+        .unwrap_err();
+    assert!(matches!(err, ShardError::Spawn(_)), "{err}");
+
+    // Real binary, wrong mode: exits non-zero with usage on stderr.
+    let err = ShardDriver::new(WORKER)
+        .arg("not-a-mode")
+        .scatter_gather(&spec, 1, 4, 2, None)
+        .unwrap_err();
+    match err {
+        ShardError::Worker { code, stderr, .. } => {
+            assert_eq!(code, Some(2));
+            assert!(stderr.contains("usage"), "stderr: {stderr}");
+        }
+        other => panic!("expected Worker error, got {other}"),
+    }
+
+    // A worker that echoes the spec back (cat) violates the protocol:
+    // the driver must reject the unexpected shard_spec line, typed.
+    if Path::new("/bin/cat").exists() {
+        let err = ShardDriver::new("/bin/cat")
+            .scatter_gather(&spec, 1, 4, 1, None)
+            .unwrap_err();
+        assert!(matches!(err, ShardError::Protocol { .. }), "{err}");
+    }
+}
+
+#[test]
+fn worker_rejects_garbage_specs_with_exit_2() {
+    use std::io::Write;
+    let mut child = Command::new(WORKER)
+        .arg("worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn worker");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"schema\": 2, \"kind\": \"shard_spec\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad shard spec"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("schema"),
+        "error should name the schema mismatch: {stderr}"
+    );
+}
+
+#[test]
+fn cli_campaign_mode_matches_local_mode_byte_for_byte() {
+    let flags = [
+        "--solver",
+        "dedicated",
+        "--classes",
+        "type3,s1",
+        "--n",
+        "12",
+        "--seed",
+        "9",
+        "--segments",
+        "30000",
+    ];
+    let sharded = Command::new(WORKER)
+        .arg("campaign")
+        .args(flags)
+        .args(["--shards", "3"])
+        .output()
+        .expect("campaign mode");
+    assert!(
+        sharded.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let local = Command::new(WORKER)
+        .arg("campaign")
+        .args(flags)
+        .arg("--local")
+        .output()
+        .expect("local mode");
+    assert!(local.status.success());
+    let sharded_json = String::from_utf8(sharded.stdout).unwrap();
+    let local_json = String::from_utf8(local.stdout).unwrap();
+    assert_eq!(
+        sharded_json, local_json,
+        "CLI paths must agree byte-for-byte"
+    );
+    // Sanity: it is the stats artifact, and it parses as strict JSON.
+    assert!(sharded_json.contains("\"n\": 12"));
+    rv_core::wire::Value::parse(sharded_json.trim()).expect("stats JSON must parse");
+}

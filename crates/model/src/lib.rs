@@ -18,7 +18,7 @@ mod instance;
 mod parse;
 
 pub use classify::{aur_guaranteed, classify, classify_with_eps, feasible, Classification};
-pub use gen::{generate, TargetClass};
+pub use gen::{generate, generate_seeded, TargetClass};
 pub use instance::{Instance, InstanceBuilder};
 
 // Re-export the geometric types that appear in the public API.

@@ -33,7 +33,8 @@ pub use rv_trajectory as trajectory;
 pub mod prelude {
     pub use rv_core::{
         classify, feasible, recommend, solve, solve_dedicated, solve_pair, Aur, Budget, Campaign,
-        Closure, Dedicated, FixedPair, RecordSink, Solver, StatsAccumulator, Visibility,
+        CampaignSpec, Closure, Dedicated, FixedPair, RecordSink, ShardDriver, Solver, SolverSpec,
+        StatsAccumulator, Visibility,
     };
     pub use rv_geometry::{Angle, Vec2};
     pub use rv_model::{Chirality, Classification, Instance};
