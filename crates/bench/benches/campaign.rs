@@ -11,9 +11,12 @@
 
 use criterion::{black_box, Criterion};
 use rv_core::batch::{mix_seed, Campaign, RunRecord};
+use rv_core::exec::{Executor, LocalExecutor, SubprocessExecutor, WorkerCommand};
+use rv_core::shard::{CampaignSpec, SolverSpec};
 use rv_core::{json, par_map, wire, Budget, Dedicated, FixedPair, StatsAccumulator};
-use rv_model::{Classification, Instance};
+use rv_model::{Classification, Instance, TargetClass};
 use rv_numeric::{ratio, Ratio};
+use std::path::PathBuf;
 
 /// A small type-3 pool (clock mismatch ⇒ AUR meets within a few phases).
 fn instances(n: usize) -> Vec<Instance> {
@@ -133,6 +136,78 @@ fn bench_shard_gather(c: &mut Criterion) {
     g.finish();
 }
 
+/// Locates a release-built `rv-shard` worker binary: `RV_SHARD_BIN`
+/// overrides; otherwise walk up from the bench executable (which lives
+/// in `target/release/deps`) looking for a sibling `rv-shard`.
+fn locate_rv_shard() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("RV_SHARD_BIN") {
+        let path = PathBuf::from(path);
+        return path.is_file().then_some(path);
+    }
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .skip(1)
+        .map(|dir| dir.join("rv-shard"))
+        .find(|candidate| candidate.is_file())
+}
+
+/// The executor backends head to head on one seeded campaign: the
+/// in-process threaded engine vs. the subprocess scatter/gather (spawn +
+/// wire round-trip + gather overhead on top of the same simulation
+/// work). The subprocess entries need a release `rv-shard` binary
+/// (`cargo build --release -p rv-experiments`, or `RV_SHARD_BIN`);
+/// without one they are skipped loudly so a missing group in the JSON
+/// artifact is explained.
+fn bench_exec_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_backends");
+    g.sample_size(10);
+    let spec = CampaignSpec::new(
+        SolverSpec::Dedicated,
+        vec![TargetClass::Type3, TargetClass::S1],
+        20_000,
+    );
+    let (seed, n) = (0xB7, 64);
+    g.bench_function("local_64x20k", |b| {
+        let exec = LocalExecutor::new();
+        b.iter(|| {
+            black_box(exec.execute(&spec, seed, n, None).expect("local"))
+                .stats
+                .met
+        })
+    });
+    match locate_rv_shard() {
+        Some(worker) => {
+            let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+            for shards in [2usize, 4] {
+                // Split the cores across the concurrent workers (as
+                // runner::worker_command does), so the comparison against
+                // the local backend measures gather overhead rather than
+                // a shards-fold oversubscribed CPU.
+                let threads = (cores / shards).max(1);
+                let exec = SubprocessExecutor::new(
+                    WorkerCommand::new(&worker)
+                        .arg("worker")
+                        .arg("--threads")
+                        .arg(threads.to_string()),
+                )
+                .shards(shards);
+                g.bench_function(format!("subprocess_64x20k_{shards}shards"), |b| {
+                    b.iter(|| {
+                        black_box(exec.execute(&spec, seed, n, None).expect("subprocess"))
+                            .stats
+                            .met
+                    })
+                });
+            }
+        }
+        None => eprintln!(
+            "exec_backends: no rv-shard binary found (RV_SHARD_BIN or a release build); \
+             skipping the subprocess entries"
+        ),
+    }
+    g.finish();
+}
+
 /// Renders the recorded measurements as the `BENCH_campaign.json`
 /// artifact (strict JSON, schema-versioned like the experiment stats).
 fn results_json(c: &Criterion) -> String {
@@ -161,6 +236,7 @@ fn main() {
     bench_par_map(&mut criterion);
     bench_campaign(&mut criterion);
     bench_shard_gather(&mut criterion);
+    bench_exec_backends(&mut criterion);
 
     // Bench binaries run with CWD = the package dir; anchor the default
     // to the *workspace* target dir so the artifact has a stable home.

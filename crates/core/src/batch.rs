@@ -15,8 +15,10 @@
 //! [`merge`](StatsAccumulator::merge), and
 //! [`finish`](StatsAccumulator::finish) produces the [`CampaignStats`].
 //! Merging the accumulators of *any* partition of a record stream yields
-//! stats byte-identical to a single-shot fold — the shape sharded
-//! campaigns (across processes or hosts) need.
+//! stats byte-identical to a single-shot fold — the invariant the
+//! executor layer ([`crate::exec`]) builds on to scatter campaigns across
+//! processes and hosts (and to re-scatter failed shards) without changing
+//! a single output byte.
 //!
 //! Determinism: records land in *input order* (the parallel map writes by
 //! index, see [`crate::parallel`]), every instance is identified by its

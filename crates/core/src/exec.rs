@@ -1,0 +1,883 @@
+//! The executor layer: one fault-tolerant surface over every way to run
+//! a campaign — in-process threads, worker subprocesses, or remote
+//! workers behind an arbitrary command wrapper.
+//!
+//! [`Executor::execute`] takes the same reconstructible
+//! `(spec, seed, n)` triple everywhere and returns a full
+//! [`CampaignReport`]; which machinery ran the runs is a deployment
+//! choice, not an API fork:
+//!
+//! - [`LocalExecutor`] — today's threaded [`Campaign`](crate::Campaign)
+//!   engine, in this process.
+//! - [`SubprocessExecutor`] — the scatter/gather driver: shards `0..n`
+//!   with [`crate::shard::plan`], spawns one worker process per shard
+//!   ([`WorkerCommand`]), and merges the gathered accumulators.
+//! - [`CommandExecutor`] — the same scatter/gather with every worker
+//!   invocation wrapped in a user-supplied command prefix (`ssh host --`,
+//!   a container runner, …). Because the worker protocol is pure
+//!   stdin/stdout JSON lines, any prefix that forwards standard streams
+//!   turns it into a remote transport for free.
+//!
+//! # Fault tolerance
+//!
+//! The scatter/gather core retries failed shards: each shard has an
+//! attempt budget (`1 + `[`SubprocessExecutor::retries`]), worker
+//! commands observed failing are tracked and avoided while alternatives
+//! survive (so a dead host's ranges re-scatter onto the remaining ones),
+//! and every spawn carries the attempt number in the [`ATTEMPT_ENV`]
+//! environment variable so workers can implement deterministic failure
+//! injection (the `rv-shard` binary's `--flaky` mode). A shard's records
+//! are buffered per attempt and released to the caller's
+//! [`RecordSink`] only when that shard *succeeds* — a failed attempt's
+//! partial stream is discarded wholesale, so the exactly-once-per-index
+//! sink contract survives retries.
+//!
+//! Concurrency is bounded by [`SubprocessExecutor::max_inflight`]: at
+//! most that many workers run at once (`0` = one per shard), so a
+//! 256-shard scatter on an 8-core host does not fork-bomb it.
+//!
+//! # Determinism
+//!
+//! Every backend produces a report **byte-identical** to
+//! [`CampaignSpec::run_local`] — records are a pure function of
+//! `(spec, seed, index)`, the accumulator merge is partition-invariant,
+//! and retries re-run the same pure function — so retry/re-scatter can
+//! never change a single output byte. The `executor_differential` suite
+//! pins all three backends (and recovery after injected failures)
+//! against the single-process run.
+
+use crate::batch::{CampaignReport, CampaignStats, RunRecord, StatsAccumulator};
+use crate::shard::{plan, CampaignSpec, ShardError, ShardResult, ShardSpec};
+use crate::stream::RecordSink;
+use crate::wire::{self, Line};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable carrying the zero-based attempt number to each
+/// spawned worker. Production workers ignore it; test workers use it for
+/// deterministic fault injection (`rv-shard worker --flaky` fails iff it
+/// reads attempt `0`).
+pub const ATTEMPT_ENV: &str = "RV_SHARD_ATTEMPT";
+
+/// A uniform way to run the seeded campaign `(spec, seed, 0..n)`.
+///
+/// Implementations must uphold the determinism contract: the returned
+/// report is byte-identical to [`CampaignSpec::run_local`]`(seed, n)`,
+/// and `sink` (when given) sees every index in `0..n` exactly once.
+pub trait Executor {
+    /// Runs the campaign, streaming records to `sink` as work completes,
+    /// and returns the full report (records in index order + stats).
+    fn execute(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignReport, ExecError>;
+
+    /// [`Executor::execute`] without materialising the record list —
+    /// what stats-only callers (the `rv-shard campaign` CLI, sweeps that
+    /// stream records through `sink` instead) should use. The subprocess
+    /// backends override this to drop each shard's buffer after its sink
+    /// release, keeping driver memory O(shard size), not O(n).
+    fn execute_stats(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignStats, ExecError> {
+        self.execute(spec, seed, n, sink).map(|report| report.stats)
+    }
+
+    /// Stable backend name (for labels, artifacts, and CLI selection).
+    fn name(&self) -> &'static str;
+}
+
+/// Why an execution failed for good. Transient shard failures are
+/// retried inside the executor; this surfaces only once recovery is
+/// exhausted (or an integrity check no retry can fix trips).
+#[derive(Debug)]
+pub enum ExecError {
+    /// A shard failed on every attempt its budget allowed.
+    Exhausted {
+        /// Which shard gave up.
+        shard_id: u32,
+        /// How many attempts were made (`1 + retries`).
+        attempts: u32,
+        /// The last attempt's failure.
+        last: ShardError,
+    },
+    /// The gathered shards did not reassemble into exactly `0..n`
+    /// records (a cross-shard integrity failure no retry can repair).
+    Coverage {
+        /// What failed to reconcile.
+        what: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Exhausted {
+                shard_id,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "shard {shard_id} failed all {attempts} attempt(s); last error: {last}"
+            ),
+            ExecError::Coverage { what } => write!(f, "gather integrity failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Exhausted { last, .. } => Some(last),
+            ExecError::Coverage { .. } => None,
+        }
+    }
+}
+
+/// Runs the campaign on this process's own threads — the plain
+/// [`Campaign`](crate::Campaign) engine behind the [`Executor`] surface.
+/// Infallible in practice; `execute` never returns `Err`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalExecutor {
+    threads: usize,
+}
+
+impl LocalExecutor {
+    /// Executor using all available cores.
+    pub fn new() -> LocalExecutor {
+        LocalExecutor::default()
+    }
+
+    /// Sets the worker-thread count (`0` = all cores). Thread counts
+    /// never change a single output byte.
+    pub fn threads(mut self, threads: usize) -> LocalExecutor {
+        self.threads = threads;
+        self
+    }
+}
+
+impl Executor for LocalExecutor {
+    fn execute(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignReport, ExecError> {
+        let mut campaign = spec.campaign().threads(self.threads);
+        if let Some(sink) = sink {
+            campaign = campaign.sink_arc(sink);
+        }
+        Ok(campaign.run_seeded(n, |i| spec.instance(seed, i)))
+    }
+
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// One worker invocation: a program plus fixed arguments. The command
+/// must speak the schema-3 worker protocol (see `WIRE.md`): read one
+/// `shard_spec` line from stdin, stream `record` lines plus a final
+/// `shard_result` line to stdout, exit 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A worker command with no arguments yet.
+    pub fn new(program: impl Into<PathBuf>) -> WorkerCommand {
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends one fixed argument (e.g. the `worker` mode selector of the
+    /// `rv-shard` binary).
+    pub fn arg(mut self, arg: impl Into<String>) -> WorkerCommand {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Prefixes this command with a wrapper (`prefix[0]` becomes the
+    /// program; the old program and arguments shift into the argument
+    /// list). `["ssh", "host", "--"]` turns a local worker command into
+    /// a remote one. Panics on an empty prefix.
+    pub fn wrap<I, S>(self, prefix: I) -> WorkerCommand
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut parts: Vec<String> = prefix.into_iter().map(Into::into).collect();
+        assert!(!parts.is_empty(), "wrapper prefix must be non-empty");
+        let program = PathBuf::from(parts.remove(0));
+        parts.push(self.program.to_string_lossy().into_owned());
+        parts.extend(self.args);
+        WorkerCommand {
+            program,
+            args: parts,
+        }
+    }
+
+    /// The command as one display line (for error messages and logs).
+    pub fn display_line(&self) -> String {
+        let mut line = self.program.to_string_lossy().into_owned();
+        for a in &self.args {
+            line.push(' ');
+            line.push_str(a);
+        }
+        line
+    }
+
+    fn command(&self, attempt: u32) -> Command {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .env(ATTEMPT_ENV, attempt.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        cmd
+    }
+}
+
+/// The fault-tolerant scatter/gather executor: plans `shards` contiguous
+/// ranges, runs each in a worker subprocess, retries failures within an
+/// attempt budget (re-scattering onto surviving worker commands when
+/// more than one is registered), and merges the gathered accumulators
+/// into a report byte-identical to the single-process run.
+///
+/// ```no_run
+/// use rv_core::exec::{Executor, SubprocessExecutor, WorkerCommand};
+/// use rv_core::shard::{CampaignSpec, SolverSpec};
+/// use rv_model::TargetClass;
+///
+/// let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
+/// let report = SubprocessExecutor::new(
+///     WorkerCommand::new("target/release/rv-shard").arg("worker"),
+/// )
+/// .shards(8)
+/// .retries(2)
+/// .max_inflight(4)
+/// .execute(&spec, 42, 1_000, None)
+/// .expect("scatter/gather");
+/// assert_eq!(report.stats.n, 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubprocessExecutor {
+    workers: Vec<WorkerCommand>,
+    shards: usize,
+    retries: u32,
+    max_inflight: usize,
+}
+
+impl SubprocessExecutor {
+    /// Executor scattering over subprocesses of `worker` (one shard, no
+    /// retries, unbounded in-flight — tune with the builder methods).
+    pub fn new(worker: WorkerCommand) -> SubprocessExecutor {
+        SubprocessExecutor {
+            workers: vec![worker],
+            shards: 1,
+            retries: 0,
+            max_inflight: 0,
+        }
+    }
+
+    /// Registers an additional worker command. Shards prefer commands not
+    /// yet observed failing, so extra commands are both load-spreading
+    /// targets and failover capacity.
+    pub fn add_worker(mut self, worker: WorkerCommand) -> SubprocessExecutor {
+        self.workers.push(worker);
+        self
+    }
+
+    /// Sets how many shards to plan (clamped to `1..=n` at execute time).
+    pub fn shards(mut self, shards: usize) -> SubprocessExecutor {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard retry budget: a shard may fail `retries` times
+    /// and still succeed on a later attempt; failure `retries + 1` aborts
+    /// the whole execution with [`ExecError::Exhausted`].
+    pub fn retries(mut self, retries: u32) -> SubprocessExecutor {
+        self.retries = retries;
+        self
+    }
+
+    /// Caps how many worker processes run concurrently (`0` = one per
+    /// shard). With `k` in-flight slots, at most `k` subprocesses exist
+    /// at any moment regardless of the shard count.
+    pub fn max_inflight(mut self, max_inflight: usize) -> SubprocessExecutor {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// The scatter/gather core. One drain thread per in-flight slot pulls
+    /// shard tasks off a shared queue, runs each in a subprocess, and
+    /// either stores the shard's outcome or re-queues the task with the
+    /// next attempt number (excluding the failed worker command while
+    /// alternatives survive). The first shard to exhaust its budget
+    /// aborts the run. With `keep_records` false, each shard's record
+    /// buffer is dropped right after its sink release, so stats-only
+    /// gathers hold O(shard size) memory instead of O(n).
+    fn scatter_gather(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+        keep_records: bool,
+    ) -> Result<Vec<Option<ShardOutcome>>, ExecError> {
+        assert!(!self.workers.is_empty(), "executor needs a worker command");
+        let specs = plan(spec, seed, n, self.shards);
+
+        // task = (index into specs, attempt number)
+        let queue: Mutex<VecDeque<(usize, u32)>> =
+            Mutex::new((0..specs.len()).map(|k| (k, 0)).collect());
+        let slots: Mutex<Vec<Option<ShardOutcome>>> = Mutex::new(vec![None; specs.len()]);
+        let failed_workers: Mutex<Vec<bool>> = Mutex::new(vec![false; self.workers.len()]);
+        let fatal: Mutex<Option<ExecError>> = Mutex::new(None);
+
+        let drains = match self.max_inflight {
+            0 => specs.len(),
+            cap => cap.min(specs.len()),
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..drains.max(1) {
+                scope.spawn(|| loop {
+                    let (task, attempt) = {
+                        if fatal.lock().unwrap_or_else(|e| e.into_inner()).is_some() {
+                            break;
+                        }
+                        match queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                            Some(t) => t,
+                            None => break,
+                        }
+                    };
+                    let shard = &specs[task];
+                    let widx = self.pick_worker(shard.shard_id, attempt, &failed_workers);
+                    match run_shard_attempt(&self.workers[widx], shard, attempt) {
+                        Ok(mut outcome) => {
+                            // Success releases the shard's buffered records
+                            // to the caller's sink exactly once; a failed
+                            // attempt's partial stream was never forwarded.
+                            if let Some(sink) = &sink {
+                                for (index, rec) in &outcome.records {
+                                    sink.record(*index, rec);
+                                }
+                            }
+                            if !keep_records {
+                                outcome.records = Vec::new();
+                            }
+                            slots.lock().unwrap_or_else(|e| e.into_inner())[task] = Some(outcome);
+                        }
+                        Err(last) => {
+                            failed_workers.lock().unwrap_or_else(|e| e.into_inner())[widx] = true;
+                            if attempt >= self.retries {
+                                let mut f = fatal.lock().unwrap_or_else(|e| e.into_inner());
+                                if f.is_none() {
+                                    *f = Some(ExecError::Exhausted {
+                                        shard_id: shard.shard_id,
+                                        attempts: attempt + 1,
+                                        last,
+                                    });
+                                }
+                                break;
+                            }
+                            queue
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push_back((task, attempt + 1));
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(err) = fatal.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(err);
+        }
+        Ok(slots.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Picks the worker command for `(shard_id, attempt)`: round-robin by
+    /// `shard_id + attempt`, skipping commands already observed failing
+    /// while at least one survivor remains (so retries re-scatter a dead
+    /// host's range instead of hammering it).
+    fn pick_worker(&self, shard_id: u32, attempt: u32, failed: &Mutex<Vec<bool>>) -> usize {
+        let len = self.workers.len();
+        let start = (shard_id as usize + attempt as usize) % len;
+        let failed = failed.lock().unwrap_or_else(|e| e.into_inner());
+        (0..len)
+            .map(|k| (start + k) % len)
+            .find(|&idx| !failed[idx])
+            .unwrap_or(start)
+    }
+}
+
+impl Executor for SubprocessExecutor {
+    fn execute(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignReport, ExecError> {
+        self.scatter_gather(spec, seed, n, sink, true)
+            .and_then(|slots| assemble(n, slots))
+    }
+
+    fn execute_stats(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignStats, ExecError> {
+        self.scatter_gather(spec, seed, n, sink, false)
+            .and_then(|slots| assemble_stats(n, slots))
+    }
+
+    fn name(&self) -> &'static str {
+        "subprocess"
+    }
+}
+
+/// [`SubprocessExecutor`] with every worker invocation wrapped in a
+/// command prefix — the remote transport. Each registered host is one
+/// prefix; a host observed failing has its ranges re-scattered onto the
+/// surviving hosts (within the retry budget).
+///
+/// ```no_run
+/// use rv_core::exec::{CommandExecutor, Executor, WorkerCommand};
+/// use rv_core::shard::{CampaignSpec, SolverSpec};
+/// use rv_model::TargetClass;
+///
+/// let worker = WorkerCommand::new("/opt/rv/bin/rv-shard").arg("worker");
+/// let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
+/// let report = CommandExecutor::new(["ssh", "hostA", "--"], worker)
+///     .host(["ssh", "hostB", "--"])
+///     .shards(16)
+///     .retries(3)
+///     .execute(&spec, 42, 100_000, None)
+///     .expect("remote scatter/gather");
+/// assert_eq!(report.stats.n, 100_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CommandExecutor {
+    inner: SubprocessExecutor,
+    worker: WorkerCommand,
+}
+
+impl CommandExecutor {
+    /// Executor running `worker` behind the `wrap` prefix (e.g.
+    /// `["ssh", "host", "--"]`; `["/usr/bin/env"]` is the identity
+    /// wrapper). Panics on an empty prefix.
+    pub fn new<I, S>(wrap: I, worker: WorkerCommand) -> CommandExecutor
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CommandExecutor {
+            inner: SubprocessExecutor::new(worker.clone().wrap(wrap)),
+            worker,
+        }
+    }
+
+    /// Registers an additional host (one more wrap prefix around the same
+    /// worker command).
+    pub fn host<I, S>(mut self, wrap: I) -> CommandExecutor
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.inner = self.inner.add_worker(self.worker.clone().wrap(wrap));
+        self
+    }
+
+    /// Sets how many shards to plan (clamped to `1..=n` at execute time).
+    pub fn shards(mut self, shards: usize) -> CommandExecutor {
+        self.inner = self.inner.shards(shards);
+        self
+    }
+
+    /// Sets the per-shard retry budget (see
+    /// [`SubprocessExecutor::retries`]).
+    pub fn retries(mut self, retries: u32) -> CommandExecutor {
+        self.inner = self.inner.retries(retries);
+        self
+    }
+
+    /// Caps concurrent worker processes (see
+    /// [`SubprocessExecutor::max_inflight`]).
+    pub fn max_inflight(mut self, max_inflight: usize) -> CommandExecutor {
+        self.inner = self.inner.max_inflight(max_inflight);
+        self
+    }
+}
+
+impl Executor for CommandExecutor {
+    fn execute(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignReport, ExecError> {
+        self.inner.execute(spec, seed, n, sink)
+    }
+
+    fn execute_stats(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignStats, ExecError> {
+        self.inner.execute_stats(spec, seed, n, sink)
+    }
+
+    fn name(&self) -> &'static str {
+        "command"
+    }
+}
+
+/// One successfully gathered shard: its accumulator plus the buffered
+/// records (sorted by global index, verified contiguous over the owned
+/// range).
+#[derive(Clone)]
+struct ShardOutcome {
+    result: ShardResult,
+    records: Vec<(usize, RunRecord)>,
+}
+
+/// Reassembles the per-shard outcomes into the campaign report: records
+/// concatenated in shard order (each shard's slice is already sorted and
+/// contiguous, and shards partition `0..n`), stats from the accumulator
+/// merge in shard order — exactly the single-process bytes.
+fn assemble(n: usize, slots: Vec<Option<ShardOutcome>>) -> Result<CampaignReport, ExecError> {
+    let mut merged = StatsAccumulator::new();
+    let mut records = Vec::with_capacity(n);
+    for (k, slot) in slots.into_iter().enumerate() {
+        let outcome = slot.ok_or_else(|| ExecError::Coverage {
+            what: format!("shard {k} finished without a result"),
+        })?;
+        merged = merged.merge(outcome.result.acc);
+        records.extend(outcome.records.into_iter().map(|(_, rec)| rec));
+    }
+    if records.len() != n || merged.len() != n {
+        return Err(ExecError::Coverage {
+            what: format!(
+                "expected {n} records, reassembled {} ({} accumulated)",
+                records.len(),
+                merged.len()
+            ),
+        });
+    }
+    Ok(CampaignReport {
+        records,
+        stats: merged.finish(),
+    })
+}
+
+/// [`assemble`] without the record list: merges the accumulators in
+/// shard order and finishes once. Per-shard index coverage was already
+/// validated against each work order at gather time, so `merged.len()`
+/// is the remaining cross-shard check.
+fn assemble_stats(n: usize, slots: Vec<Option<ShardOutcome>>) -> Result<CampaignStats, ExecError> {
+    let mut merged = StatsAccumulator::new();
+    for (k, slot) in slots.into_iter().enumerate() {
+        let outcome = slot.ok_or_else(|| ExecError::Coverage {
+            what: format!("shard {k} finished without a result"),
+        })?;
+        merged = merged.merge(outcome.result.acc);
+    }
+    if merged.len() != n {
+        return Err(ExecError::Coverage {
+            what: format!("expected {n} records, accumulated {}", merged.len()),
+        });
+    }
+    Ok(merged.finish())
+}
+
+/// Runs one attempt of one shard: spawn the worker, hand it the spec on
+/// stdin, drain stdout into a per-attempt record buffer (stderr drains on
+/// a side thread so a chatty worker cannot deadlock), reap the child, and
+/// validate identity, counts, and index coverage against the work order.
+/// On a stream error the child is killed and reaped before returning, so
+/// failed attempts leave neither zombies nor orphaned CPU burn.
+fn run_shard_attempt(
+    worker: &WorkerCommand,
+    spec: &ShardSpec,
+    attempt: u32,
+) -> Result<ShardOutcome, ShardError> {
+    let shard_id = spec.shard_id;
+    let io = |source| ShardError::Io { shard_id, source };
+    let protocol = |what: String| ShardError::Protocol { shard_id, what };
+
+    let mut child = worker.command(attempt).spawn().map_err(ShardError::Spawn)?;
+    let mut stdin = child.stdin.take().expect("stdin was piped");
+    let handed_over = stdin
+        .write_all(wire::encode_shard_spec(spec).as_bytes())
+        .and_then(|()| stdin.write_all(b"\n"));
+    // A worker that died before reading its spec breaks this pipe; swallow
+    // that case — the exit status reported below is strictly more
+    // informative than EPIPE.
+    if let Err(e) = handed_over {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io(e));
+        }
+    }
+    drop(stdin); // EOF: the worker reads exactly one line
+
+    let stderr_pipe = child.stderr.take();
+    let stderr_thread = std::thread::spawn(move || {
+        let mut text = String::new();
+        if let Some(mut pipe) = stderr_pipe {
+            let _ = pipe.read_to_string(&mut text);
+        }
+        text
+    });
+
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let streamed = (|| {
+        let mut result = None;
+        let mut records: Vec<(usize, RunRecord)> = Vec::with_capacity(spec.range.len());
+        for line in BufReader::new(stdout).lines() {
+            let line = line.map_err(io)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match wire::decode_line(&line)
+                .map_err(|source| ShardError::Wire { shard_id, source })?
+            {
+                Line::Record { index, record } => {
+                    if !spec.range.contains(&index) {
+                        return Err(protocol(format!(
+                            "record index {index} outside owned range {:?}",
+                            spec.range
+                        )));
+                    }
+                    records.push((index, record));
+                }
+                Line::ShardResult(r) => {
+                    if result.replace(r).is_some() {
+                        return Err(protocol("duplicate shard_result line".into()));
+                    }
+                }
+                other => {
+                    return Err(protocol(format!("unexpected line kind: {other:?}")));
+                }
+            }
+        }
+        Ok((result, records))
+    })();
+
+    let (result, mut records) = match streamed {
+        Ok(ok) => ok,
+        Err(e) => {
+            // A misbehaving worker is stopped, not abandoned.
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = stderr_thread.join();
+            return Err(e);
+        }
+    };
+
+    let status = child.wait().map_err(io)?;
+    let stderr = stderr_thread.join().unwrap_or_default();
+    if !status.success() {
+        return Err(ShardError::Worker {
+            shard_id,
+            code: status.code(),
+            stderr: stderr.trim().to_string(),
+        });
+    }
+    let result = result.ok_or_else(|| protocol("missing shard_result line".into()))?;
+    if result.shard_id != shard_id {
+        return Err(protocol(format!(
+            "shard_result identifies as shard {}",
+            result.shard_id
+        )));
+    }
+    if result.start != spec.range.start {
+        return Err(protocol(format!(
+            "shard_result start {} != owned start {}",
+            result.start, spec.range.start
+        )));
+    }
+    if result.acc.len() != spec.range.len() {
+        return Err(protocol(format!(
+            "expected {} accumulated records, got {}",
+            spec.range.len(),
+            result.acc.len()
+        )));
+    }
+    // The buffered stream must be a permutation of exactly the owned
+    // range — one record per index, no duplicates, no gaps.
+    records.sort_by_key(|(index, _)| *index);
+    for (k, (index, _)) in records.iter().enumerate() {
+        let expect = spec.range.start + k;
+        if *index != expect {
+            return Err(protocol(format!(
+                "streamed indices do not cover {:?} exactly once (position {k} holds \
+                 index {index}, expected {expect})",
+                spec.range
+            )));
+        }
+    }
+    if records.len() != spec.range.len() {
+        return Err(protocol(format!(
+            "expected {} record lines, streamed {}",
+            spec.range.len(),
+            records.len()
+        )));
+    }
+    Ok(ShardOutcome { result, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::SolverSpec;
+    use crate::stream::VecSink;
+    use rv_model::TargetClass;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new(
+            SolverSpec::Dedicated,
+            vec![TargetClass::Type3, TargetClass::S1],
+            30_000,
+        )
+    }
+
+    #[test]
+    fn local_executor_is_byte_identical_to_run_local() {
+        let c = spec();
+        let (seed, n) = (0x5EED, 12);
+        let reference = c.run_local(seed, n);
+        for threads in [0usize, 1, 3] {
+            let sink = Arc::new(VecSink::new());
+            let report = LocalExecutor::new()
+                .threads(threads)
+                .execute(&c, seed, n, Some(sink.clone() as Arc<dyn RecordSink>))
+                .expect("local execution is infallible");
+            assert_eq!(report, reference, "threads = {threads}");
+            assert_eq!(
+                report.stats.to_json(),
+                reference.stats.to_json(),
+                "threads = {threads}"
+            );
+            let seen = sink.take_sorted();
+            assert_eq!(seen.len(), n);
+            for (i, (idx, rec)) in seen.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(rec, &reference.records[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_failure_exhausts_the_attempt_budget() {
+        let exec = SubprocessExecutor::new(WorkerCommand::new("/nonexistent/rv-shard-worker"))
+            .shards(2)
+            .retries(2);
+        let err = exec.execute(&spec(), 1, 4, None).unwrap_err();
+        match err {
+            ExecError::Exhausted {
+                attempts, ref last, ..
+            } => {
+                assert_eq!(attempts, 3, "1 initial + 2 retries");
+                assert!(matches!(last, ShardError::Spawn(_)), "{last}");
+            }
+            ref other => panic!("expected Exhausted, got {other}"),
+        }
+        assert!(err.to_string().contains("attempt"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn failing_workers_are_excluded_in_favor_of_survivors() {
+        let exec = SubprocessExecutor::new(WorkerCommand::new("/nonexistent/a"))
+            .add_worker(WorkerCommand::new("/nonexistent/b"));
+        let failed = Mutex::new(vec![false, false]);
+        // Fresh state: round-robin by shard_id + attempt.
+        assert_eq!(exec.pick_worker(0, 0, &failed), 0);
+        assert_eq!(exec.pick_worker(1, 0, &failed), 1);
+        assert_eq!(exec.pick_worker(0, 1, &failed), 1);
+        // Worker 0 observed failing: everything prefers worker 1.
+        failed.lock().unwrap()[0] = true;
+        assert_eq!(exec.pick_worker(0, 0, &failed), 1);
+        assert_eq!(exec.pick_worker(2, 0, &failed), 1);
+        // All failed: fall back to round-robin rather than deadlocking.
+        failed.lock().unwrap()[1] = true;
+        assert_eq!(exec.pick_worker(0, 0, &failed), 0);
+        assert_eq!(exec.pick_worker(0, 1, &failed), 1);
+    }
+
+    #[test]
+    fn wrap_prefixes_compose_into_the_program_and_args() {
+        let worker = WorkerCommand::new("/opt/rv/rv-shard")
+            .arg("worker")
+            .arg("--threads")
+            .arg("2");
+        let wrapped = worker.wrap(["ssh", "host", "--"]);
+        assert_eq!(
+            wrapped.display_line(),
+            "ssh host -- /opt/rv/rv-shard worker --threads 2"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_wrap_prefix_panics() {
+        let _ = WorkerCommand::new("w").wrap(Vec::<String>::new());
+    }
+
+    #[test]
+    fn executor_names_are_stable() {
+        assert_eq!(LocalExecutor::new().name(), "local");
+        assert_eq!(
+            SubprocessExecutor::new(WorkerCommand::new("w")).name(),
+            "subprocess"
+        );
+        assert_eq!(
+            CommandExecutor::new(["/usr/bin/env"], WorkerCommand::new("w")).name(),
+            "command"
+        );
+    }
+
+    #[test]
+    fn assemble_rejects_missing_and_short_shards() {
+        let err = assemble(3, vec![None]).unwrap_err();
+        assert!(matches!(err, ExecError::Coverage { .. }), "{err}");
+
+        let outcome = ShardOutcome {
+            result: ShardResult {
+                shard_id: 0,
+                start: 0,
+                acc: StatsAccumulator::new(),
+            },
+            records: Vec::new(),
+        };
+        let err = assemble(3, vec![Some(outcome)]).unwrap_err();
+        assert!(err.to_string().contains("expected 3 records"), "{err}");
+    }
+}

@@ -47,6 +47,7 @@ pub mod analysis;
 mod api;
 mod aur;
 pub mod batch;
+pub mod exec;
 pub mod json;
 pub mod parallel;
 pub mod shard;
@@ -62,8 +63,11 @@ pub use aur::{
     almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE,
 };
 pub use batch::{Campaign, CampaignReport, CampaignStats, ClassStats, RunRecord, StatsAccumulator};
+pub use exec::{
+    CommandExecutor, ExecError, Executor, LocalExecutor, SubprocessExecutor, WorkerCommand,
+};
 pub use parallel::{par_map, par_map_indexed};
-pub use shard::{CampaignSpec, ShardDriver, ShardError, ShardResult, ShardSpec, SolverSpec};
+pub use shard::{CampaignSpec, ShardError, ShardResult, ShardSpec, SolverSpec, UnknownSolver};
 pub use solver::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
 pub use stream::{ChannelSink, JsonLinesSink, RecordSink, VecSink};
 pub use wire::WireError;

@@ -1,12 +1,12 @@
 //! Cross-process campaign sharding: split a seeded campaign's index range
-//! into [`ShardSpec`] work orders, execute them in worker subprocesses,
-//! and gather the merged [`CampaignStats`].
+//! into [`ShardSpec`] work orders that worker subprocesses execute.
 //!
 //! The protocol is deliberately tiny, built entirely on [`crate::wire`]
-//! (schema-3 JSON lines):
+//! (schema-3 JSON lines; the normative line grammar lives in `WIRE.md` at
+//! the repository root):
 //!
 //! 1. **Scatter** — [`plan`] splits `0..n` into contiguous balanced
-//!    ranges; [`ShardDriver::scatter_gather`] spawns one worker process
+//!    ranges; an executor (see [`crate::exec`]) spawns one worker process
 //!    per shard and writes each its [`ShardSpec`] as a single line on
 //!    stdin.
 //! 2. **Stream** — each worker executes its shard
@@ -14,31 +14,27 @@
 //!    run to stdout (through a [`crate::JsonLinesSink`]), tagged with the
 //!    *global* campaign index, followed by a final `shard_result` line
 //!    carrying its folded [`StatsAccumulator`].
-//! 3. **Gather** — the driver forwards record lines to an optional
-//!    [`RecordSink`], merges the shard accumulators in shard order, and
-//!    [`StatsAccumulator::finish`]es the merge.
+//! 3. **Gather** — the executor forwards record lines to an optional
+//!    [`crate::RecordSink`], merges the shard accumulators in shard
+//!    order, and [`StatsAccumulator::finish`]es the merge.
 //!
 //! **Determinism guarantee:** a campaign is a pure function of
 //! `(spec, seed, n)` — instances come from
 //! [`generate_seeded`]`(`[`mix_seed`]`(seed, index), class)`, records are
 //! folded in index order, and the accumulator merge is partition-
 //! invariant — so the gathered stats are **byte-identical** to the
-//! single-process [`CampaignSpec::run_local`] run for *any* shard count.
-//! The `shard_differential` suite pins exactly that, subprocesses
-//! included.
+//! single-process [`CampaignSpec::run_local`] run for *any* shard count,
+//! on *any* [`crate::exec::Executor`] backend, even after worker failures
+//! and re-scattered ranges. The `executor_differential` suite pins
+//! exactly that, subprocesses and fault injection included.
 
 use crate::api::Budget;
-use crate::batch::{
-    mix_seed, Campaign, CampaignReport, CampaignStats, RunRecord, StatsAccumulator,
-};
+use crate::batch::{mix_seed, Campaign, CampaignReport, RunRecord, StatsAccumulator};
 use crate::stream::RecordSink;
-use crate::wire::{self, Line, WireError};
+use crate::wire::WireError;
 use rv_model::{generate_seeded, Instance, TargetClass};
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
 use std::ops::Range;
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 
 /// Which bundled solver a shard runs. Arbitrary [`crate::Solver`] values
@@ -53,6 +49,10 @@ pub enum SolverSpec {
 }
 
 impl SolverSpec {
+    /// Every valid wire name, in declaration order (what
+    /// [`UnknownSolver`] lists back to the user).
+    pub const NAMES: [&'static str; 2] = ["aur", "dedicated"];
+
     /// Stable wire name (round-trips through [`SolverSpec::from_name`]).
     pub fn name(self) -> &'static str {
         match self {
@@ -61,15 +61,40 @@ impl SolverSpec {
         }
     }
 
-    /// Parses a wire name back; `None` for unknown solvers.
-    pub fn from_name(name: &str) -> Option<SolverSpec> {
-        match name {
-            "aur" => Some(SolverSpec::Aur),
-            "dedicated" => Some(SolverSpec::Dedicated),
-            _ => None,
+    /// Parses a wire name back, case-insensitively. The error names the
+    /// rejected input *and* the valid set, so CLI and wire failures are
+    /// self-explanatory.
+    pub fn from_name(name: &str) -> Result<SolverSpec, UnknownSolver> {
+        match name.to_ascii_lowercase().as_str() {
+            "aur" => Ok(SolverSpec::Aur),
+            "dedicated" => Ok(SolverSpec::Dedicated),
+            _ => Err(UnknownSolver {
+                given: name.to_string(),
+            }),
         }
     }
 }
+
+/// Typed rejection of a solver name: carries what was given and displays
+/// the full valid set ([`SolverSpec::NAMES`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownSolver {
+    /// The rejected input, verbatim.
+    pub given: String,
+}
+
+impl fmt::Display for UnknownSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown solver {:?} (valid: {})",
+            self.given,
+            SolverSpec::NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownSolver {}
 
 /// A reconstructible description of a seeded campaign: everything a
 /// worker process needs to rebuild instance `i` and solve it exactly as
@@ -226,8 +251,10 @@ pub fn plan(campaign: &CampaignSpec, seed: u64, n: usize, shards: usize) -> Vec<
         .collect()
 }
 
-/// Why a scatter/gather failed. Worker misbehavior surfaces as typed
-/// errors; the driver never panics on worker output.
+/// Why one shard attempt failed. Worker misbehavior surfaces as typed
+/// errors; the gather never panics on worker output. Executors (see
+/// [`crate::exec`]) treat every variant as retryable — the attempt
+/// budget, not the variant, bounds recovery.
 #[derive(Debug)]
 pub enum ShardError {
     /// The worker binary could not be spawned.
@@ -301,243 +328,6 @@ impl std::error::Error for ShardError {
     }
 }
 
-/// Scatter/gather driver: spawns one worker subprocess per shard (all
-/// concurrently), streams their stdout back, and merges the gathered
-/// accumulators into stats byte-identical to the single-process run.
-///
-/// The worker program must speak the schema-3 protocol: read one
-/// `shard_spec` line from stdin, write `record` lines plus a final
-/// `shard_result` line to stdout, exit 0. The `rv-shard` binary's
-/// `worker` mode is the bundled implementation:
-///
-/// ```no_run
-/// use rv_core::shard::{CampaignSpec, ShardDriver, SolverSpec};
-/// use rv_model::TargetClass;
-///
-/// let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
-/// let stats = ShardDriver::new("target/release/rv-shard")
-///     .arg("worker")
-///     .scatter_gather(&spec, 42, 1_000, 8, None)
-///     .expect("scatter/gather");
-/// assert_eq!(stats.n, 1_000);
-/// ```
-#[derive(Clone, Debug)]
-pub struct ShardDriver {
-    program: PathBuf,
-    args: Vec<String>,
-}
-
-impl ShardDriver {
-    /// Driver spawning `program` for each shard.
-    pub fn new(program: impl Into<PathBuf>) -> ShardDriver {
-        ShardDriver {
-            program: program.into(),
-            args: Vec::new(),
-        }
-    }
-
-    /// Appends a fixed argument to every worker invocation (e.g. the
-    /// `worker` mode selector of the `rv-shard` binary).
-    pub fn arg(mut self, arg: impl Into<String>) -> ShardDriver {
-        self.args.push(arg.into());
-        self
-    }
-
-    /// Runs the seeded campaign `(campaign, seed, 0..n)` scattered over
-    /// `shards` worker subprocesses and gathers the merged stats.
-    ///
-    /// All workers run concurrently: each is spawned before any gathering
-    /// starts, and each gets its own drain thread, so no worker ever
-    /// blocks on a full stdout/stderr pipe (backpressure would otherwise
-    /// serialise the shards). Record lines therefore reach `sink`
-    /// interleaved across shards, each tagged with its global index — the
-    /// index, not arrival order, is the re-ordering key, exactly as with
-    /// in-process sinks. Accumulators are merged in shard order once all
-    /// workers are reaped (every child is waited on, success or failure,
-    /// so no zombies outlive this call). Returns the finished
-    /// [`CampaignStats`] — byte-identical to
-    /// [`CampaignSpec::run_local`]`(seed, n).stats` — or the
-    /// lowest-shard-id [`ShardError`].
-    pub fn scatter_gather(
-        &self,
-        campaign: &CampaignSpec,
-        seed: u64,
-        n: usize,
-        shards: usize,
-        sink: Option<&dyn RecordSink>,
-    ) -> Result<CampaignStats, ShardError> {
-        let specs = plan(campaign, seed, n, shards);
-
-        // Scatter: spawn every worker and hand it its spec before reading
-        // anything back, so the shards execute concurrently.
-        let mut children = Vec::with_capacity(specs.len());
-        for spec in &specs {
-            let io = |source| ShardError::Io {
-                shard_id: spec.shard_id,
-                source,
-            };
-            let mut child = Command::new(&self.program)
-                .args(&self.args)
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::piped())
-                .spawn()
-                .map_err(ShardError::Spawn)?;
-            let mut stdin = child.stdin.take().expect("stdin was piped");
-            let handed_over = stdin
-                .write_all(wire::encode_shard_spec(spec).as_bytes())
-                .and_then(|()| stdin.write_all(b"\n"));
-            // A worker that died before reading its spec breaks this pipe;
-            // swallow that case — the gather phase reports the exit status,
-            // which is strictly more informative than EPIPE.
-            match handed_over {
-                Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => return Err(io(e)),
-                _ => {}
-            }
-            drop(stdin); // EOF: the worker reads exactly one line
-            children.push(child);
-        }
-
-        // Gather: one drain thread per worker, then merge in shard order
-        // (the merge monoid makes the order immaterial to the bytes; the
-        // fixed order makes the first-error choice deterministic).
-        let outcomes: Vec<Result<ShardResult, ShardError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = specs
-                .iter()
-                .zip(children)
-                .map(|(spec, child)| scope.spawn(move || gather_one(spec, child, sink)))
-                .collect();
-            handles
-                .into_iter()
-                .zip(&specs)
-                .map(|(h, spec)| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(ShardError::Protocol {
-                            shard_id: spec.shard_id,
-                            what: "gather thread panicked".into(),
-                        })
-                    })
-                })
-                .collect()
-        });
-
-        let mut merged = StatsAccumulator::new();
-        let mut total = 0;
-        for outcome in outcomes {
-            let result = outcome?;
-            total += result.acc.len();
-            merged = merged.merge(result.acc);
-        }
-
-        debug_assert_eq!(total, n, "plan() covers 0..n exactly");
-        Ok(merged.finish())
-    }
-}
-
-/// Drains one worker: reads its stdout to EOF (forwarding record lines to
-/// `sink`), drains stderr on a side thread (a chatty worker must not
-/// deadlock against a full pipe), reaps the child, and validates the
-/// result against the shard's work order. On a stream error the child is
-/// killed and reaped before returning, so failed scatters leave neither
-/// zombies nor orphaned CPU burn.
-fn gather_one(
-    spec: &ShardSpec,
-    mut child: Child,
-    sink: Option<&dyn RecordSink>,
-) -> Result<ShardResult, ShardError> {
-    let shard_id = spec.shard_id;
-    let io = |source| ShardError::Io { shard_id, source };
-    let protocol = |what: String| ShardError::Protocol { shard_id, what };
-
-    let stderr_pipe = child.stderr.take();
-    let stderr_thread = std::thread::spawn(move || {
-        let mut text = String::new();
-        if let Some(mut pipe) = stderr_pipe {
-            let _ = pipe.read_to_string(&mut text);
-        }
-        text
-    });
-
-    let stdout = child.stdout.take().expect("stdout was piped");
-    let streamed = (|| {
-        let mut result = None;
-        let mut records = 0usize;
-        for line in BufReader::new(stdout).lines() {
-            let line = line.map_err(io)?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            match wire::decode_line(&line)
-                .map_err(|source| ShardError::Wire { shard_id, source })?
-            {
-                Line::Record { index, record } => {
-                    if !spec.range.contains(&index) {
-                        return Err(protocol(format!(
-                            "record index {index} outside owned range {:?}",
-                            spec.range
-                        )));
-                    }
-                    records += 1;
-                    if let Some(sink) = sink {
-                        sink.record(index, &record);
-                    }
-                }
-                Line::ShardResult(r) => {
-                    if result.replace(r).is_some() {
-                        return Err(protocol("duplicate shard_result line".into()));
-                    }
-                }
-                other => {
-                    return Err(protocol(format!("unexpected line kind: {other:?}")));
-                }
-            }
-        }
-        Ok((result, records))
-    })();
-
-    let (result, records) = match streamed {
-        Ok(ok) => ok,
-        Err(e) => {
-            // A misbehaving worker is stopped, not abandoned.
-            let _ = child.kill();
-            let _ = child.wait();
-            let _ = stderr_thread.join();
-            return Err(e);
-        }
-    };
-
-    let status = child.wait().map_err(io)?;
-    let stderr = stderr_thread.join().unwrap_or_default();
-    if !status.success() {
-        return Err(ShardError::Worker {
-            shard_id,
-            code: status.code(),
-            stderr: stderr.trim().to_string(),
-        });
-    }
-    let result = result.ok_or_else(|| protocol("missing shard_result line".into()))?;
-    if result.shard_id != shard_id {
-        return Err(protocol(format!(
-            "shard_result identifies as shard {}",
-            result.shard_id
-        )));
-    }
-    if result.start != spec.range.start {
-        return Err(protocol(format!(
-            "shard_result start {} != owned start {}",
-            result.start, spec.range.start
-        )));
-    }
-    if result.acc.len() != spec.range.len() || records != spec.range.len() {
-        return Err(protocol(format!(
-            "expected {} records, streamed {records}, accumulated {}",
-            spec.range.len(),
-            result.acc.len()
-        )));
-    }
-    Ok(result)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,9 +370,29 @@ mod tests {
     #[test]
     fn solver_spec_names_round_trip() {
         for s in [SolverSpec::Aur, SolverSpec::Dedicated] {
-            assert_eq!(SolverSpec::from_name(s.name()), Some(s));
+            assert_eq!(SolverSpec::from_name(s.name()), Ok(s));
         }
-        assert_eq!(SolverSpec::from_name("custom"), None);
+        assert_eq!(SolverSpec::NAMES, ["aur", "dedicated"]);
+    }
+
+    #[test]
+    fn solver_spec_parsing_is_case_insensitive() {
+        assert_eq!(SolverSpec::from_name("AUR"), Ok(SolverSpec::Aur));
+        assert_eq!(
+            SolverSpec::from_name("Dedicated"),
+            Ok(SolverSpec::Dedicated)
+        );
+    }
+
+    #[test]
+    fn unknown_solver_error_lists_the_valid_names() {
+        let err = SolverSpec::from_name("custom").unwrap_err();
+        assert_eq!(err.given, "custom");
+        let msg = err.to_string();
+        assert!(msg.contains("\"custom\""), "{msg}");
+        for name in SolverSpec::NAMES {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
     }
 
     #[test]
@@ -609,14 +419,5 @@ mod tests {
         for (i, rec) in &seen {
             assert_eq!(rec, &local.records[*i], "index {i}");
         }
-    }
-
-    #[test]
-    fn driver_spawn_failure_is_typed() {
-        let err = ShardDriver::new("/nonexistent/rv-shard-worker")
-            .scatter_gather(&spec(), 1, 4, 2, None)
-            .unwrap_err();
-        assert!(matches!(err, ShardError::Spawn(_)), "{err}");
-        assert!(err.to_string().contains("cannot spawn"));
     }
 }

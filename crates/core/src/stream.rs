@@ -15,7 +15,10 @@
 //! its input index (arrival *order* is scheduling-dependent; the index is
 //! what makes the stream re-orderable). The final report is unaffected by
 //! the sink — records still land in input order and the stats fold is
-//! unchanged.
+//! unchanged. The contract holds across process boundaries too: the
+//! subprocess executors ([`crate::exec`]) buffer each shard's stream and
+//! release it to the caller's sink only when the shard succeeds, so a
+//! retried worker's partial output never produces duplicate deliveries.
 
 use crate::batch::RunRecord;
 use crate::wire;
@@ -95,6 +98,16 @@ impl VecSink {
     /// Drains the collected records (in arrival order).
     pub fn take(&self) -> Vec<(usize, RunRecord)> {
         std::mem::take(&mut *self.seen.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// [`VecSink::take`], re-ordered by campaign index — the shape
+    /// differentials compare against a reference record list (arrival
+    /// order is scheduling- and shard-interleaving-dependent; the index
+    /// is the contractual key).
+    pub fn take_sorted(&self) -> Vec<(usize, RunRecord)> {
+        let mut seen = self.take();
+        seen.sort_by_key(|(index, _)| *index);
+        seen
     }
 }
 

@@ -25,6 +25,11 @@
 //! than [`MAX_DEPTH`], or from a different schema version — produces a
 //! typed [`WireError`], never a panic. That makes the format safe to read
 //! from subprocess pipes and untrusted files.
+//!
+//! The normative specification — the full line grammar, the
+//! `"inf"`/`"-inf"`/`"nan"` sentinels, and the worker stdin/stdout
+//! protocol the executors drive (see [`crate::exec`]) — lives in
+//! `WIRE.md` at the repository root.
 
 use crate::batch::{ClassStats, RunRecord, StatsAccumulator, CLASS_ORDER};
 use crate::json;
@@ -865,9 +870,9 @@ fn campaign_body(spec: &CampaignSpec) -> String {
 
 fn campaign_of(v: &Value) -> Result<CampaignSpec, WireError> {
     let solver_name = get_str(v, "solver")?;
-    let solver = SolverSpec::from_name(solver_name).ok_or_else(|| WireError::Field {
+    let solver = SolverSpec::from_name(solver_name).map_err(|e| WireError::Field {
         field: "solver",
-        what: format!("unknown solver {solver_name:?}"),
+        what: e.to_string(),
     })?;
     let classes = get_arr(v, "classes")?
         .iter()

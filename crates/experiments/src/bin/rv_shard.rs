@@ -1,23 +1,31 @@
 //! `rv-shard` — the cross-process campaign shard worker and its
-//! scatter/gather driver CLI (the schema-3 wire protocol, see
-//! `rv_core::shard`).
+//! executor-backed driver CLI (the schema-3 wire protocol; see
+//! `rv_core::exec`, `rv_core::shard`, and `WIRE.md`).
 //!
 //! ```text
-//! rv-shard worker
+//! rv-shard worker [--threads T] [--flaky]
 //!     Read one shard_spec JSON line from stdin, execute the shard,
 //!     stream one record line per finished run to stdout, then the final
-//!     shard_result line. Exit 0 on success, 2 on a bad spec.
+//!     shard_result line. Exit 0 on success, 2 on a bad spec. With
+//!     --flaky, deterministically fail (exit 3, after streaming one
+//!     genuine record) whenever the RV_SHARD_ATTEMPT environment
+//!     variable is 0/absent — a test mode proving driver retry works.
 //!
 //! rv-shard campaign --n N [--shards K] [--seed S] [--solver aur|dedicated]
-//!                   [--classes type3,s1,...] [--segments M] [--local]
-//!     Scatter the seeded campaign over K worker subprocesses of this
-//!     same binary (or run single-process with --local) and print the
-//!     gathered CampaignStats JSON — byte-identical either way.
+//!                   [--classes type3,s1,...] [--segments M]
+//!                   [--transport local|subprocess|command] [--local]
+//!                   [--retries R] [--max-inflight M] [--wrap "ssh host --"]
+//!     Run the seeded campaign through the chosen executor backend and
+//!     print the gathered CampaignStats JSON — byte-identical on every
+//!     backend. --local is shorthand for --transport local; --wrap
+//!     (which implies --transport command) prefixes every worker
+//!     invocation with the given command, e.g. an ssh hop.
 //! ```
 
-use rv_core::shard::{CampaignSpec, ShardResult, SolverSpec};
+use rv_core::exec::{CommandExecutor, Executor, LocalExecutor, SubprocessExecutor, ATTEMPT_ENV};
+use rv_core::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec};
 use rv_core::{wire, JsonLinesSink, RecordSink};
-use rv_experiments::runner::run_sharded;
+use rv_experiments::runner::worker_command;
 use rv_model::TargetClass;
 use std::io::BufRead;
 use std::sync::Arc;
@@ -29,8 +37,10 @@ fn main() {
         Some("campaign") => campaign(&args[1..]),
         _ => {
             eprintln!(
-                "usage: rv-shard worker [--threads T] | rv-shard campaign --n N [--shards K] \
-                 [--seed S] [--solver aur|dedicated] [--classes a,b,...] [--segments M] [--local]"
+                "usage: rv-shard worker [--threads T] [--flaky] | \
+                 rv-shard campaign --n N [--shards K] [--seed S] [--solver aur|dedicated] \
+                 [--classes a,b,...] [--segments M] [--transport local|subprocess|command] \
+                 [--local] [--retries R] [--max-inflight M] [--wrap CMD]"
             );
             std::process::exit(2);
         }
@@ -40,6 +50,7 @@ fn main() {
 /// Worker mode: one shard spec in, record lines + shard result out.
 /// `--threads T` caps this worker's campaign threads (0 = all cores) so
 /// K same-host workers can split the CPU instead of oversubscribing it.
+/// `--flaky` injects a deterministic first-attempt failure (see below).
 fn worker(args: &[String]) {
     let threads: usize = parsed_flag(args, "--threads", 0);
     let mut line = String::new();
@@ -57,12 +68,36 @@ fn worker(args: &[String]) {
     // Records stream as wire lines the moment each run lands; Stdout is
     // line-buffered and the sink flushes, so the parent sees them live.
     let sink = Arc::new(JsonLinesSink::new(std::io::stdout()));
+    if args.iter().any(|a| a == "--flaky") && attempt_number() == 0 {
+        // Fault-injection mode: stream ONE genuine record (a partial
+        // stream the driver must discard wholesale — replaying it would
+        // double-deliver the index), then die. Attempts >= 1 run clean,
+        // so exactly one retry per shard recovers the campaign.
+        if !spec.range.is_empty() {
+            let first = ShardSpec {
+                range: spec.range.start..spec.range.start + 1,
+                ..spec.clone()
+            };
+            let _ = first.execute_threads(sink.clone() as Arc<dyn RecordSink>, 1);
+        }
+        eprintln!("rv-shard worker: injected flaky failure (attempt 0)");
+        std::process::exit(3);
+    }
     let result: ShardResult = spec.execute_threads(sink.clone() as Arc<dyn RecordSink>, threads);
     if sink.failed() {
         eprintln!("rv-shard worker: record stream write failed");
         std::process::exit(1);
     }
     println!("{}", wire::encode_shard_result(&result));
+}
+
+/// The zero-based attempt number the executor put in the environment
+/// (absent or unparseable counts as the first attempt).
+fn attempt_number() -> u32 {
+    std::env::var(ATTEMPT_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -82,8 +117,8 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) ->
     }
 }
 
-/// Driver mode: plan, scatter over subprocesses of this binary, gather,
-/// print the stats JSON.
+/// Driver mode: build the requested executor backend, run the campaign
+/// through it, print the stats JSON (byte-identical on every backend).
 fn campaign(args: &[String]) {
     let n: usize = parsed_flag(args, "--n", 0);
     if n == 0 {
@@ -93,9 +128,11 @@ fn campaign(args: &[String]) {
     let shards: usize = parsed_flag(args, "--shards", 1);
     let seed: u64 = parsed_flag(args, "--seed", 0);
     let segments: u64 = parsed_flag(args, "--segments", 60_000);
+    let retries: u32 = parsed_flag(args, "--retries", 0);
+    let max_inflight: usize = parsed_flag(args, "--max-inflight", 0);
     let solver_name = flag_value(args, "--solver").unwrap_or("aur");
-    let solver = SolverSpec::from_name(solver_name).unwrap_or_else(|| {
-        eprintln!("rv-shard: unknown solver {solver_name:?} (aur | dedicated)");
+    let solver = SolverSpec::from_name(solver_name).unwrap_or_else(|e| {
+        eprintln!("rv-shard: {e}");
         std::process::exit(2);
     });
     let classes: Vec<TargetClass> = flag_value(args, "--classes")
@@ -110,21 +147,75 @@ fn campaign(args: &[String]) {
         .collect();
     let spec = CampaignSpec::new(solver, classes, segments);
 
-    let stats = if args.iter().any(|a| a == "--local") {
-        spec.run_local(seed, n).stats
-    } else {
-        // Scatter over subprocesses of this very binary in worker mode.
-        let me = std::env::current_exe().unwrap_or_else(|e| {
-            eprintln!("rv-shard: cannot locate own binary: {e}");
-            std::process::exit(1);
+    let wrap: Option<Vec<String>> =
+        flag_value(args, "--wrap").map(|raw| raw.split_whitespace().map(String::from).collect());
+    let transport =
+        flag_value(args, "--transport").unwrap_or(if args.iter().any(|a| a == "--local") {
+            "local"
+        } else if wrap.is_some() {
+            "command"
+        } else {
+            "subprocess"
         });
-        match run_sharded(&me, &spec, seed, n, shards) {
-            Ok(stats) => stats,
-            Err(e) => {
-                eprintln!("rv-shard campaign: {e}");
-                std::process::exit(1);
-            }
+
+    if wrap.is_some() && transport != "command" {
+        // A wrapper the chosen transport would silently drop means the
+        // run would execute somewhere other than where the user asked.
+        eprintln!("rv-shard campaign: --wrap conflicts with --transport {transport} (or --local)");
+        std::process::exit(2);
+    }
+    // Split the host's cores over the workers that actually run at once:
+    // the in-flight cap when one is set, else one worker per planned
+    // shard (plan clamps the shard count to n, so clamp here too).
+    let planned = shards.min(n.max(1)).max(1);
+    let concurrency = match max_inflight {
+        0 => planned,
+        cap => planned.min(cap),
+    };
+    let executor: Box<dyn Executor> = match transport {
+        "local" => Box::new(LocalExecutor::new()),
+        "subprocess" => Box::new(
+            SubprocessExecutor::new(worker_command(&own_binary(), concurrency))
+                .shards(shards)
+                .retries(retries)
+                .max_inflight(max_inflight),
+        ),
+        "command" => {
+            let wrap = wrap.filter(|w| !w.is_empty()).unwrap_or_else(|| {
+                eprintln!("rv-shard campaign: --transport command needs --wrap CMD");
+                std::process::exit(2);
+            });
+            Box::new(
+                CommandExecutor::new(wrap, worker_command(&own_binary(), concurrency))
+                    .shards(shards)
+                    .retries(retries)
+                    .max_inflight(max_inflight),
+            )
+        }
+        other => {
+            eprintln!(
+                "rv-shard campaign: unknown transport {other:?} (local | subprocess | command)"
+            );
+            std::process::exit(2);
         }
     };
-    println!("{}", stats.to_json());
+
+    // Stats-only path: execute_stats keeps driver memory at O(shard
+    // size) even for huge campaigns (records are never materialised).
+    match executor.execute_stats(&spec, seed, n, None) {
+        Ok(stats) => println!("{}", stats.to_json()),
+        Err(e) => {
+            eprintln!("rv-shard campaign [{}]: {e}", executor.name());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Locates this very binary — the campaign driver scatters over
+/// subprocesses of itself in `worker` mode.
+fn own_binary() -> std::path::PathBuf {
+    std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("rv-shard: cannot locate own binary: {e}");
+        std::process::exit(1);
+    })
 }

@@ -15,33 +15,43 @@ use std::path::Path;
 pub use rv_core::batch::{
     Campaign, CampaignReport, CampaignStats as Summary, RunRecord as RunResult, StatsAccumulator,
 };
-pub use rv_core::shard::{plan as plan_shards, CampaignSpec, ShardDriver, ShardError, SolverSpec};
+pub use rv_core::exec::{
+    CommandExecutor, ExecError, Executor, LocalExecutor, SubprocessExecutor, WorkerCommand,
+};
+pub use rv_core::shard::{plan as plan_shards, CampaignSpec, ShardError, SolverSpec};
 pub use rv_core::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
+
+/// The standard worker invocation for an `rv-shard` binary at `worker`:
+/// `worker` mode with the host's cores split across `concurrency`
+/// same-host workers (`cores / concurrency`, minimum 1 thread each) so a
+/// local scatter does not oversubscribe the CPU. Pass the number of
+/// workers that actually run at once — the in-flight cap when one is
+/// set, else the shard count. Thread counts never change a single
+/// output byte.
+pub fn worker_command(worker: &Path, concurrency: usize) -> WorkerCommand {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let per_worker = (cores / concurrency.max(1)).max(1);
+    WorkerCommand::new(worker)
+        .arg("worker")
+        .arg("--threads")
+        .arg(per_worker.to_string())
+}
 
 /// The `--shards N` execution path: scatters the seeded campaign
 /// `(spec, seed, 0..n)` over `shards` subprocesses of `worker` (an
-/// `rv-shard` binary, invoked in `worker` mode) and gathers the merged
-/// stats — byte-identical to [`CampaignSpec::run_local`] by the shard
-/// protocol's determinism guarantee.
-///
-/// The host's cores are split across the workers (`cores / shards`,
-/// minimum 1 thread each) so a same-host scatter does not oversubscribe
-/// the CPU `shards`-fold; thread counts never change a single output
-/// byte.
+/// `rv-shard` binary, invoked via [`worker_command`]) through a
+/// [`SubprocessExecutor`] and gathers the merged stats — byte-identical
+/// to [`CampaignSpec::run_local`] by the executor determinism guarantee.
 pub fn run_sharded(
     worker: &Path,
     spec: &CampaignSpec,
     seed: u64,
     n: usize,
     shards: usize,
-) -> Result<rv_core::CampaignStats, ShardError> {
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let per_worker = (cores / shards.max(1)).max(1);
-    ShardDriver::new(worker)
-        .arg("worker")
-        .arg("--threads")
-        .arg(per_worker.to_string())
-        .scatter_gather(spec, seed, n, shards, None)
+) -> Result<rv_core::CampaignStats, ExecError> {
+    SubprocessExecutor::new(worker_command(worker, shards.min(n.max(1))))
+        .shards(shards)
+        .execute_stats(spec, seed, n, None)
 }
 
 /// Table-display helpers for [`Summary`] (kept out of `rv-core`, which

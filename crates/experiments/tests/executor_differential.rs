@@ -1,0 +1,394 @@
+//! The headline differential: the same seeded campaign run through every
+//! `Executor` backend — `LocalExecutor`, `SubprocessExecutor` over 1/2/4
+//! real `rv-shard` worker subprocesses, and `CommandExecutor` behind an
+//! identity command wrapper — must produce byte-identical
+//! `CampaignStats` (struct, Debug rendering, and `to_json` artifact) and
+//! identical record streams. Fault tolerance is proven the hard way: the
+//! worker's `--flaky` mode deterministically kills every first attempt
+//! (after leaking a partial record stream the driver must discard), so a
+//! retry budget of 1 recovers byte-identically while a budget of 0
+//! fails typed. Driver failure paths and the CLI transports are
+//! exercised against real processes too.
+
+use rv_core::exec::{
+    CommandExecutor, ExecError, Executor, LocalExecutor, SubprocessExecutor, WorkerCommand,
+};
+use rv_core::shard::{CampaignSpec, ShardError, SolverSpec};
+use rv_core::stream::VecSink;
+use rv_core::{CampaignReport, CampaignStats, RecordSink};
+use rv_experiments::runner::run_sharded;
+use rv_model::TargetClass;
+use std::path::Path;
+use std::process::Command;
+use std::sync::Arc;
+
+/// The worker binary, built by cargo for this test run.
+const WORKER: &str = env!("CARGO_BIN_EXE_rv-shard");
+
+fn mixed_spec() -> CampaignSpec {
+    CampaignSpec::new(
+        SolverSpec::Dedicated,
+        vec![
+            TargetClass::Type1,
+            TargetClass::Type3,
+            TargetClass::S1,
+            TargetClass::InfeasibleShift,
+        ],
+        30_000,
+    )
+}
+
+fn worker_cmd() -> WorkerCommand {
+    WorkerCommand::new(WORKER).arg("worker")
+}
+
+fn assert_byte_identical(a: &CampaignStats, b: &CampaignStats, ctx: &str) {
+    assert_eq!(a, b, "{ctx}");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{ctx}");
+    assert_eq!(a.to_json(), b.to_json(), "{ctx}");
+}
+
+/// Runs `exec` with a sink attached and checks the report *and* the
+/// streamed records against the single-process reference.
+fn assert_backend_matches(
+    exec: &dyn Executor,
+    spec: &CampaignSpec,
+    seed: u64,
+    n: usize,
+    ctx: &str,
+) {
+    let local = spec.run_local(seed, n);
+    let sink = Arc::new(VecSink::new());
+    let report: CampaignReport = exec
+        .execute(spec, seed, n, Some(sink.clone() as Arc<dyn RecordSink>))
+        .unwrap_or_else(|e| panic!("{ctx} [{}]: {e}", exec.name()));
+    assert_byte_identical(&report.stats, &local.stats, ctx);
+    assert_eq!(report.records, local.records, "{ctx}: report record order");
+
+    // The records streamed through the sink cover 0..n exactly once and
+    // match the single-process records.
+    let seen = sink.take_sorted();
+    assert_eq!(seen.len(), n, "{ctx}");
+    for (expect, (idx, rec)) in seen.iter().enumerate() {
+        assert_eq!(*idx, expect, "{ctx}");
+        assert_eq!(rec, &local.records[*idx], "{ctx}, index {idx}");
+    }
+}
+
+#[test]
+fn local_executor_is_byte_identical_to_single_process() {
+    let spec = mixed_spec();
+    assert_backend_matches(&LocalExecutor::new(), &spec, 0xD1FF_5EED, 24, "local");
+}
+
+#[test]
+fn subprocess_executor_is_byte_identical_for_1_2_4_shards() {
+    let spec = mixed_spec();
+    let seed = 0xD1FF_5EED;
+    let n = 24;
+    let local = spec.run_local(seed, n);
+    assert!(local.stats.met > 0, "workload must exercise real runs");
+    assert!(
+        local.stats.infeasible > 0,
+        "workload must include infeasible instances"
+    );
+    for shards in [1usize, 2, 4] {
+        let exec = SubprocessExecutor::new(worker_cmd()).shards(shards);
+        assert_backend_matches(&exec, &spec, seed, n, &format!("{shards} shards"));
+    }
+}
+
+#[test]
+fn command_executor_identity_wrapper_is_byte_identical() {
+    if !Path::new("/usr/bin/env").exists() {
+        eprintln!("skipping: /usr/bin/env not available");
+        return;
+    }
+    let spec = mixed_spec();
+    // `env worker args...` execs the worker unchanged: the identity
+    // wrapper, standing in for `ssh host --`.
+    let exec = CommandExecutor::new(["/usr/bin/env"], worker_cmd()).shards(3);
+    assert_backend_matches(&exec, &spec, 0xD1FF_5EED, 24, "command(env)");
+}
+
+#[test]
+fn max_inflight_caps_do_not_change_bytes() {
+    let spec = mixed_spec();
+    for cap in [1usize, 2] {
+        let exec = SubprocessExecutor::new(worker_cmd())
+            .shards(4)
+            .max_inflight(cap);
+        assert_backend_matches(&exec, &spec, 7, 13, &format!("4 shards, inflight {cap}"));
+    }
+}
+
+#[test]
+fn flaky_workers_recover_byte_identically_with_one_retry() {
+    let spec = mixed_spec();
+    let seed = 0xF1A6;
+    let n = 16;
+    let flaky = WorkerCommand::new(WORKER).arg("worker").arg("--flaky");
+
+    // Without a retry budget every shard's first attempt dies (exit 3,
+    // after leaking one genuine record line the driver must discard):
+    // typed exhaustion, not a panic and not a partial result.
+    let err = SubprocessExecutor::new(flaky.clone())
+        .shards(2)
+        .execute(&spec, seed, n, None)
+        .unwrap_err();
+    match err {
+        ExecError::Exhausted { attempts, last, .. } => {
+            assert_eq!(attempts, 1);
+            match last {
+                ShardError::Worker { code, stderr, .. } => {
+                    assert_eq!(code, Some(3));
+                    assert!(
+                        stderr.contains("injected flaky failure"),
+                        "stderr: {stderr}"
+                    );
+                }
+                other => panic!("expected Worker error, got {other}"),
+            }
+        }
+        other => panic!("expected Exhausted, got {other}"),
+    }
+
+    // With one retry, attempt 1 (RV_SHARD_ATTEMPT=1) runs clean on every
+    // shard and the gathered bytes — including the sink stream, which
+    // must not contain the failed attempts' partial records — are
+    // identical to the single-process run.
+    for shards in [1usize, 2, 4] {
+        let exec = SubprocessExecutor::new(flaky.clone())
+            .shards(shards)
+            .retries(1);
+        assert_backend_matches(&exec, &spec, seed, n, &format!("flaky, {shards} shards"));
+    }
+}
+
+#[test]
+fn execute_stats_matches_execute_and_still_streams_exactly_once() {
+    let spec = mixed_spec();
+    let (seed, n) = (21, 10);
+    let exec = SubprocessExecutor::new(worker_cmd()).shards(3);
+    let report = exec.execute(&spec, seed, n, None).expect("full report");
+
+    // The stats-only path (what the CLI uses — O(shard) driver memory)
+    // must produce the same bytes as the full-report path, and its sink
+    // contract is unchanged: every index delivered exactly once.
+    let sink = Arc::new(VecSink::new());
+    let stats = exec
+        .execute_stats(&spec, seed, n, Some(sink.clone() as Arc<dyn RecordSink>))
+        .expect("stats-only");
+    assert_byte_identical(&stats, &report.stats, "execute_stats vs execute");
+    let seen = sink.take_sorted();
+    assert_eq!(seen.len(), n);
+    for (expect, (idx, rec)) in seen.iter().enumerate() {
+        assert_eq!(*idx, expect);
+        assert_eq!(rec, &report.records[*idx]);
+    }
+}
+
+#[test]
+fn failed_ranges_rescatter_onto_surviving_workers() {
+    let spec = mixed_spec();
+    let seed = 11;
+    let n = 12;
+    // Worker command 0 always fails before speaking the protocol; the
+    // executor must mark it failed and re-scatter its ranges onto the
+    // surviving real worker within the retry budget.
+    let dead = WorkerCommand::new("/nonexistent/rv-shard-on-a-dead-host");
+    let local = spec.run_local(seed, n);
+    let report = SubprocessExecutor::new(dead)
+        .add_worker(worker_cmd())
+        .shards(4)
+        .retries(1)
+        .execute(&spec, seed, n, None)
+        .expect("survivor absorbs the dead worker's ranges");
+    assert_byte_identical(&report.stats, &local.stats, "re-scatter onto survivor");
+    assert_eq!(report.records, local.records);
+}
+
+#[test]
+fn aur_campaigns_run_sharded_identically_too() {
+    let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
+    let seed = 42;
+    let n = 10;
+    let local = spec.run_local(seed, n).stats;
+    assert_eq!(local.met, n, "type 3 is AUR-guaranteed");
+    let sharded = run_sharded(Path::new(WORKER), &spec, seed, n, 2).expect("2-shard run");
+    assert_byte_identical(&sharded, &local, "aur 2 shards");
+}
+
+#[test]
+fn shard_counts_beyond_n_clamp_instead_of_spawning_empty_workers() {
+    let spec = mixed_spec();
+    let local = spec.run_local(3, 5).stats;
+    let sharded = run_sharded(Path::new(WORKER), &spec, 3, 5, 64).expect("clamped run");
+    assert_byte_identical(&sharded, &local, "clamped shards");
+}
+
+#[test]
+fn driver_failure_paths_are_typed_not_panics() {
+    let spec = mixed_spec();
+
+    // Nonexistent worker binary: exhausted with Spawn as the last error.
+    let err = SubprocessExecutor::new(WorkerCommand::new("/nonexistent/rv-shard"))
+        .shards(2)
+        .execute(&spec, 1, 4, None)
+        .unwrap_err();
+    match err {
+        ExecError::Exhausted { last, .. } => {
+            assert!(matches!(last, ShardError::Spawn(_)), "{last}")
+        }
+        other => panic!("expected Exhausted, got {other}"),
+    }
+
+    // Real binary, wrong mode: exits non-zero with usage on stderr.
+    let err = SubprocessExecutor::new(WorkerCommand::new(WORKER).arg("not-a-mode"))
+        .shards(2)
+        .execute(&spec, 1, 4, None)
+        .unwrap_err();
+    match err {
+        ExecError::Exhausted {
+            last: ShardError::Worker { code, stderr, .. },
+            ..
+        } => {
+            assert_eq!(code, Some(2));
+            assert!(stderr.contains("usage"), "stderr: {stderr}");
+        }
+        other => panic!("expected Worker exhaustion, got {other}"),
+    }
+
+    // A worker that echoes the spec back (cat) violates the protocol:
+    // the driver must reject the unexpected shard_spec line, typed.
+    if Path::new("/bin/cat").exists() {
+        let err = SubprocessExecutor::new(WorkerCommand::new("/bin/cat"))
+            .execute(&spec, 1, 4, None)
+            .unwrap_err();
+        match err {
+            ExecError::Exhausted { last, .. } => {
+                assert!(matches!(last, ShardError::Protocol { .. }), "{last}")
+            }
+            other => panic!("expected Protocol exhaustion, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn worker_rejects_garbage_specs_with_exit_2() {
+    use std::io::Write;
+    let mut child = Command::new(WORKER)
+        .arg("worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn worker");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"schema\": 2, \"kind\": \"shard_spec\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad shard spec"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("schema"),
+        "error should name the schema mismatch: {stderr}"
+    );
+}
+
+#[test]
+fn worker_rejects_unknown_solver_names_listing_the_valid_set() {
+    let out = Command::new(WORKER)
+        .args(["campaign", "--n", "4", "--solver", "bogus"])
+        .output()
+        .expect("campaign mode");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"bogus\""), "stderr: {stderr}");
+    for name in SolverSpec::NAMES {
+        assert!(stderr.contains(name), "stderr should list {name}: {stderr}");
+    }
+}
+
+#[test]
+fn cli_transports_match_byte_for_byte() {
+    let flags = [
+        "--solver",
+        "dedicated",
+        "--classes",
+        "type3,s1",
+        "--n",
+        "12",
+        "--seed",
+        "9",
+        "--segments",
+        "30000",
+    ];
+    let run = |extra: &[&str]| {
+        let out = Command::new(WORKER)
+            .arg("campaign")
+            .args(flags)
+            .args(extra)
+            .output()
+            .expect("campaign mode");
+        assert!(
+            out.status.success(),
+            "{extra:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let local = run(&["--local"]);
+    let explicit_local = run(&["--transport", "local"]);
+    let subprocess = run(&["--shards", "3"]);
+    let with_knobs = run(&["--shards", "3", "--retries", "2", "--max-inflight", "2"]);
+    assert_eq!(explicit_local, local, "--transport local == --local");
+    assert_eq!(subprocess, local, "subprocess transport must match local");
+    assert_eq!(
+        with_knobs, local,
+        "retry/inflight knobs must not change bytes"
+    );
+    if Path::new("/usr/bin/env").exists() {
+        let command = run(&["--shards", "2", "--wrap", "/usr/bin/env"]);
+        assert_eq!(command, local, "command transport must match local");
+    }
+
+    // Sanity: it is the stats artifact, and it parses as strict JSON.
+    assert!(local.contains("\"n\": 12"));
+    rv_core::wire::Value::parse(local.trim()).expect("stats JSON must parse");
+
+    // The solver name is accepted case-insensitively.
+    let upper = Command::new(WORKER)
+        .args(["campaign", "--solver", "DEDICATED", "--classes", "type3,s1"])
+        .args(["--n", "12", "--seed", "9", "--segments", "30000", "--local"])
+        .output()
+        .expect("campaign mode");
+    assert!(upper.status.success());
+    assert_eq!(String::from_utf8(upper.stdout).unwrap(), local);
+}
+
+#[test]
+fn cli_reports_exhaustion_when_the_wrapper_is_broken() {
+    // `--wrap` pointing at a program that exits immediately (rv-shard in
+    // an unknown mode) kills every attempt before the protocol starts:
+    // the CLI must exit 1 with a self-explanatory exhaustion message.
+    let out = Command::new(WORKER)
+        .args(["campaign", "--solver", "dedicated", "--classes", "type3"])
+        .args(["--n", "6", "--seed", "5", "--segments", "20000"])
+        .args(["--shards", "2", "--retries", "1"])
+        .args(["--wrap", &format!("{WORKER} broken-wrap-mode")])
+        .output()
+        .expect("campaign mode");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed all 2 attempt"),
+        "stderr should report exhaustion: {stderr}"
+    );
+    assert!(stderr.contains("[command]"), "stderr: {stderr}");
+}

@@ -33,8 +33,9 @@ pub use rv_trajectory as trajectory;
 pub mod prelude {
     pub use rv_core::{
         classify, feasible, recommend, solve, solve_dedicated, solve_pair, Aur, Budget, Campaign,
-        CampaignSpec, Closure, Dedicated, FixedPair, RecordSink, ShardDriver, Solver, SolverSpec,
-        StatsAccumulator, Visibility,
+        CampaignSpec, Closure, CommandExecutor, Dedicated, Executor, FixedPair, LocalExecutor,
+        RecordSink, Solver, SolverSpec, StatsAccumulator, SubprocessExecutor, Visibility,
+        WorkerCommand,
     };
     pub use rv_geometry::{Angle, Vec2};
     pub use rv_model::{Chirality, Classification, Instance};
