@@ -1,0 +1,145 @@
+//! `bench-guard` — the CI bench-regression gate.
+//!
+//! Compares a freshly generated `BENCH_campaign.json` against the
+//! committed baseline (`crates/bench/BENCH_baseline.json`) and fails
+//! (exit 1) when any `exec_backends` entry regressed by more than the
+//! threshold (default 25% throughput, i.e. median time > 1.25× the
+//! baseline's).
+//!
+//! Raw nanoseconds are not comparable across machines, so every entry
+//! is normalized by its own file's `exec_backends/local_64x20k` median
+//! before comparing: the guard asks "did this backend get slower
+//! *relative to the in-process engine on the same box*", which is the
+//! overhead the executor layer owns.
+//!
+//! ```text
+//! bench-guard [--fresh PATH] [--baseline PATH] [--threshold PCT]
+//! ```
+//!
+//! Exit codes: 0 = within threshold, 1 = regression, 2 = missing or
+//! malformed input.
+
+use rv_core::wire::Value;
+
+/// The group whose entries the guard compares.
+const GROUP: &str = "exec_backends/";
+/// The entry every other one is normalized by.
+const REFERENCE: &str = "exec_backends/local_64x20k";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench-guard: {msg}");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == name)?;
+    match args.get(at + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => fail(&format!("{name} needs a value")),
+    }
+}
+
+/// `(id, median_ns)` for every benchmark entry in a results artifact.
+fn entries(path: &str) -> Vec<(String, f64)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = Value::parse(text.trim())
+        .unwrap_or_else(|e| fail(&format!("{path} is not strict JSON: {e}")));
+    let results = match doc.get("results") {
+        Some(Value::Arr(rows)) => rows,
+        _ => fail(&format!("{path}: no \"results\" array")),
+    };
+    results
+        .iter()
+        .map(|row| {
+            let id = match row.get("id") {
+                Some(Value::Str(id)) => id.clone(),
+                _ => fail(&format!("{path}: entry without a string \"id\"")),
+            };
+            let median = match row.get("median_ns") {
+                Some(Value::Num(raw)) => raw
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| fail(&format!("{path}: bad median_ns for {id:?}"))),
+                _ => fail(&format!("{path}: no median_ns for {id:?}")),
+            };
+            (id, median)
+        })
+        .collect()
+}
+
+/// The `exec_backends` entries of one artifact, normalized by that
+/// artifact's reference median (so cross-machine clock speed cancels).
+fn normalized(path: &str) -> Vec<(String, f64)> {
+    let all = entries(path);
+    let reference = all
+        .iter()
+        .find(|(id, _)| id == REFERENCE)
+        .map(|(_, m)| *m)
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "{path}: missing the {REFERENCE:?} reference entry"
+            ))
+        });
+    if reference.is_nan() || reference <= 0.0 {
+        fail(&format!("{path}: non-positive reference median"));
+    }
+    all.into_iter()
+        .filter(|(id, _)| id.starts_with(GROUP) && id != REFERENCE)
+        .map(|(id, median)| (id, median / reference))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let fresh = flag_value(&args, "--fresh")
+        .unwrap_or_else(|| format!("{manifest}/../../target/BENCH_campaign.json"));
+    let baseline = flag_value(&args, "--baseline")
+        .unwrap_or_else(|| format!("{manifest}/BENCH_baseline.json"));
+    let threshold: f64 = flag_value(&args, "--threshold")
+        .map(|raw| {
+            raw.parse()
+                .unwrap_or_else(|_| fail(&format!("bad --threshold {raw:?}")))
+        })
+        .unwrap_or(25.0);
+    let allowed = 1.0 + threshold / 100.0;
+
+    let fresh_rows = normalized(&fresh);
+    let base_rows = normalized(&baseline);
+
+    let mut regressions = 0usize;
+    println!("bench-guard: exec_backends vs baseline (threshold +{threshold}%)");
+    println!(
+        "{:<34} {:>10} {:>10} {:>8}",
+        "entry", "baseline", "fresh", "ratio"
+    );
+    for (id, base_norm) in &base_rows {
+        let Some((_, fresh_norm)) = fresh_rows.iter().find(|(f, _)| f == id) else {
+            // A silently vanished benchmark could hide a regression.
+            println!(
+                "{:<34} {:>10.3} {:>10} {:>8}",
+                id, base_norm, "MISSING", "-"
+            );
+            regressions += 1;
+            continue;
+        };
+        let ratio = fresh_norm / base_norm;
+        let verdict = if ratio > allowed { " REGRESSED" } else { "" };
+        println!("{id:<34} {base_norm:>10.3} {fresh_norm:>10.3} {ratio:>8.3}{verdict}");
+        if ratio > allowed {
+            regressions += 1;
+        }
+    }
+    for (id, fresh_norm) in &fresh_rows {
+        if !base_rows.iter().any(|(b, _)| b == id) {
+            // New entries have no baseline yet: report, never fail.
+            println!("{id:<34} {:>10} {fresh_norm:>10.3} {:>8}  (new)", "-", "-");
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("bench-guard: {regressions} entry(ies) regressed beyond +{threshold}%");
+        std::process::exit(1);
+    }
+    println!("bench-guard: ok");
+}

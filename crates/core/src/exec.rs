@@ -17,6 +17,17 @@
 //!   a container runner, …). Because the worker protocol is pure
 //!   stdin/stdout JSON lines, any prefix that forwards standard streams
 //!   turns it into a remote transport for free.
+//! - [`PoolExecutor`] — persistent worker processes plus driver-side
+//!   work stealing: `workers` long-lived subprocesses each hold one
+//!   session (a `campaign_spec` line once, then a stream of `task`
+//!   lines), pulling small index units off a shared queue. Spawn cost
+//!   amortizes across the whole campaign (and across repeated
+//!   `execute` calls — sessions survive between runs of the same
+//!   executor value), and heterogeneous workers self-balance because
+//!   fast ones simply steal more units. Each unit answers with record
+//!   lines, a `unit_telemetry` line (wall time + attempt — a side
+//!   channel, see [`PoolExecutor::take_telemetry`]), and a `unit_done`
+//!   accumulator line.
 //!
 //! # Fault tolerance
 //!
@@ -47,15 +58,19 @@
 //! against the single-process run.
 
 use crate::batch::{CampaignReport, CampaignStats, RunRecord, StatsAccumulator};
-use crate::shard::{plan, CampaignSpec, ShardError, ShardResult, ShardSpec};
+use crate::shard::{
+    plan, plan_units, CampaignSpec, ShardError, ShardResult, ShardSpec, UnitTask, UnitTelemetry,
+};
 use crate::stream::RecordSink;
 use crate::wire::{self, Line};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Environment variable carrying the zero-based attempt number to each
 /// spawned worker. Production workers ignore it; test workers use it for
@@ -184,6 +199,54 @@ impl Executor for LocalExecutor {
 
     fn name(&self) -> &'static str {
         "local"
+    }
+}
+
+/// Locks a mutex, riding through poisoning (a panicking sibling thread
+/// must not turn into a second panic here).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Cooperative abort for a scatter/gather in progress. The first fatal
+/// error flips the switch and kills every registered in-flight worker
+/// child, so a failed run returns promptly instead of waiting out
+/// healthy workers whose results can no longer matter (a shard that
+/// exhausted its budget already doomed the run).
+#[derive(Default)]
+struct KillSwitch {
+    aborted: AtomicBool,
+    children: Mutex<Vec<Arc<Mutex<Child>>>>,
+}
+
+impl KillSwitch {
+    fn new() -> KillSwitch {
+        KillSwitch::default()
+    }
+
+    /// Registers a spawned child for abort-kill. If the switch already
+    /// flipped (registration raced the abort), the child is killed on
+    /// the spot — no new work outlives the decision to fail.
+    fn register(&self, child: &Arc<Mutex<Child>>) {
+        lock(&self.children).push(Arc::clone(child));
+        if self.aborted.load(Ordering::SeqCst) {
+            let _ = lock(child).kill();
+        }
+    }
+
+    /// Whether the run was aborted.
+    fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Flips the switch and kills everything registered so far. Already
+    /// -exited children ignore the signal; their owning threads reap
+    /// them as usual.
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        for child in lock(&self.children).iter() {
+            let _ = lock(child).kill();
+        }
     }
 }
 
@@ -351,6 +414,7 @@ impl SubprocessExecutor {
         let slots: Mutex<Vec<Option<ShardOutcome>>> = Mutex::new(vec![None; specs.len()]);
         let failed_workers: Mutex<Vec<bool>> = Mutex::new(vec![false; self.workers.len()]);
         let fatal: Mutex<Option<ExecError>> = Mutex::new(None);
+        let kills = KillSwitch::new();
 
         let drains = match self.max_inflight {
             0 => specs.len(),
@@ -361,17 +425,17 @@ impl SubprocessExecutor {
             for _ in 0..drains.max(1) {
                 scope.spawn(|| loop {
                     let (task, attempt) = {
-                        if fatal.lock().unwrap_or_else(|e| e.into_inner()).is_some() {
+                        if lock(&fatal).is_some() {
                             break;
                         }
-                        match queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                        match lock(&queue).pop_front() {
                             Some(t) => t,
                             None => break,
                         }
                     };
                     let shard = &specs[task];
                     let widx = self.pick_worker(shard.shard_id, attempt, &failed_workers);
-                    match run_shard_attempt(&self.workers[widx], shard, attempt) {
+                    match run_shard_attempt(&self.workers[widx], shard, attempt, &kills) {
                         Ok(mut outcome) => {
                             // Success releases the shard's buffered records
                             // to the caller's sink exactly once; a failed
@@ -384,25 +448,26 @@ impl SubprocessExecutor {
                             if !keep_records {
                                 outcome.records = Vec::new();
                             }
-                            slots.lock().unwrap_or_else(|e| e.into_inner())[task] = Some(outcome);
+                            lock(&slots)[task] = Some(outcome);
                         }
                         Err(last) => {
-                            failed_workers.lock().unwrap_or_else(|e| e.into_inner())[widx] = true;
+                            lock(&failed_workers)[widx] = true;
                             if attempt >= self.retries {
-                                let mut f = fatal.lock().unwrap_or_else(|e| e.into_inner());
+                                let mut f = lock(&fatal);
                                 if f.is_none() {
                                     *f = Some(ExecError::Exhausted {
                                         shard_id: shard.shard_id,
                                         attempts: attempt + 1,
                                         last,
                                     });
+                                    // In-flight siblings are killed, not
+                                    // waited out: the run is already lost.
+                                    drop(f);
+                                    kills.abort();
                                 }
                                 break;
                             }
-                            queue
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .push_back((task, attempt + 1));
+                            lock(&queue).push_back((task, attempt + 1));
                         }
                     }
                 });
@@ -419,14 +484,23 @@ impl SubprocessExecutor {
     /// `shard_id + attempt`, skipping commands already observed failing
     /// while at least one survivor remains (so retries re-scatter a dead
     /// host's range instead of hammering it).
+    ///
+    /// When *every* command has been observed failing, the blacklist is
+    /// cleared: a retry round with no survivors gets a fresh chance at
+    /// every command instead of falling back onto one known-failed pick
+    /// for the rest of the attempt budget — a transiently-failing sole
+    /// worker (or a fleet that all hiccuped at once) can still recover.
     fn pick_worker(&self, shard_id: u32, attempt: u32, failed: &Mutex<Vec<bool>>) -> usize {
         let len = self.workers.len();
         let start = (shard_id as usize + attempt as usize) % len;
-        let failed = failed.lock().unwrap_or_else(|e| e.into_inner());
+        let mut failed = lock(failed);
+        if failed.iter().all(|&f| f) {
+            failed.iter_mut().for_each(|f| *f = false);
+        }
         (0..len)
             .map(|k| (start + k) % len)
             .find(|&idx| !failed[idx])
-            .unwrap_or(start)
+            .expect("blacklist was cleared if it was full")
     }
 }
 
@@ -557,6 +631,513 @@ impl Executor for CommandExecutor {
     }
 }
 
+/// The persistent-pool executor: `workers` long-lived worker
+/// subprocesses, each holding one protocol *session* (a `campaign_spec`
+/// line opens it; a stream of `task` lines follows), fed small index
+/// units from a shared queue — driver-side work stealing. A fast worker
+/// simply steals more units, so heterogeneous workers self-balance
+/// without any up-front split, and spawn cost amortizes across the
+/// campaign *and* across repeated [`Executor::execute`] calls on the
+/// same executor value (sessions survive between runs).
+///
+/// Fault tolerance matches [`SubprocessExecutor`]: per-unit retry
+/// budgets, exactly-once sink release on unit success, and prompt
+/// kill-on-abort. A worker that dies mid-unit is torn down and its slot
+/// respawned on the next unit; the failed unit re-queues with the next
+/// attempt number.
+///
+/// ```no_run
+/// use rv_core::exec::{Executor, PoolExecutor, WorkerCommand};
+/// use rv_core::shard::{CampaignSpec, SolverSpec};
+/// use rv_model::TargetClass;
+///
+/// let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
+/// let pool = PoolExecutor::new(WorkerCommand::new("target/release/rv-shard").arg("worker"))
+///     .workers(4)
+///     .unit(250)
+///     .retries(2);
+/// let report = pool.execute(&spec, 42, 1_000, None).expect("pooled scatter/gather");
+/// assert_eq!(report.stats.n, 1_000);
+/// ```
+pub struct PoolExecutor {
+    worker: WorkerCommand,
+    workers: usize,
+    unit: usize,
+    retries: u32,
+    /// One slot per worker; `None` = not spawned (or torn down after a
+    /// failure). Locked for the whole of `scatter_gather`, which also
+    /// serializes concurrent `execute` calls on one pool.
+    pool: Mutex<Vec<Option<PoolWorker>>>,
+    /// Telemetry gathered during the most recent execution (cleared at
+    /// the start of each).
+    telemetry: Mutex<Vec<UnitTelemetry>>,
+}
+
+impl PoolExecutor {
+    /// Pool over subprocesses of `worker`: 1 worker, auto unit size, no
+    /// retries — tune with the builder methods.
+    pub fn new(worker: WorkerCommand) -> PoolExecutor {
+        PoolExecutor {
+            worker,
+            workers: 1,
+            unit: 0,
+            retries: 0,
+            pool: Mutex::new(Vec::new()),
+            telemetry: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Sets the number of persistent worker processes (clamped to at
+    /// least 1). Changing the count tears down any existing pool on the
+    /// next execution.
+    pub fn workers(mut self, workers: usize) -> PoolExecutor {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the unit size in indices (`0` = auto: `n / (workers * 4)`,
+    /// at least 1 — four steal rounds per worker).
+    pub fn unit(mut self, unit: usize) -> PoolExecutor {
+        self.unit = unit;
+        self
+    }
+
+    /// Sets the per-unit retry budget (see
+    /// [`SubprocessExecutor::retries`]; here the unit of failure is a
+    /// task, not a shard).
+    pub fn retries(mut self, retries: u32) -> PoolExecutor {
+        self.retries = retries;
+        self
+    }
+
+    /// Takes the telemetry collected by the most recent execution,
+    /// sorted by `(task_id, attempt)`. One line per *successful* unit;
+    /// timing is worker-side wall time. A side channel: nothing here
+    /// feeds the campaign report.
+    pub fn take_telemetry(&self) -> Vec<UnitTelemetry> {
+        let mut t = std::mem::take(&mut *lock(&self.telemetry));
+        t.sort_by_key(|u| (u.task_id, u.attempt));
+        t
+    }
+
+    /// The pooled scatter/gather core: one drain thread per worker slot,
+    /// each pulling `(unit, attempt)` tasks off the shared queue and
+    /// feeding them to its persistent worker (spawning/respawning the
+    /// worker as needed). Unit outcomes land in `slots` indexed by unit,
+    /// so the assemble step is exactly the shard one — units are
+    /// contiguous and ascending by construction.
+    fn scatter_gather(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+        keep_records: bool,
+    ) -> Result<Vec<Option<ShardOutcome>>, ExecError> {
+        let unit = match self.unit {
+            0 => (n / (self.workers * 4)).max(1),
+            u => u,
+        };
+        let units = plan_units(n, unit);
+
+        let mut pool = lock(&self.pool);
+        if pool.len() != self.workers {
+            // Worker count changed since the last run: drop the old pool
+            // (each worker's Drop kills and reaps it) and start fresh.
+            *pool = std::iter::repeat_with(|| None).take(self.workers).collect();
+        }
+        lock(&self.telemetry).clear();
+
+        // task = (index into units, attempt number)
+        let queue: Mutex<VecDeque<(usize, u32)>> =
+            Mutex::new((0..units.len()).map(|k| (k, 0)).collect());
+        let slots: Mutex<Vec<Option<ShardOutcome>>> = Mutex::new(vec![None; units.len()]);
+        let fatal: Mutex<Option<ExecError>> = Mutex::new(None);
+        let kills = KillSwitch::new();
+
+        std::thread::scope(|scope| {
+            let queue = &queue;
+            let slots = &slots;
+            let fatal = &fatal;
+            let kills = &kills;
+            let units = &units;
+            let sink = &sink;
+            let telemetry = &self.telemetry;
+            for slot in pool.iter_mut() {
+                scope.spawn(move || loop {
+                    let (k, attempt) = {
+                        if lock(fatal).is_some() {
+                            break;
+                        }
+                        match lock(queue).pop_front() {
+                            Some(t) => t,
+                            None => break,
+                        }
+                    };
+                    let task = UnitTask {
+                        task_id: k as u32,
+                        attempt,
+                        range: units[k].clone(),
+                    };
+                    match run_pool_unit(slot, &self.worker, spec, seed, &task, kills) {
+                        Ok((mut outcome, unit_telemetry)) => {
+                            // Same exactly-once contract as the one-shot
+                            // backend: success releases the unit's buffer
+                            // to the sink; failed attempts never forward.
+                            if let Some(sink) = sink {
+                                for (index, rec) in &outcome.records {
+                                    sink.record(*index, rec);
+                                }
+                            }
+                            if !keep_records {
+                                outcome.records = Vec::new();
+                            }
+                            lock(slots)[k] = Some(outcome);
+                            lock(telemetry).push(unit_telemetry);
+                        }
+                        Err(last) => {
+                            if attempt >= self.retries {
+                                let mut f = lock(fatal);
+                                if f.is_none() {
+                                    *f = Some(ExecError::Exhausted {
+                                        shard_id: task.task_id,
+                                        attempts: attempt + 1,
+                                        last,
+                                    });
+                                    drop(f);
+                                    kills.abort();
+                                }
+                                break;
+                            }
+                            lock(queue).push_back((k, attempt + 1));
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(err) = fatal.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            // Abort killed workers indiscriminately; none of the
+            // surviving sessions can be trusted to be line-aligned, so
+            // the next execution starts from a clean pool.
+            for slot in pool.iter_mut() {
+                *slot = None;
+            }
+            return Err(err);
+        }
+        Ok(slots.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Executor for PoolExecutor {
+    fn execute(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignReport, ExecError> {
+        self.scatter_gather(spec, seed, n, sink, true)
+            .and_then(|slots| assemble(n, slots))
+    }
+
+    fn execute_stats(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignStats, ExecError> {
+        self.scatter_gather(spec, seed, n, sink, false)
+            .and_then(|slots| assemble_stats(n, slots))
+    }
+
+    fn name(&self) -> &'static str {
+        "pool"
+    }
+}
+
+/// One persistent worker process holding a protocol session. All four
+/// standard streams are detached at spawn: stdin/stdout stay with the
+/// drain thread, stderr drains continuously on a side thread into a
+/// shared buffer (so a mid-session failure can still report what the
+/// worker said), and the child handle itself lives behind the run's
+/// [`KillSwitch`].
+struct PoolWorker {
+    child: Arc<Mutex<Child>>,
+    /// `Some` until shutdown; taken in `Drop` so closing stdin (session
+    /// EOF — the graceful stop signal) precedes the kill/reap.
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+    stderr_buf: Arc<Mutex<String>>,
+    stderr_thread: Option<JoinHandle<()>>,
+    /// The `(spec, seed)` the worker's session currently holds; a task
+    /// for any other campaign re-opens the session first.
+    session: Option<(CampaignSpec, u64)>,
+}
+
+impl PoolWorker {
+    /// Spawns a fresh worker (attempt env fixed at 0 — in a session the
+    /// attempt number travels on each task line) and registers it with
+    /// the run's kill switch.
+    fn spawn(worker: &WorkerCommand, kills: &KillSwitch) -> Result<PoolWorker, ShardError> {
+        let mut spawned = worker.command(0).spawn().map_err(ShardError::Spawn)?;
+        let stdin = spawned.stdin.take().expect("stdin was piped");
+        let stdout = spawned.stdout.take().expect("stdout was piped");
+        let mut stderr_pipe = spawned.stderr.take().expect("stderr was piped");
+        let child = Arc::new(Mutex::new(spawned));
+        kills.register(&child);
+
+        let stderr_buf = Arc::new(Mutex::new(String::new()));
+        let buf = Arc::clone(&stderr_buf);
+        let stderr_thread = std::thread::spawn(move || {
+            let mut chunk = [0u8; 4096];
+            loop {
+                match stderr_pipe.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(k) => lock(&buf).push_str(&String::from_utf8_lossy(&chunk[..k])),
+                }
+            }
+        });
+
+        Ok(PoolWorker {
+            child,
+            stdin: Some(stdin),
+            stdout: BufReader::new(stdout),
+            stderr_buf,
+            stderr_thread: Some(stderr_thread),
+            session: None,
+        })
+    }
+
+    /// Reaps the worker after its stdout hit EOF (it has exited or is
+    /// exiting, so this does not stall) and returns `(exit code, what it
+    /// wrote to stderr)`.
+    fn reap(mut self) -> (Option<i32>, String) {
+        let code = lock(&self.child).wait().ok().and_then(|s| s.code());
+        if let Some(t) = self.stderr_thread.take() {
+            let _ = t.join();
+        }
+        let stderr = lock(&self.stderr_buf).trim().to_string();
+        (code, stderr)
+    }
+}
+
+impl Drop for PoolWorker {
+    fn drop(&mut self) {
+        // Closing stdin is the graceful stop (a session worker exits 0 on
+        // EOF); the kill right after covers wedged ones, and the reap
+        // precludes zombies. Kill/wait on an already-reaped child are
+        // harmless no-ops.
+        drop(self.stdin.take());
+        {
+            let mut child = lock(&self.child);
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(t) = self.stderr_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Runs one unit on the drain thread's persistent worker: spawn it if
+/// the slot is empty, (re-)open the session if the campaign changed,
+/// write the task line, and read record lines until the `unit_done`
+/// line, validating identity, counts, and index coverage exactly like
+/// the one-shot gather. Any failure tears the worker down (`*slot =
+/// None` — its `Drop` kills and reaps), so the next unit on this thread
+/// starts from a fresh process.
+///
+/// One transparent respawn: a *reused* worker may have died between
+/// units (its host rebooted, an operator killed it), which surfaces as a
+/// write error on the task line. That costs a respawn, not an attempt —
+/// a fresh worker failing the same write is a real error.
+fn run_pool_unit(
+    slot: &mut Option<PoolWorker>,
+    worker: &WorkerCommand,
+    spec: &CampaignSpec,
+    seed: u64,
+    task: &UnitTask,
+    kills: &KillSwitch,
+) -> Result<(ShardOutcome, UnitTelemetry), ShardError> {
+    let shard_id = task.task_id;
+    let io = |source| ShardError::Io { shard_id, source };
+    let protocol = |what: String| ShardError::Protocol { shard_id, what };
+
+    let mut respawned = false;
+    loop {
+        let fresh = slot.is_none();
+        if fresh {
+            *slot = Some(PoolWorker::spawn(worker, kills)?);
+        }
+        let w = slot.as_mut().expect("slot was just filled");
+        let mut lines = String::new();
+        if w.session.as_ref() != Some(&(spec.clone(), seed)) {
+            lines.push_str(&wire::encode_campaign_spec(spec, seed));
+            lines.push('\n');
+        }
+        lines.push_str(&wire::encode_task(task));
+        lines.push('\n');
+        let stdin = w.stdin.as_mut().expect("stdin open until shutdown");
+        match stdin
+            .write_all(lines.as_bytes())
+            .and_then(|()| stdin.flush())
+        {
+            Ok(()) => {
+                w.session = Some((spec.clone(), seed));
+                break;
+            }
+            Err(e) => {
+                *slot = None;
+                if fresh || respawned {
+                    return Err(io(e));
+                }
+                respawned = true;
+            }
+        }
+    }
+
+    enum ReadFail {
+        /// The worker closed stdout mid-unit (it died or bailed).
+        Eof,
+        Fail(ShardError),
+    }
+
+    let w = slot.as_mut().expect("worker is live after handshake");
+    let streamed = (|| {
+        let mut unit_telemetry: Option<UnitTelemetry> = None;
+        let mut records: Vec<(usize, RunRecord)> = Vec::with_capacity(task.range.len());
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if w.stdout
+                .read_line(&mut line)
+                .map_err(|e| ReadFail::Fail(io(e)))?
+                == 0
+            {
+                return Err(ReadFail::Eof);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            match wire::decode_line(line.trim_end())
+                .map_err(|source| ReadFail::Fail(ShardError::Wire { shard_id, source }))?
+            {
+                Line::Record { index, record } => {
+                    if !task.range.contains(&index) {
+                        return Err(ReadFail::Fail(protocol(format!(
+                            "record index {index} outside unit range {:?}",
+                            task.range
+                        ))));
+                    }
+                    records.push((index, record));
+                }
+                Line::UnitTelemetry(t) => {
+                    if t.task_id != task.task_id || t.attempt != task.attempt {
+                        return Err(ReadFail::Fail(protocol(format!(
+                            "telemetry identifies as task {} attempt {}, expected task {} \
+                             attempt {}",
+                            t.task_id, t.attempt, task.task_id, task.attempt
+                        ))));
+                    }
+                    if unit_telemetry.replace(t).is_some() {
+                        return Err(ReadFail::Fail(protocol(
+                            "duplicate unit_telemetry line".into(),
+                        )));
+                    }
+                }
+                Line::UnitDone(d) => {
+                    return Ok((d, unit_telemetry, records));
+                }
+                other => {
+                    return Err(ReadFail::Fail(protocol(format!(
+                        "unexpected line kind in session: {other:?}"
+                    ))));
+                }
+            }
+        }
+    })();
+
+    let (done, unit_telemetry, mut records) = match streamed {
+        Ok(ok) => ok,
+        Err(ReadFail::Eof) => {
+            let (code, stderr) = slot.take().expect("worker is live").reap();
+            if kills.aborted() {
+                return Err(protocol("unit aborted by a failing sibling".into()));
+            }
+            return Err(ShardError::Worker {
+                shard_id,
+                code,
+                stderr,
+            });
+        }
+        Err(ReadFail::Fail(e)) => {
+            // A misbehaving worker's session is unusable; tear it down.
+            *slot = None;
+            return Err(e);
+        }
+    };
+
+    let mut fail = |what: String| -> ShardError {
+        *slot = None;
+        ShardError::Protocol { shard_id, what }
+    };
+    if done.task_id != task.task_id {
+        return Err(fail(format!(
+            "unit_done identifies as task {}",
+            done.task_id
+        )));
+    }
+    if done.start != task.range.start {
+        return Err(fail(format!(
+            "unit_done start {} != unit start {}",
+            done.start, task.range.start
+        )));
+    }
+    if done.acc.len() != task.range.len() {
+        return Err(fail(format!(
+            "expected {} accumulated records, got {}",
+            task.range.len(),
+            done.acc.len()
+        )));
+    }
+    let Some(unit_telemetry) = unit_telemetry else {
+        return Err(fail("unit finished without a unit_telemetry line".into()));
+    };
+    // The streamed records must be a permutation of exactly the unit
+    // range — one record per index, no duplicates, no gaps.
+    records.sort_by_key(|(index, _)| *index);
+    if records.len() != task.range.len() {
+        return Err(fail(format!(
+            "expected {} record lines, streamed {}",
+            task.range.len(),
+            records.len()
+        )));
+    }
+    for (k, (index, _)) in records.iter().enumerate() {
+        let expect = task.range.start + k;
+        if *index != expect {
+            return Err(fail(format!(
+                "streamed indices do not cover {:?} exactly once (position {k} holds index \
+                 {index}, expected {expect})",
+                task.range
+            )));
+        }
+    }
+    Ok((
+        ShardOutcome {
+            result: ShardResult {
+                shard_id: done.task_id,
+                start: done.start,
+                acc: done.acc,
+            },
+            records,
+        },
+        unit_telemetry,
+    ))
+}
+
 /// One successfully gathered shard: its accumulator plus the buffered
 /// records (sorted by global index, verified contiguous over the owned
 /// range).
@@ -620,18 +1201,33 @@ fn assemble_stats(n: usize, slots: Vec<Option<ShardOutcome>>) -> Result<Campaign
 /// a side thread so a chatty worker cannot deadlock), reap the child, and
 /// validate identity, counts, and index coverage against the work order.
 /// On a stream error the child is killed and reaped before returning, so
-/// failed attempts leave neither zombies nor orphaned CPU burn.
+/// failed attempts leave neither zombies nor orphaned CPU burn. The child
+/// is registered with `kills` so an abort elsewhere in the run terminates
+/// it promptly instead of letting it run to completion.
 fn run_shard_attempt(
     worker: &WorkerCommand,
     spec: &ShardSpec,
     attempt: u32,
+    kills: &KillSwitch,
 ) -> Result<ShardOutcome, ShardError> {
     let shard_id = spec.shard_id;
     let io = |source| ShardError::Io { shard_id, source };
     let protocol = |what: String| ShardError::Protocol { shard_id, what };
 
-    let mut child = worker.command(attempt).spawn().map_err(ShardError::Spawn)?;
-    let mut stdin = child.stdin.take().expect("stdin was piped");
+    let mut spawned = worker.command(attempt).spawn().map_err(ShardError::Spawn)?;
+    let mut stdin = spawned.stdin.take().expect("stdin was piped");
+    let stderr_pipe = spawned.stderr.take();
+    let stdout = spawned.stdout.take().expect("stdout was piped");
+    // Pipes are detached above, so holding the child lock never blocks a
+    // reader: the lock only guards kill/wait.
+    let child = Arc::new(Mutex::new(spawned));
+    kills.register(&child);
+    let stop = |child: &Arc<Mutex<Child>>| {
+        let mut child = lock(child);
+        let _ = child.kill();
+        let _ = child.wait();
+    };
+
     let handed_over = stdin
         .write_all(wire::encode_shard_spec(spec).as_bytes())
         .and_then(|()| stdin.write_all(b"\n"));
@@ -640,14 +1236,12 @@ fn run_shard_attempt(
     // informative than EPIPE.
     if let Err(e) = handed_over {
         if e.kind() != std::io::ErrorKind::BrokenPipe {
-            let _ = child.kill();
-            let _ = child.wait();
+            stop(&child);
             return Err(io(e));
         }
     }
     drop(stdin); // EOF: the worker reads exactly one line
 
-    let stderr_pipe = child.stderr.take();
     let stderr_thread = std::thread::spawn(move || {
         let mut text = String::new();
         if let Some(mut pipe) = stderr_pipe {
@@ -655,8 +1249,6 @@ fn run_shard_attempt(
         }
         text
     });
-
-    let stdout = child.stdout.take().expect("stdout was piped");
     let streamed = (|| {
         let mut result = None;
         let mut records: Vec<(usize, RunRecord)> = Vec::with_capacity(spec.range.len());
@@ -694,15 +1286,21 @@ fn run_shard_attempt(
         Ok(ok) => ok,
         Err(e) => {
             // A misbehaving worker is stopped, not abandoned.
-            let _ = child.kill();
-            let _ = child.wait();
+            stop(&child);
             let _ = stderr_thread.join();
             return Err(e);
         }
     };
 
-    let status = child.wait().map_err(io)?;
+    // stdout already hit EOF, so the worker has exited (or is exiting);
+    // this wait is a reap, not a stall, and the lock is held only briefly.
+    let status = lock(&child).wait().map_err(io)?;
     let stderr = stderr_thread.join().unwrap_or_default();
+    if kills.aborted() {
+        // The run was aborted while this attempt was in flight; its exit
+        // status (likely a kill) says nothing about the worker itself.
+        return Err(protocol("attempt aborted by a failing sibling".into()));
+    }
     if !status.success() {
         return Err(ShardError::Worker {
             shard_id,
@@ -826,10 +1424,26 @@ mod tests {
         failed.lock().unwrap()[0] = true;
         assert_eq!(exec.pick_worker(0, 0, &failed), 1);
         assert_eq!(exec.pick_worker(2, 0, &failed), 1);
-        // All failed: fall back to round-robin rather than deadlocking.
+        // All failed: the blacklist clears (every survivor-less retry
+        // round gets a fresh chance) and round-robin resumes.
         failed.lock().unwrap()[1] = true;
         assert_eq!(exec.pick_worker(0, 0, &failed), 0);
+        assert_eq!(*failed.lock().unwrap(), vec![false, false]);
         assert_eq!(exec.pick_worker(0, 1, &failed), 1);
+    }
+
+    #[test]
+    fn a_transiently_failing_sole_worker_is_retried_not_abandoned() {
+        // Regression: with one worker command, the first failure used to
+        // blacklist it permanently and `unwrap_or(start)` papered over
+        // the empty survivor set — every remaining retry went to a pick
+        // the executor itself considered dead. The blacklist must clear
+        // when it fills, so the sole worker's transient failure still
+        // leaves it eligible for the next attempt.
+        let exec = SubprocessExecutor::new(WorkerCommand::new("/nonexistent/only"));
+        let failed = Mutex::new(vec![true]);
+        assert_eq!(exec.pick_worker(7, 3, &failed), 0);
+        assert_eq!(*failed.lock().unwrap(), vec![false]);
     }
 
     #[test]
@@ -862,6 +1476,26 @@ mod tests {
             CommandExecutor::new(["/usr/bin/env"], WorkerCommand::new("w")).name(),
             "command"
         );
+        assert_eq!(PoolExecutor::new(WorkerCommand::new("w")).name(), "pool");
+    }
+
+    #[test]
+    fn pool_spawn_failure_exhausts_the_attempt_budget() {
+        let exec = PoolExecutor::new(WorkerCommand::new("/nonexistent/rv-shard-worker"))
+            .workers(2)
+            .unit(2)
+            .retries(1);
+        let err = exec.execute(&spec(), 1, 8, None).unwrap_err();
+        match err {
+            ExecError::Exhausted {
+                attempts, ref last, ..
+            } => {
+                assert_eq!(attempts, 2, "1 initial + 1 retry");
+                assert!(matches!(last, ShardError::Spawn(_)), "{last}");
+            }
+            ref other => panic!("expected Exhausted, got {other}"),
+        }
+        assert!(exec.take_telemetry().is_empty());
     }
 
     #[test]

@@ -64,10 +64,14 @@ pub use aur::{
 };
 pub use batch::{Campaign, CampaignReport, CampaignStats, ClassStats, RunRecord, StatsAccumulator};
 pub use exec::{
-    CommandExecutor, ExecError, Executor, LocalExecutor, SubprocessExecutor, WorkerCommand,
+    CommandExecutor, ExecError, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor,
+    WorkerCommand,
 };
 pub use parallel::{par_map, par_map_indexed};
-pub use shard::{CampaignSpec, ShardError, ShardResult, ShardSpec, SolverSpec, UnknownSolver};
+pub use shard::{
+    CampaignSpec, ShardError, ShardResult, ShardSpec, SolverSpec, UnitDone, UnitTask,
+    UnitTelemetry, UnknownSolver,
+};
 pub use solver::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
 pub use stream::{ChannelSink, JsonLinesSink, RecordSink, VecSink};
 pub use wire::WireError;

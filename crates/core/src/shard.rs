@@ -215,6 +215,67 @@ impl ShardSpec {
     }
 }
 
+/// One work unit of a persistent-worker pool session: a global index
+/// range, identified by `task_id`, carrying the attempt number so a
+/// worker can implement deterministic fault injection per unit (the
+/// session analogue of the one-shot [`crate::exec::ATTEMPT_ENV`]).
+///
+/// Unlike a [`ShardSpec`], a task line carries no campaign — the session
+/// opened with a `campaign_spec` line established that once, which is
+/// what makes units cheap enough to hand out in small, steal-friendly
+/// chunks (see [`crate::exec::PoolExecutor`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitTask {
+    /// Position of this unit in the campaign's unit plan (0-based).
+    pub task_id: u32,
+    /// Zero-based attempt number for this unit (a retried unit counts
+    /// up; fresh units are attempt 0).
+    pub attempt: u32,
+    /// Global index range `start..end` this unit executes.
+    pub range: Range<usize>,
+}
+
+/// Per-unit worker telemetry: how long a unit took on the worker's
+/// clock and which attempt produced it. This is a *side channel* — it
+/// feeds scheduling and diagnostics, never the campaign report, so the
+/// byte-identity guarantee is untouched by timing noise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitTelemetry {
+    /// Echo of [`UnitTask::task_id`].
+    pub task_id: u32,
+    /// Echo of [`UnitTask::attempt`].
+    pub attempt: u32,
+    /// Wall time the unit took on the worker, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// What a pool worker sends back at the end of each unit: the unit's
+/// identity plus its folded accumulator (the session analogue of
+/// [`ShardResult`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitDone {
+    /// Echo of [`UnitTask::task_id`].
+    pub task_id: u32,
+    /// Echo of the unit range's start (integrity check for the gather).
+    pub start: usize,
+    /// The unit's folded aggregation state.
+    pub acc: StatsAccumulator,
+}
+
+/// Splits `0..n` into contiguous units of `unit` indices each (the last
+/// unit may be short). `unit` is clamped to at least 1; `n == 0` yields
+/// no units. Units are the steal-friendly currency of
+/// [`crate::exec::PoolExecutor`]: small enough that heterogeneous
+/// workers self-balance, contiguous and ascending so the gather merges
+/// them exactly like shards.
+pub fn plan_units(n: usize, unit: usize) -> Vec<Range<usize>> {
+    let unit = unit.max(1);
+    (0..n)
+        .step_by(unit)
+        .map(|start| start..(start + unit).min(n))
+        .collect()
+}
+
 /// What a shard sends back: its identity plus the folded accumulator
 /// (the mergeable monoid state, *not* finished stats — finishing happens
 /// once, after the gather).
@@ -363,6 +424,29 @@ mod tests {
                 let lens: Vec<usize> = specs.iter().map(|s| s.range.len()).collect();
                 let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
                 assert!(hi - lo <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_units_covers_the_range_in_order() {
+        assert!(plan_units(0, 4).is_empty());
+        assert_eq!(plan_units(1, 0), vec![0..1], "unit clamps to 1");
+        for n in [1usize, 7, 16, 65] {
+            for unit in [1usize, 2, 5, 64, 1000] {
+                let units = plan_units(n, unit);
+                let mut next = 0;
+                for r in &units {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    assert!(r.len() <= unit.max(1));
+                    next = r.end;
+                }
+                assert_eq!(next, n, "n = {n}, unit = {unit}");
+                // Only the last unit may be short.
+                for r in &units[..units.len().saturating_sub(1)] {
+                    assert_eq!(r.len(), unit.max(1));
+                }
             }
         }
     }

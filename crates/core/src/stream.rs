@@ -149,6 +149,19 @@ impl<W: Write + Send> JsonLinesSink<W> {
         self.failed.load(Ordering::Relaxed)
     }
 
+    /// Writes one pre-encoded wire line (newline-terminated, flushed)
+    /// through the same mutex as the record stream, so protocol lines —
+    /// a session worker's `unit_telemetry` / `unit_done` answers —
+    /// never interleave with concurrently streamed records. Failures
+    /// latch [`JsonLinesSink::failed`], like record writes.
+    pub fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let wrote = writeln!(out, "{line}").and_then(|()| out.flush());
+        if wrote.is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+
     /// Unwraps the writer.
     pub fn into_inner(self) -> W {
         self.out.into_inner().unwrap_or_else(|e| e.into_inner())

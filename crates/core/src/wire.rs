@@ -5,13 +5,21 @@
 //! header fields: `"schema": 3` and a `"kind"` tag naming the payload.
 //! The encodable kinds are
 //!
-//! | kind           | payload                                        |
-//! |----------------|------------------------------------------------|
-//! | `record`       | one [`RunRecord`] plus its campaign index      |
-//! | `class_stats`  | one [`ClassStats`] breakdown row               |
-//! | `acc`          | a whole [`StatsAccumulator`] (mergeable state) |
-//! | `shard_spec`   | a [`ShardSpec`] work order                     |
-//! | `shard_result` | a [`ShardResult`] (id, range, accumulator)     |
+//! | kind             | payload                                          |
+//! |------------------|--------------------------------------------------|
+//! | `record`         | one [`RunRecord`] plus its campaign index        |
+//! | `class_stats`    | one [`ClassStats`] breakdown row                 |
+//! | `acc`            | a whole [`StatsAccumulator`] (mergeable state)   |
+//! | `shard_spec`     | a [`ShardSpec`] work order                       |
+//! | `shard_result`   | a [`ShardResult`] (id, range, accumulator)       |
+//! | `campaign_spec`  | a [`CampaignSpec`] + seed (opens a pool session) |
+//! | `task`           | a [`UnitTask`] (one pool work unit)              |
+//! | `unit_telemetry` | a [`UnitTelemetry`] (per-unit wall time)         |
+//! | `unit_done`      | a [`UnitDone`] (id, start, accumulator)          |
+//!
+//! The last four kinds form the persistent-worker session protocol of
+//! [`crate::exec::PoolExecutor`] (spec once, then a task/answer stream —
+//! see `WIRE.md` for the session grammar).
 //!
 //! Numbers are lossless: `u64`/`usize` are emitted as decimal integers and
 //! re-parsed from the raw lexeme (never through `f64`), finite floats use
@@ -33,7 +41,9 @@
 
 use crate::batch::{ClassStats, RunRecord, StatsAccumulator, CLASS_ORDER};
 use crate::json;
-use crate::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec};
+use crate::shard::{
+    CampaignSpec, ShardResult, ShardSpec, SolverSpec, UnitDone, UnitTask, UnitTelemetry,
+};
 use rv_model::{Classification, TargetClass};
 use std::fmt;
 
@@ -956,6 +966,98 @@ pub fn decode_shard_result(line: &str) -> Result<ShardResult, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Pool session: CampaignSpec / UnitTask / UnitTelemetry / UnitDone
+// ---------------------------------------------------------------------------
+
+/// Encodes the session opener of the persistent-worker protocol — the
+/// campaign spec plus seed a pool driver writes once per worker session
+/// (every subsequent `task` line executes against it).
+pub fn encode_campaign_spec(spec: &CampaignSpec, seed: u64) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"campaign_spec\", \"seed\": {seed}, \
+         \"campaign\": {}}}",
+        campaign_body(spec),
+    )
+}
+
+/// Decodes a `kind: "campaign_spec"` line back into `(spec, seed)`.
+pub fn decode_campaign_spec(line: &str) -> Result<(CampaignSpec, u64), WireError> {
+    let v = header(line, "campaign_spec")?;
+    Ok((campaign_of(field(&v, "campaign")?)?, get_u64(&v, "seed")?))
+}
+
+/// Encodes one pool work unit as a `kind: "task"` line — what the driver
+/// writes to a session worker for each unit it steals off the queue.
+pub fn encode_task(task: &UnitTask) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"task\", \"task_id\": {}, \
+         \"attempt\": {}, \"start\": {}, \"end\": {}}}",
+        task.task_id, task.attempt, task.range.start, task.range.end,
+    )
+}
+
+/// Decodes a `kind: "task"` line.
+pub fn decode_task(line: &str) -> Result<UnitTask, WireError> {
+    let v = header(line, "task")?;
+    let start = get_usize(&v, "start")?;
+    let end = get_usize(&v, "end")?;
+    if end < start {
+        return Err(WireError::Field {
+            field: "end",
+            what: format!("range end {end} before start {start}"),
+        });
+    }
+    Ok(UnitTask {
+        task_id: get_u32(&v, "task_id")?,
+        attempt: get_u32(&v, "attempt")?,
+        range: start..end,
+    })
+}
+
+/// Encodes a per-unit telemetry report as a `kind: "unit_telemetry"`
+/// line — wall time and attempt count, a side channel that never feeds
+/// the campaign report.
+pub fn encode_unit_telemetry(t: &UnitTelemetry) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"unit_telemetry\", \"task_id\": {}, \
+         \"attempt\": {}, \"wall_ns\": {}}}",
+        t.task_id, t.attempt, t.wall_ns,
+    )
+}
+
+/// Decodes a `kind: "unit_telemetry"` line.
+pub fn decode_unit_telemetry(line: &str) -> Result<UnitTelemetry, WireError> {
+    let v = header(line, "unit_telemetry")?;
+    Ok(UnitTelemetry {
+        task_id: get_u32(&v, "task_id")?,
+        attempt: get_u32(&v, "attempt")?,
+        wall_ns: get_u64(&v, "wall_ns")?,
+    })
+}
+
+/// Encodes a unit's gathered output as a `kind: "unit_done"` line — the
+/// last line a session worker writes for each unit.
+pub fn encode_unit_done(done: &UnitDone) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"unit_done\", \"task_id\": {}, \
+         \"start\": {}, \"acc\": {}}}",
+        done.task_id,
+        done.start,
+        acc_body(&done.acc),
+    )
+}
+
+/// Decodes a `kind: "unit_done"` line.
+pub fn decode_unit_done(line: &str) -> Result<UnitDone, WireError> {
+    let v = header(line, "unit_done")?;
+    Ok(UnitDone {
+        task_id: get_u32(&v, "task_id")?,
+        start: get_usize(&v, "start")?,
+        acc: acc_of(field(&v, "acc")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Stream dispatch
 // ---------------------------------------------------------------------------
 
@@ -979,6 +1081,19 @@ pub enum Line {
     ShardSpec(ShardSpec),
     /// A shard's gathered output.
     ShardResult(ShardResult),
+    /// A pool session opener: campaign spec plus seed.
+    CampaignSpec {
+        /// The campaign every subsequent task executes against.
+        spec: CampaignSpec,
+        /// The campaign seed.
+        seed: u64,
+    },
+    /// One pool work unit.
+    Task(UnitTask),
+    /// A unit's telemetry report.
+    UnitTelemetry(UnitTelemetry),
+    /// A unit's gathered output.
+    UnitDone(UnitDone),
 }
 
 /// Decodes any schema-3 line by its `"kind"` header.
@@ -990,6 +1105,12 @@ pub fn decode_line(line: &str) -> Result<Line, WireError> {
         "acc" => decode_accumulator(line).map(Line::Accumulator),
         "shard_spec" => decode_shard_spec(line).map(Line::ShardSpec),
         "shard_result" => decode_shard_result(line).map(Line::ShardResult),
+        "campaign_spec" => {
+            decode_campaign_spec(line).map(|(spec, seed)| Line::CampaignSpec { spec, seed })
+        }
+        "task" => decode_task(line).map(Line::Task),
+        "unit_telemetry" => decode_unit_telemetry(line).map(Line::UnitTelemetry),
+        "unit_done" => decode_unit_done(line).map(Line::UnitDone),
         other => Err(WireError::Kind {
             found: other.to_string(),
         }),

@@ -10,7 +10,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rv_core::batch::{ClassStats, RunRecord, StatsAccumulator};
-use rv_core::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec};
+use rv_core::shard::{
+    CampaignSpec, ShardResult, ShardSpec, SolverSpec, UnitDone, UnitTask, UnitTelemetry,
+};
 use rv_core::wire::{self, Line, Value, WireError, MAX_DEPTH};
 use rv_model::{Classification, TargetClass};
 
@@ -168,6 +170,71 @@ proptest! {
         prop_assert_eq!(wire::encode_shard_result(&result2), line);
     }
 
+    #[test]
+    fn campaign_spec_encoding_is_a_fixed_point(
+        campaign in campaign_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let line = wire::encode_campaign_spec(&campaign, seed);
+        let (campaign2, seed2) = wire::decode_campaign_spec(&line).expect("own encoding must decode");
+        prop_assert_eq!(&campaign2, &campaign);
+        prop_assert_eq!(seed2, seed);
+        prop_assert_eq!(wire::encode_campaign_spec(&campaign2, seed2), line);
+        match wire::decode_line(&line).unwrap() {
+            Line::CampaignSpec { spec, seed: s } => {
+                prop_assert_eq!(&spec, &campaign);
+                prop_assert_eq!(s, seed);
+            }
+            other => prop_assert!(false, "wrong kind: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn task_encoding_is_a_fixed_point(
+        task_id in any::<u32>(),
+        attempt in any::<u32>(),
+        start in 0usize..1_000_000,
+        len in 0usize..1_000_000,
+    ) {
+        let task = UnitTask { task_id, attempt, range: start..start + len };
+        let line = wire::encode_task(&task);
+        let task2 = wire::decode_task(&line).expect("own encoding must decode");
+        prop_assert_eq!(&task2, &task);
+        prop_assert_eq!(wire::encode_task(&task2), line);
+        prop_assert_eq!(wire::decode_line(&line).unwrap(), Line::Task(task));
+    }
+
+    #[test]
+    fn unit_telemetry_encoding_is_a_fixed_point(
+        task_id in any::<u32>(),
+        attempt in any::<u32>(),
+        wall_ns in any::<u64>(),
+    ) {
+        let t = UnitTelemetry { task_id, attempt, wall_ns };
+        let line = wire::encode_unit_telemetry(&t);
+        let t2 = wire::decode_unit_telemetry(&line).expect("own encoding must decode");
+        prop_assert_eq!(&t2, &t);
+        prop_assert_eq!(wire::encode_unit_telemetry(&t2), line);
+        prop_assert_eq!(wire::decode_line(&line).unwrap(), Line::UnitTelemetry(t));
+    }
+
+    #[test]
+    fn unit_done_encoding_is_a_fixed_point(
+        records in vec(record_strategy(), 0..30),
+        task_id in any::<u32>(),
+        start in any::<usize>(),
+    ) {
+        let mut acc = StatsAccumulator::new();
+        for r in &records {
+            acc.push(r);
+        }
+        let done = UnitDone { task_id, start, acc };
+        let line = wire::encode_unit_done(&done);
+        let done2 = wire::decode_unit_done(&line).expect("own encoding must decode");
+        prop_assert_eq!(format!("{done2:?}"), format!("{done:?}"));
+        prop_assert_eq!(wire::encode_unit_done(&done2), line);
+    }
+
     // ---- decoder totality ------------------------------------------------
 
     #[test]
@@ -180,6 +247,10 @@ proptest! {
         let _ = wire::decode_accumulator(&text);
         let _ = wire::decode_shard_spec(&text);
         let _ = wire::decode_shard_result(&text);
+        let _ = wire::decode_campaign_spec(&text);
+        let _ = wire::decode_task(&text);
+        let _ = wire::decode_unit_telemetry(&text);
+        let _ = wire::decode_unit_done(&text);
     }
 
     #[test]
@@ -332,6 +403,18 @@ fn empty_class_lists_are_rejected_not_panicking() {
     let inverted = line.replace("\"start\": 0, \"end\": 4", "\"start\": 4, \"end\": 0");
     assert!(matches!(
         wire::decode_shard_spec(&inverted),
+        Err(WireError::Field { field: "end", .. })
+    ));
+    // Task lines enforce the same range sanity.
+    let task = UnitTask {
+        task_id: 0,
+        attempt: 0,
+        range: 0..4,
+    };
+    let inverted =
+        wire::encode_task(&task).replace("\"start\": 0, \"end\": 4", "\"start\": 4, \"end\": 0");
+    assert!(matches!(
+        wire::decode_task(&inverted),
         Err(WireError::Field { field: "end", .. })
     ));
 }

@@ -4,30 +4,43 @@
 //!
 //! ```text
 //! rv-shard worker [--threads T] [--flaky]
-//!     Read one shard_spec JSON line from stdin, execute the shard,
-//!     stream one record line per finished run to stdout, then the final
-//!     shard_result line. Exit 0 on success, 2 on a bad spec. With
-//!     --flaky, deterministically fail (exit 3, after streaming one
-//!     genuine record) whenever the RV_SHARD_ATTEMPT environment
-//!     variable is 0/absent — a test mode proving driver retry works.
+//!     Speak the schema-3 worker protocol on stdin/stdout. A first line
+//!     of kind shard_spec runs the one-shot protocol: execute the
+//!     shard, stream one record line per finished run, then the final
+//!     shard_result line. A first line of kind campaign_spec opens a
+//!     persistent *session*: each subsequent task line executes one
+//!     index unit (record lines, then a unit_telemetry line, then a
+//!     unit_done line), a new campaign_spec line re-keys the session,
+//!     and stdin EOF ends it with exit 0. Exit 0 on success, 2 on a
+//!     bad spec. With --flaky, deterministically fail (exit 3, after
+//!     streaming one genuine record) on first attempts — the one-shot
+//!     protocol reads the attempt from the RV_SHARD_ATTEMPT environment
+//!     variable, a session reads it from each task line — a test mode
+//!     proving driver retry works.
 //!
 //! rv-shard campaign --n N [--shards K] [--seed S] [--solver aur|dedicated]
 //!                   [--classes type3,s1,...] [--segments M]
-//!                   [--transport local|subprocess|command] [--local]
-//!                   [--retries R] [--max-inflight M] [--wrap "ssh host --"]
+//!                   [--transport local|subprocess|command|pool] [--local]
+//!                   [--retries R] [--max-inflight M] [--unit U]
+//!                   [--wrap "ssh host --"]
 //!     Run the seeded campaign through the chosen executor backend and
 //!     print the gathered CampaignStats JSON — byte-identical on every
 //!     backend. --local is shorthand for --transport local; --wrap
 //!     (which implies --transport command) prefixes every worker
-//!     invocation with the given command, e.g. an ssh hop.
+//!     invocation with the given command, e.g. an ssh hop. With
+//!     --transport pool, --shards sets the persistent worker count and
+//!     --unit the steal-unit size in indices (0 = auto).
 //! ```
 
-use rv_core::exec::{CommandExecutor, Executor, LocalExecutor, SubprocessExecutor, ATTEMPT_ENV};
-use rv_core::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec};
+use rv_core::exec::{
+    CommandExecutor, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor, ATTEMPT_ENV,
+};
+use rv_core::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec, UnitDone, UnitTelemetry};
+use rv_core::wire::Line;
 use rv_core::{wire, JsonLinesSink, RecordSink};
 use rv_experiments::runner::worker_command;
 use rv_model::TargetClass;
-use std::io::BufRead;
+use std::io::{BufRead, StdinLock};
 use std::sync::Arc;
 
 fn main() {
@@ -39,36 +52,52 @@ fn main() {
             eprintln!(
                 "usage: rv-shard worker [--threads T] [--flaky] | \
                  rv-shard campaign --n N [--shards K] [--seed S] [--solver aur|dedicated] \
-                 [--classes a,b,...] [--segments M] [--transport local|subprocess|command] \
-                 [--local] [--retries R] [--max-inflight M] [--wrap CMD]"
+                 [--classes a,b,...] [--segments M] \
+                 [--transport local|subprocess|command|pool] \
+                 [--local] [--retries R] [--max-inflight M] [--unit U] [--wrap CMD]"
             );
             std::process::exit(2);
         }
     }
 }
 
-/// Worker mode: one shard spec in, record lines + shard result out.
-/// `--threads T` caps this worker's campaign threads (0 = all cores) so
-/// K same-host workers can split the CPU instead of oversubscribing it.
-/// `--flaky` injects a deterministic first-attempt failure (see below).
+/// Worker mode: a shard spec in, record lines + shard result out — or,
+/// when the first line is a campaign spec, a persistent session serving
+/// task lines until stdin EOF. `--threads T` caps this worker's
+/// campaign threads (0 = all cores) so K same-host workers can split
+/// the CPU instead of oversubscribing it. `--flaky` injects
+/// deterministic first-attempt failures (see below).
 fn worker(args: &[String]) {
     let threads: usize = parsed_flag(args, "--threads", 0);
+    let flaky = args.iter().any(|a| a == "--flaky");
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
     let mut line = String::new();
-    if let Err(e) = std::io::stdin().lock().read_line(&mut line) {
+    if let Err(e) = input.read_line(&mut line) {
         eprintln!("rv-shard worker: cannot read shard spec: {e}");
         std::process::exit(2);
     }
-    let spec = match wire::decode_shard_spec(line.trim()) {
-        Ok(spec) => spec,
+    match wire::decode_line(line.trim()) {
+        Ok(Line::ShardSpec(spec)) => one_shot(spec, threads, flaky),
+        Ok(Line::CampaignSpec { spec, seed }) => session(input, spec, seed, threads, flaky),
+        Ok(other) => {
+            eprintln!("rv-shard worker: bad shard spec: expected a shard_spec or campaign_spec line, got {other:?}");
+            std::process::exit(2);
+        }
         Err(e) => {
             eprintln!("rv-shard worker: bad shard spec: {e}");
             std::process::exit(2);
         }
-    };
+    }
+}
+
+/// The one-shot worker protocol: execute the single handed-over shard,
+/// stream its records, print the final `shard_result` line.
+fn one_shot(spec: ShardSpec, threads: usize, flaky: bool) {
     // Records stream as wire lines the moment each run lands; Stdout is
     // line-buffered and the sink flushes, so the parent sees them live.
     let sink = Arc::new(JsonLinesSink::new(std::io::stdout()));
-    if args.iter().any(|a| a == "--flaky") && attempt_number() == 0 {
+    if flaky && attempt_number() == 0 {
         // Fault-injection mode: stream ONE genuine record (a partial
         // stream the driver must discard wholesale — replaying it would
         // double-deliver the index), then die. Attempts >= 1 run clean,
@@ -91,6 +120,86 @@ fn worker(args: &[String]) {
     println!("{}", wire::encode_shard_result(&result));
 }
 
+/// The persistent-session worker protocol (the `PoolExecutor` side):
+/// keyed by the opening `campaign_spec` line, each `task` line executes
+/// one index unit and answers with record lines, one `unit_telemetry`
+/// line, and one `unit_done` line. A fresh `campaign_spec` line re-keys
+/// the session in place; stdin EOF is the graceful shutdown (exit 0).
+fn session(mut input: StdinLock<'_>, spec: CampaignSpec, seed: u64, threads: usize, flaky: bool) {
+    let mut session = (spec, seed);
+    let sink = Arc::new(JsonLinesSink::new(std::io::stdout()));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match input.read_line(&mut line) {
+            // EOF: the driver closed the session; all handed-out units
+            // were answered, so this worker's job is done.
+            Ok(0) => std::process::exit(0),
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("rv-shard worker: session read failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match wire::decode_line(trimmed) {
+            Ok(Line::CampaignSpec { spec, seed }) => session = (spec, seed),
+            Ok(Line::Task(task)) => {
+                if flaky && task.attempt == 0 {
+                    // Session-mode fault injection: same contract as the
+                    // one-shot worker, with the attempt number read off
+                    // the task line instead of the environment.
+                    if !task.range.is_empty() {
+                        let first = ShardSpec {
+                            campaign: session.0.clone(),
+                            seed: session.1,
+                            range: task.range.start..task.range.start + 1,
+                            shard_id: task.task_id,
+                        };
+                        let _ = first.execute_threads(sink.clone() as Arc<dyn RecordSink>, 1);
+                    }
+                    eprintln!("rv-shard worker: injected flaky failure (attempt 0)");
+                    std::process::exit(3);
+                }
+                let started = std::time::Instant::now();
+                let shard = ShardSpec {
+                    campaign: session.0.clone(),
+                    seed: session.1,
+                    range: task.range.clone(),
+                    shard_id: task.task_id,
+                };
+                let result = shard.execute_threads(sink.clone() as Arc<dyn RecordSink>, threads);
+                let telemetry = UnitTelemetry {
+                    task_id: task.task_id,
+                    attempt: task.attempt,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                };
+                sink.write_line(&wire::encode_unit_telemetry(&telemetry));
+                sink.write_line(&wire::encode_unit_done(&UnitDone {
+                    task_id: task.task_id,
+                    start: result.start,
+                    acc: result.acc,
+                }));
+                if sink.failed() {
+                    eprintln!("rv-shard worker: record stream write failed");
+                    std::process::exit(1);
+                }
+            }
+            Ok(other) => {
+                eprintln!("rv-shard worker: unexpected session line: {other:?}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("rv-shard worker: bad session line: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// The zero-based attempt number the executor put in the environment
 /// (absent or unparseable counts as the first attempt).
 fn attempt_number() -> u32 {
@@ -100,11 +209,20 @@ fn attempt_number() -> u32 {
         .unwrap_or(0)
 }
 
+/// The operand following `name`, or `None` when the flag is absent. A
+/// *dangling* flag — present but followed by nothing, or by another
+/// `--flag` — is a usage error (exit 2), not a silent fall-through to
+/// the default: `campaign --n 100 --seed` must not quietly run with
+/// seed 0.
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    let at = args.iter().position(|a| a == name)?;
+    match args.get(at + 1).map(String::as_str) {
+        Some(value) if !value.starts_with("--") => Some(value),
+        _ => {
+            eprintln!("rv-shard: {name} needs a value");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -120,6 +238,13 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) ->
 /// Driver mode: build the requested executor backend, run the campaign
 /// through it, print the stats JSON (byte-identical on every backend).
 fn campaign(args: &[String]) {
+    if !args.iter().any(|a| a == "--n") {
+        // Without this check the default would be n = 0 — an "empty
+        // campaign" that prints all-zero stats and exits 0, which reads
+        // like success.
+        eprintln!("rv-shard campaign: --n N is required");
+        std::process::exit(2);
+    }
     let n: usize = parsed_flag(args, "--n", 0);
     if n == 0 {
         eprintln!("rv-shard campaign: --n N (> 0) is required");
@@ -130,6 +255,7 @@ fn campaign(args: &[String]) {
     let segments: u64 = parsed_flag(args, "--segments", 60_000);
     let retries: u32 = parsed_flag(args, "--retries", 0);
     let max_inflight: usize = parsed_flag(args, "--max-inflight", 0);
+    let unit: usize = parsed_flag(args, "--unit", 0);
     let solver_name = flag_value(args, "--solver").unwrap_or("aur");
     let solver = SolverSpec::from_name(solver_name).unwrap_or_else(|e| {
         eprintln!("rv-shard: {e}");
@@ -192,9 +318,19 @@ fn campaign(args: &[String]) {
                     .max_inflight(max_inflight),
             )
         }
+        // Pool transport: --shards is the persistent worker count and
+        // --unit the steal-unit size; max_inflight has no meaning (the
+        // pool is its own concurrency bound, one unit per worker).
+        "pool" => Box::new(
+            PoolExecutor::new(worker_command(&own_binary(), concurrency))
+                .workers(shards)
+                .unit(unit)
+                .retries(retries),
+        ),
         other => {
             eprintln!(
-                "rv-shard campaign: unknown transport {other:?} (local | subprocess | command)"
+                "rv-shard campaign: unknown transport {other:?} \
+                 (local | subprocess | command | pool)"
             );
             std::process::exit(2);
         }

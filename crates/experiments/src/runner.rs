@@ -16,7 +16,8 @@ pub use rv_core::batch::{
     Campaign, CampaignReport, CampaignStats as Summary, RunRecord as RunResult, StatsAccumulator,
 };
 pub use rv_core::exec::{
-    CommandExecutor, ExecError, Executor, LocalExecutor, SubprocessExecutor, WorkerCommand,
+    CommandExecutor, ExecError, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor,
+    WorkerCommand,
 };
 pub use rv_core::shard::{plan as plan_shards, CampaignSpec, ShardError, SolverSpec};
 pub use rv_core::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
@@ -51,6 +52,27 @@ pub fn run_sharded(
 ) -> Result<rv_core::CampaignStats, ExecError> {
     SubprocessExecutor::new(worker_command(worker, shards.min(n.max(1))))
         .shards(shards)
+        .execute_stats(spec, seed, n, None)
+}
+
+/// The persistent-pool execution path: `workers` long-lived `rv-shard`
+/// session workers steal `unit`-sized index units (`0` = auto) off a
+/// shared queue until the campaign drains — byte-identical to
+/// [`CampaignSpec::run_local`] like every backend, but with spawn cost
+/// paid once per worker instead of once per shard. For repeated
+/// campaigns, build one [`PoolExecutor`] and call `execute_stats`
+/// yourself: the pool's sessions survive between calls.
+pub fn run_pooled(
+    worker: &Path,
+    spec: &CampaignSpec,
+    seed: u64,
+    n: usize,
+    workers: usize,
+    unit: usize,
+) -> Result<rv_core::CampaignStats, ExecError> {
+    PoolExecutor::new(worker_command(worker, workers.max(1)))
+        .workers(workers)
+        .unit(unit)
         .execute_stats(spec, seed, n, None)
 }
 

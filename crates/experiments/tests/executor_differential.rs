@@ -1,22 +1,26 @@
 //! The headline differential: the same seeded campaign run through every
 //! `Executor` backend — `LocalExecutor`, `SubprocessExecutor` over 1/2/4
-//! real `rv-shard` worker subprocesses, and `CommandExecutor` behind an
-//! identity command wrapper — must produce byte-identical
-//! `CampaignStats` (struct, Debug rendering, and `to_json` artifact) and
-//! identical record streams. Fault tolerance is proven the hard way: the
-//! worker's `--flaky` mode deterministically kills every first attempt
-//! (after leaking a partial record stream the driver must discard), so a
-//! retry budget of 1 recovers byte-identically while a budget of 0
-//! fails typed. Driver failure paths and the CLI transports are
-//! exercised against real processes too.
+//! real `rv-shard` worker subprocesses, `CommandExecutor` behind an
+//! identity command wrapper, and `PoolExecutor` over 1/2/4 persistent
+//! session workers — must produce byte-identical `CampaignStats`
+//! (struct, Debug rendering, and `to_json` artifact) and identical
+//! record streams. Fault tolerance is proven the hard way: the worker's
+//! `--flaky` mode deterministically kills every first attempt (after
+//! leaking a partial record stream the driver must discard), so a retry
+//! budget of 1 recovers byte-identically while a budget of 0 fails
+//! typed — for one-shot shards and for pool sessions alike. Driver
+//! failure paths, abort promptness, the exactly-once sink contract
+//! under concurrent retries, and the CLI transports are exercised
+//! against real processes too.
 
 use rv_core::exec::{
-    CommandExecutor, ExecError, Executor, LocalExecutor, SubprocessExecutor, WorkerCommand,
+    CommandExecutor, ExecError, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor,
+    WorkerCommand,
 };
-use rv_core::shard::{CampaignSpec, ShardError, SolverSpec};
+use rv_core::shard::{CampaignSpec, ShardError, SolverSpec, UnitTask};
 use rv_core::stream::VecSink;
-use rv_core::{CampaignReport, CampaignStats, RecordSink};
-use rv_experiments::runner::run_sharded;
+use rv_core::{wire, CampaignReport, CampaignStats, RecordSink};
+use rv_experiments::runner::{run_pooled, run_sharded};
 use rv_model::TargetClass;
 use std::path::Path;
 use std::process::Command;
@@ -166,6 +170,179 @@ fn flaky_workers_recover_byte_identically_with_one_retry() {
 }
 
 #[test]
+fn pool_executor_is_byte_identical_for_1_2_4_workers() {
+    let spec = mixed_spec();
+    let seed = 0xD1FF_5EED;
+    let n = 24;
+    for workers in [1usize, 2, 4] {
+        let exec = PoolExecutor::new(worker_cmd()).workers(workers).unit(3);
+        assert_backend_matches(&exec, &spec, seed, n, &format!("pool, {workers} workers"));
+        // The pool's sessions survive between executions: a second run
+        // on the same executor value reuses the live workers (no
+        // respawn) and must still produce the reference bytes.
+        assert_backend_matches(
+            &exec,
+            &spec,
+            seed,
+            n,
+            &format!("pool, {workers} workers, reused sessions"),
+        );
+    }
+
+    // Auto unit sizing (unit 0) and a unit larger than n both degenerate
+    // gracefully and keep the bytes.
+    for unit in [0usize, 1000] {
+        let exec = PoolExecutor::new(worker_cmd()).workers(2).unit(unit);
+        assert_backend_matches(&exec, &spec, seed, n, &format!("pool, unit {unit}"));
+    }
+}
+
+#[test]
+fn pool_transport_flaky_workers_recover_byte_identically() {
+    let spec = mixed_spec();
+    let seed = 0xF1A6;
+    let n = 16;
+    let flaky = WorkerCommand::new(WORKER).arg("worker").arg("--flaky");
+
+    // No retry budget: the first unit's attempt-0 failure (exit 3 after
+    // leaking one genuine record the driver must discard) is typed
+    // exhaustion carrying the worker's stderr.
+    let err = PoolExecutor::new(flaky.clone())
+        .workers(2)
+        .unit(4)
+        .execute(&spec, seed, n, None)
+        .unwrap_err();
+    match err {
+        ExecError::Exhausted { attempts, last, .. } => {
+            assert_eq!(attempts, 1);
+            match last {
+                ShardError::Worker { code, stderr, .. } => {
+                    assert_eq!(code, Some(3));
+                    assert!(
+                        stderr.contains("injected flaky failure"),
+                        "stderr: {stderr}"
+                    );
+                }
+                other => panic!("expected Worker error, got {other}"),
+            }
+        }
+        other => panic!("expected Exhausted, got {other}"),
+    }
+
+    // With one retry every unit recovers (each task line carries its
+    // attempt number, so the respawned session runs attempt 1 clean) and
+    // the result — report, stats, and sink stream — is byte-identical.
+    for workers in [1usize, 2, 4] {
+        let exec = PoolExecutor::new(flaky.clone())
+            .workers(workers)
+            .unit(4)
+            .retries(1);
+        assert_backend_matches(
+            &exec,
+            &spec,
+            seed,
+            n,
+            &format!("flaky pool, {workers} workers"),
+        );
+    }
+}
+
+#[test]
+fn pool_telemetry_reports_every_unit_exactly_once() {
+    let spec = mixed_spec();
+    let (seed, n, unit) = (5, 23, 5);
+    let exec = PoolExecutor::new(worker_cmd()).workers(2).unit(unit);
+    exec.execute_stats(&spec, seed, n, None).expect("pool run");
+    let telemetry = exec.take_telemetry();
+    assert_eq!(telemetry.len(), n.div_ceil(unit), "one line per unit");
+    for (k, t) in telemetry.iter().enumerate() {
+        assert_eq!(t.task_id, k as u32);
+        assert_eq!(t.attempt, 0, "clean run: all first attempts");
+    }
+    assert!(
+        telemetry.iter().any(|t| t.wall_ns > 0),
+        "worker-side wall time must be measured"
+    );
+    // take_telemetry drains: a second take is empty until the next run.
+    assert!(exec.take_telemetry().is_empty());
+}
+
+#[test]
+fn flaky_workers_exactly_once_delivery_stress() {
+    // The exactly-once sink contract under fire: flaky workers fail every
+    // first attempt after leaking a genuine record, several drain threads
+    // retry concurrently, and the sink must still see every index exactly
+    // once — for the one-shot backend at every inflight cap, and for the
+    // pool. The `flaky_workers` name marker routes this test into CI's
+    // dedicated fault-injection step (see `.github/workflows/ci.yml`).
+    let spec = mixed_spec();
+    let (seed, n) = (0x5789, 16);
+    let local = spec.run_local(seed, n);
+    let flaky = WorkerCommand::new(WORKER).arg("worker").arg("--flaky");
+
+    let assert_exactly_once = |exec: &dyn Executor, ctx: &str| {
+        let sink = Arc::new(VecSink::new());
+        let stats = exec
+            .execute_stats(&spec, seed, n, Some(sink.clone() as Arc<dyn RecordSink>))
+            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        assert_byte_identical(&stats, &local.stats, ctx);
+        // Raw arrival order: count per-index deliveries before sorting.
+        let raw = sink.take();
+        let mut seen = vec![0usize; n];
+        for (idx, rec) in &raw {
+            seen[*idx] += 1;
+            assert_eq!(rec, &local.records[*idx], "{ctx}: index {idx}");
+        }
+        for (idx, count) in seen.iter().enumerate() {
+            assert_eq!(
+                *count, 1,
+                "{ctx}: index {idx} delivered {count} times, not exactly once"
+            );
+        }
+    };
+
+    for max_inflight in [0usize, 1, 2] {
+        let exec = SubprocessExecutor::new(flaky.clone())
+            .shards(6)
+            .retries(1)
+            .max_inflight(max_inflight);
+        assert_exactly_once(&exec, &format!("subprocess, inflight {max_inflight}"));
+    }
+    for workers in [2usize, 4] {
+        let exec = PoolExecutor::new(flaky.clone())
+            .workers(workers)
+            .unit(3)
+            .retries(1);
+        assert_exactly_once(&exec, &format!("pool, {workers} workers"));
+    }
+}
+
+#[test]
+fn abort_kills_in_flight_workers_promptly() {
+    if !Path::new("/bin/sleep").exists() {
+        eprintln!("skipping: /bin/sleep not available");
+        return;
+    }
+    let spec = mixed_spec();
+    // Worker 0 wedges for 30s (sleep ignores the protocol, so its stdout
+    // just stays open); worker 1 fails to spawn instantly and, with no
+    // retry budget, dooms the run. The driver must kill the wedged child
+    // on abort instead of waiting out its 30 seconds.
+    let exec = SubprocessExecutor::new(WorkerCommand::new("/bin/sleep").arg("30"))
+        .add_worker(WorkerCommand::new("/nonexistent/rv-shard-dead"))
+        .shards(2)
+        .retries(0);
+    let started = std::time::Instant::now();
+    let err = exec.execute(&spec, 3, 8, None).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(matches!(err, ExecError::Exhausted { .. }), "{err}");
+    assert!(
+        elapsed < std::time::Duration::from_secs(15),
+        "abort should kill the in-flight sleep worker promptly, took {elapsed:?}"
+    );
+}
+
+#[test]
 fn execute_stats_matches_execute_and_still_streams_exactly_once() {
     let spec = mixed_spec();
     let (seed, n) = (21, 10);
@@ -217,6 +394,8 @@ fn aur_campaigns_run_sharded_identically_too() {
     assert_eq!(local.met, n, "type 3 is AUR-guaranteed");
     let sharded = run_sharded(Path::new(WORKER), &spec, seed, n, 2).expect("2-shard run");
     assert_byte_identical(&sharded, &local, "aur 2 shards");
+    let pooled = run_pooled(Path::new(WORKER), &spec, seed, n, 2, 3).expect("2-worker pool run");
+    assert_byte_identical(&pooled, &local, "aur 2-worker pool");
 }
 
 #[test]
@@ -347,12 +526,16 @@ fn cli_transports_match_byte_for_byte() {
     let explicit_local = run(&["--transport", "local"]);
     let subprocess = run(&["--shards", "3"]);
     let with_knobs = run(&["--shards", "3", "--retries", "2", "--max-inflight", "2"]);
+    let pool = run(&["--transport", "pool", "--shards", "2", "--unit", "5"]);
+    let pool_auto = run(&["--transport", "pool", "--shards", "3"]);
     assert_eq!(explicit_local, local, "--transport local == --local");
     assert_eq!(subprocess, local, "subprocess transport must match local");
     assert_eq!(
         with_knobs, local,
         "retry/inflight knobs must not change bytes"
     );
+    assert_eq!(pool, local, "pool transport must match local");
+    assert_eq!(pool_auto, local, "auto unit sizing must not change bytes");
     if Path::new("/usr/bin/env").exists() {
         let command = run(&["--shards", "2", "--wrap", "/usr/bin/env"]);
         assert_eq!(command, local, "command transport must match local");
@@ -370,6 +553,108 @@ fn cli_transports_match_byte_for_byte() {
         .expect("campaign mode");
     assert!(upper.status.success());
     assert_eq!(String::from_utf8(upper.stdout).unwrap(), local);
+}
+
+#[test]
+fn campaign_cli_rejects_missing_n_and_dangling_flag_values() {
+    let usage_error = |args: &[&str], needle: &str| {
+        let out = Command::new(WORKER)
+            .arg("campaign")
+            .args(args)
+            .output()
+            .expect("campaign mode");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains(needle),
+            "{args:?} stderr should contain {needle:?}: {stderr}"
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "{args:?} must not print stats: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    };
+
+    // Omitting --n used to run an "empty campaign" (n defaulted to 0):
+    // all-zero stats on stdout and exit 0 — success-shaped garbage.
+    usage_error(&["--seed", "5", "--local"], "--n N is required");
+    // An explicit zero is equally meaningless.
+    usage_error(&["--n", "0", "--local"], "--n N (> 0)");
+    // A dangling flag value (trailing flag, or a flag swallowed by the
+    // next flag) used to silently fall back to the default.
+    usage_error(&["--n", "12", "--seed"], "--seed needs a value");
+    usage_error(&["--n", "12", "--seed", "--local"], "--seed needs a value");
+    usage_error(&["--n", "12", "--shards"], "--shards needs a value");
+    usage_error(&["--n", "12", "--unit", "--local"], "--unit needs a value");
+}
+
+#[test]
+fn session_worker_serves_units_and_exits_0_on_eof() {
+    use std::io::Write;
+    // Drive one session by hand: open with a campaign_spec line, hand
+    // over two task lines, close stdin. The worker must answer each task
+    // with record lines + unit_telemetry + unit_done, then exit 0 — the
+    // graceful shutdown the pool relies on.
+    let spec = mixed_spec();
+    let seed = 77;
+    let mut child = Command::new(WORKER)
+        .arg("worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn worker");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, "{}", wire::encode_campaign_spec(&spec, seed)).unwrap();
+    for (task_id, range) in [(0u32, 0..3), (1u32, 3..5)] {
+        let task = UnitTask {
+            task_id,
+            attempt: 0,
+            range,
+        };
+        writeln!(stdin, "{}", wire::encode_task(&task)).unwrap();
+    }
+    drop(stdin);
+
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let local = spec.run_local(seed, 5);
+    let mut records = Vec::new();
+    let mut telemetry = Vec::new();
+    let mut done = Vec::new();
+    for line in stdout.lines().filter(|l| !l.trim().is_empty()) {
+        match wire::decode_line(line).expect("worker speaks valid wire lines") {
+            wire::Line::Record { index, record } => {
+                assert_eq!(record, local.records[index], "index {index}");
+                records.push(index);
+            }
+            wire::Line::UnitTelemetry(t) => telemetry.push(t),
+            wire::Line::UnitDone(d) => done.push(d),
+            other => panic!("unexpected session answer: {other:?}"),
+        }
+    }
+    assert_eq!(records, vec![0, 1, 2, 3, 4]);
+    assert_eq!(
+        telemetry.iter().map(|t| t.task_id).collect::<Vec<_>>(),
+        vec![0, 1]
+    );
+    assert_eq!(done.len(), 2);
+    assert_eq!((done[0].task_id, done[0].start), (0, 0));
+    assert_eq!((done[1].task_id, done[1].start), (1, 3));
+    assert_eq!(done[0].acc.clone().merge(done[1].acc.clone()).len(), 5);
+    // A session re-keyed by a second campaign_spec line is exercised
+    // end-to-end by the pool differential (same executor, new seed).
 }
 
 #[test]
