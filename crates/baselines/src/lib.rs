@@ -14,6 +14,7 @@
 //! See `DESIGN.md` §3 for the substitution notes and correctness sketches
 //! of the two reconstructions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cgkk;

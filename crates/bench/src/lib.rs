@@ -10,3 +10,5 @@
 //! * `ablation` — exact vs f64 scheduling; lazy vs materialized streams.
 //!
 //! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

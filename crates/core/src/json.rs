@@ -26,6 +26,9 @@ pub fn string(s: &str) -> String {
 pub fn f64(v: f64) -> String {
     if v.is_finite() {
         // Rust's shortest-roundtrip Display is valid JSON for finite f64.
+        // rv-lint: allow(determinism) — this IS the canonical float
+        // encoder the rule points everyone else at; `{}` on a finite
+        // f64 is shortest-roundtrip and platform-independent.
         format!("{v}")
     } else {
         "null".into()

@@ -25,7 +25,11 @@ const MAX_CHUNK: usize = 64;
 /// ranges, which is why handing the raw pointer to every thread is sound.
 struct OutPtr<R>(*mut MaybeUninit<R>);
 
+// SAFETY: OutPtr is only ever used to write disjoint index ranges (one
+// chunk per worker), so sending it across threads cannot race.
 unsafe impl<R: Send> Send for OutPtr<R> {}
+// SAFETY: shared access is sound for the same reason — writes through
+// `&OutPtr` target indices owned exclusively by the writing thread.
 unsafe impl<R: Send> Sync for OutPtr<R> {}
 
 impl<R> OutPtr<R> {
@@ -151,8 +155,10 @@ where
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         while cursor < end {
                             let value = f(cursor);
-                            // Disjoint-region write: index `cursor` belongs
-                            // to this chunk and this chunk to this worker.
+                            // SAFETY: disjoint-region write — index `cursor`
+                            // belongs to this chunk, this chunk was claimed
+                            // by exactly this worker via the atomic counter,
+                            // and `cursor < end <= n` keeps it in bounds.
                             unsafe { out_ptr.write(cursor, value) };
                             cursor += 1;
                         }
@@ -185,12 +191,18 @@ where
                 let start = c * chunk;
                 let end = ((c + 1) * chunk).min(n);
                 for slot in &mut out[start..end] {
+                    // SAFETY: `chunk_done[c]` was stored with Release only
+                    // after every slot in the chunk was written, and the
+                    // Acquire load above synchronizes with it.
                     unsafe { slot.assume_init_drop() };
                 }
             }
         }
         for (start, failed) in &log.partial {
             for slot in &mut out[*start..*failed] {
+                // SAFETY: the panic log records exactly the initialised
+                // prefix `start..failed` of each panicked chunk; the Mutex
+                // write happened-before this post-join read.
                 unsafe { slot.assume_init_drop() };
             }
         }
@@ -199,9 +211,11 @@ where
     }
 
     debug_assert!(chunk_done.iter().all(|d| d.load(Ordering::Acquire)));
-    // Every chunk completed, so every slot is initialised: reinterpret the
-    // buffer as Vec<R> without copying.
     let mut out = ManuallyDrop::new(out);
+    // SAFETY: every chunk completed (no panic reached this point), so every
+    // slot is initialised; `MaybeUninit<R>` has the same layout as `R`, and
+    // `ManuallyDrop` keeps the original Vec from freeing the buffer we
+    // reinterpret — length, capacity, and allocator are carried over as-is.
     unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), out.len(), out.capacity()) }
 }
 

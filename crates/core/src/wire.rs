@@ -222,7 +222,9 @@ impl<'a> Parser<'a> {
         for _ in 0..4 {
             let d = match self.bytes.get(self.pos) {
                 None => return Err(WireError::Truncated { offset: self.pos }),
-                Some(c) if c.is_ascii_hexdigit() => (*c as char).to_digit(16).unwrap(),
+                Some(&c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(&c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(&c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
                 Some(_) => {
                     return Err(WireError::Syntax {
                         offset: self.pos,
@@ -319,8 +321,23 @@ impl<'a> Parser<'a> {
                     })
                 }
                 Some(_) => {
-                    // Input is a &str, so pos sits on a char boundary.
-                    let ch = self.text[self.pos..].chars().next().expect("char boundary");
+                    // Input is a &str, so pos always sits on a char
+                    // boundary; if that invariant ever broke it would be
+                    // a parser bug, surfaced here as a typed error
+                    // rather than a panic.
+                    let ch = self
+                        .text
+                        .get(self.pos..)
+                        .and_then(|rest| rest.chars().next());
+                    let ch = match ch {
+                        Some(ch) => ch,
+                        None => {
+                            return Err(WireError::Syntax {
+                                offset: self.pos,
+                                what: "malformed utf-8 sequence",
+                            })
+                        }
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -482,6 +499,10 @@ impl<'a> Parser<'a> {
 /// [`json::f64`] collapses them to `null`).
 pub fn float(v: f64) -> String {
     if v.is_finite() {
+        // rv-lint: allow(determinism) — this IS a canonical float encoder:
+        // `{}` on a finite f64 is Rust's shortest-roundtrip Grisu/Ryū
+        // rendering, identical on every platform, and all wire output
+        // funnels through here.
         format!("{v}")
     } else if v.is_nan() {
         "\"nan\"".into()

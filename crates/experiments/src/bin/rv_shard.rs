@@ -68,6 +68,23 @@ fn main() {
 /// the CPU instead of oversubscribing it. `--flaky` injects
 /// deterministic first-attempt failures (see below).
 fn worker(args: &[String]) {
+    // Validate the full flag set up front: an unknown flag silently
+    // ignored here would make a typo'd driver invocation (say
+    // `--thread 2`) run with defaults and *look* healthy.
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--flaky" => i += 1,
+            "--threads" => i += 2,
+            other => {
+                eprintln!(
+                    "rv-shard worker: unknown flag {other:?} \
+                     (usage: rv-shard worker [--threads T] [--flaky])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let threads: usize = parsed_flag(args, "--threads", 0);
     let flaky = args.iter().any(|a| a == "--flaky");
     let stdin = std::io::stdin();

@@ -12,6 +12,7 @@
 //! cargo run --release -p rv-experiments --bin experiments -- all
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exp;

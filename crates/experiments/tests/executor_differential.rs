@@ -594,6 +594,41 @@ fn campaign_cli_rejects_missing_n_and_dangling_flag_values() {
 }
 
 #[test]
+fn worker_cli_rejects_unknown_flags() {
+    use std::process::Stdio;
+    // An unknown worker flag used to be silently ignored, so a typo'd
+    // driver invocation (`--thread 2`) ran with defaults and looked
+    // healthy. It must be a usage error before any protocol I/O.
+    let worker_error = |args: &[&str], needle: &str| {
+        let out = Command::new(WORKER)
+            .arg("worker")
+            .args(args)
+            .stdin(Stdio::null())
+            .output()
+            .expect("worker mode");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains(needle),
+            "{args:?} stderr should contain {needle:?}: {stderr}"
+        );
+    };
+    worker_error(&["--bogus"], "unknown flag \"--bogus\"");
+    worker_error(&["--thread", "2"], "unknown flag \"--thread\"");
+    worker_error(
+        &["--threads", "2", "--flaky", "--oops"],
+        "unknown flag \"--oops\"",
+    );
+    // Known flags still pass validation: with stdin closed the worker
+    // gets past the flag check and fails on the missing spec instead.
+    worker_error(&["--threads", "2", "--flaky"], "bad shard spec");
+}
+
+#[test]
 fn session_worker_serves_units_and_exits_0_on_eof() {
     use std::io::Write;
     // Drive one session by hand: open with a campaign_spec line, hand

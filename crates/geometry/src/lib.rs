@@ -11,6 +11,7 @@
 //! exact unit vectors on the four cardinal directions so that axis-aligned
 //! walks accumulate no drift.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod angle;

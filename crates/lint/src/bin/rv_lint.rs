@@ -1,0 +1,70 @@
+//! `rv-lint` CLI: scan the workspace (or an explicit root) and print
+//! findings as `file:line: rule: message`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::exit;
+
+use rv_lint::{scan_tree, Config};
+
+const USAGE: &str = "usage: rv-lint --workspace | --root <path>\n\
+                     \n\
+                     Scans crates/*/src (and the umbrella src/) for violations of the\n\
+                     panic-free, unsafe-hygiene, and determinism rule families.\n\
+                     Waive a proven-safe site with `// rv-lint: allow(<rule>) — <why>`.";
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let root: PathBuf = match args.as_slice() {
+        [flag] if flag == "--workspace" => match workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("rv-lint: no workspace Cargo.toml found above the current directory");
+                exit(2);
+            }
+        },
+        [flag, path] if flag == "--root" => PathBuf::from(path),
+        _ => {
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    };
+
+    match scan_tree(&root, &Config::default()) {
+        Err(e) => {
+            eprintln!("rv-lint: {}: {e}", root.display());
+            exit(2);
+        }
+        Ok((findings, scanned)) if findings.is_empty() => {
+            eprintln!("rv-lint: clean ({scanned} files)");
+        }
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("rv-lint: {} finding(s) in {scanned} files", findings.len());
+            exit(1);
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Lexical pre-pass: split Rust source into lines whose *live code* is
+//! separated from comment text and string contents.
+//!
+//! The rule checks downstream are token greps, so the one job of this
+//! module is making those greps sound: a `panic!` inside a string
+//! literal, a `.unwrap()` mentioned in a doc comment, or an `unsafe` in
+//! a `/* ... */` block must never reach the code channel. The splitter
+//! is a small state machine over the raw characters that understands
+//! line comments, nested block comments, string/byte-string literals,
+//! raw strings (`r"..."`, `r#"..."#`), char literals, and the
+//! char-vs-lifetime ambiguity of `'`.
+
+/// One source line, split into channels.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// The line exactly as written (used to inspect format strings).
+    pub raw: String,
+    /// Code with comments removed and string/char contents blanked;
+    /// the delimiting quotes are kept so macro shapes stay visible.
+    pub code: String,
+    /// Concatenated comment text on this line (line and block comments,
+    /// including doc comments).
+    pub comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// Inside `"..."`; the flag records a pending backslash escape.
+    Str(bool),
+    /// Inside `r##"..."##` with this many hashes.
+    RawStr(u32),
+}
+
+/// Splits `source` into channel-separated [`Line`]s. The state machine
+/// carries across line boundaries, so block comments and multi-line
+/// strings stay out of the code channel on every line they span.
+pub fn split(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<Line> = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    // Closing over `out`/`line` would fight the borrow checker; a tiny
+    // macro-free helper pattern (flush on newline) keeps it linear.
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            out.push(std::mem::take(&mut line));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        line.raw.push(c);
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        if let Some(ch) = chars.get(i).copied() {
+                            // Keep doc-comment sigils out of the text but
+                            // record everything after them.
+                            if ch == '/' || ch == '!' {
+                                i += 1;
+                            }
+                        }
+                        line.raw.push('/');
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        line.raw.push('*');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Str(false);
+                    }
+                    'r' if !prev_is_ident(&line.code)
+                        && raw_str_hashes(&chars, i + 1).is_some() =>
+                    {
+                        let hashes = raw_str_hashes(&chars, i + 1).unwrap_or(0);
+                        line.code.push('"');
+                        for _ in 0..(hashes as usize + 1) {
+                            if let Some(ch) = chars.get(i + 1).copied() {
+                                line.raw.push(ch);
+                                i += 1;
+                            }
+                        }
+                        state = State::RawStr(hashes);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: an escape or a
+                        // one-character body closed by `'` is a literal;
+                        // anything else (`'a`, `'static`) is a lifetime.
+                        if next == Some('\\') {
+                            line.code.push_str("' '");
+                            i = skip_char_escape(&chars, &mut line.raw, i + 1);
+                            continue;
+                        } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                            line.code.push_str("' '");
+                            for _ in 0..2 {
+                                if let Some(ch) = chars.get(i + 1).copied() {
+                                    line.raw.push(ch);
+                                    i += 1;
+                                }
+                            }
+                        } else {
+                            line.code.push('\'');
+                        }
+                    }
+                    _ => line.code.push(c),
+                }
+            }
+            State::LineComment => line.comment.push(c),
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    line.raw.push('/');
+                    i += 2;
+                    state = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    line.raw.push('*');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                    line.comment.push(' ');
+                    continue;
+                }
+                line.comment.push(c);
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    state = State::Str(true);
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && hashes_follow(&chars, i + 1, hashes) {
+                    line.code.push('"');
+                    for _ in 0..hashes as usize {
+                        if let Some(ch) = chars.get(i + 1).copied() {
+                            line.raw.push(ch);
+                            i += 1;
+                        }
+                    }
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !line.raw.is_empty() {
+        out.push(line);
+    }
+    out
+}
+
+/// Whether the last code character continues an identifier (so `r` in
+/// `for` is not a raw-string sigil).
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `chars[at..]` opens a raw string body (`#* "`), its hash count.
+fn raw_str_hashes(chars: &[char], at: usize) -> Option<u32> {
+    let mut hashes = 0u32;
+    let mut j = at;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j).copied() == Some('"')).then_some(hashes)
+}
+
+/// Whether `hashes` `#` characters follow position `at`.
+fn hashes_follow(chars: &[char], at: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(at + k).copied() == Some('#'))
+}
+
+/// Consumes an escaped char literal starting at the backslash, keeping
+/// `raw` faithful; returns the index to continue from.
+fn skip_char_escape(chars: &[char], raw: &mut String, mut i: usize) -> usize {
+    // i sits on the backslash.
+    while i < chars.len() {
+        let c = chars[i];
+        raw.push(c);
+        i += 1;
+        if c == '\\' {
+            if let Some(&esc) = chars.get(i) {
+                raw.push(esc);
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\'' {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        split(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_leave_the_code_channel() {
+        let lines = split("let x = 1; // panic!(\"no\")\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("panic!"));
+    }
+
+    #[test]
+    fn doc_comments_are_comment_text() {
+        let lines = split("/// call .unwrap() at your peril\nfn f() {}\n");
+        assert_eq!(lines[0].code.trim(), "");
+        assert!(lines[0].comment.contains("unwrap()"));
+        assert_eq!(lines[1].code.trim(), "fn f() {}");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let code = code_of("let s = \"panic! unwrap( unsafe\";\n");
+        assert_eq!(code[0].trim(), "let s = \"\";");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let code = code_of("let s = r#\"todo!() \"quoted\" more\"#; let t = 2;\n");
+        assert!(!code[0].contains("todo!"));
+        assert!(code[0].contains("let t = 2;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "/* outer /* inner unsafe */ still comment */ let a = 1;\n/* open\npanic!\n*/ let b = 2;\n";
+        let code = code_of(src);
+        assert_eq!(code[0].trim(), "let a = 1;");
+        assert_eq!(code[1].trim(), "");
+        assert_eq!(code[2].trim(), "");
+        assert_eq!(code[3].trim(), "let b = 2;");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let code = code_of("let c = '{'; let e = '\\n';\nfn f<'a>(x: &'a str) {}\n");
+        // The brace inside the char literal must not look like code.
+        assert!(!code[0].contains('{'));
+        assert!(code[1].contains("fn f<'a>(x: &'a str) {}"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let code = code_of("let s = \"a\\\"b unwrap( c\"; let t = 3;\n");
+        assert!(!code[0].contains("unwrap"));
+        assert!(code[0].contains("let t = 3;"));
+    }
+}

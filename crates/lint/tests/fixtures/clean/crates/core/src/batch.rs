@@ -1,0 +1,21 @@
+//! Clean fixture for the determinism zone: ordered collections only,
+//! no wall-clock reads, floats formatted through a helper.
+
+use std::collections::BTreeMap;
+
+/// Deterministic aggregation over an ordered map.
+pub fn totals(by_class: &BTreeMap<String, u64>) -> u64 {
+    by_class.values().sum()
+}
+
+/// Floats leave through the canonical encoder, never bare `{}`.
+pub fn render(count: u64, mean: f64) -> String {
+    let mean_json = canonical(mean);
+    format!("{{\"count\": {count}, \"mean\": {mean_json}}}")
+}
+
+fn canonical(v: f64) -> String {
+    // rv-lint: allow(determinism) — fixture stand-in for the canonical
+    // json::f64 encoder.
+    format!("{v}")
+}

@@ -1,0 +1,7 @@
+//! Clean fixture: the rv-core-shaped root with the deny/allow split.
+
+#![deny(unsafe_code)]
+
+#[allow(unsafe_code)]
+pub mod parallel;
+pub mod wire;

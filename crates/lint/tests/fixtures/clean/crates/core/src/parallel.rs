@@ -1,0 +1,21 @@
+//! Clean fixture for the unsafe-hygiene rule: every `unsafe` carries a
+//! `SAFETY:` comment (or a rustdoc `# Safety` section on an unsafe fn).
+
+/// Writes `value` into `slot` without any checks.
+///
+/// # Safety
+///
+/// `slot` must be valid for writes and not aliased.
+pub unsafe fn write_raw(slot: *mut u32, value: u32) {
+    // SAFETY: forwarded contract — the caller promises validity above.
+    unsafe { *slot = value };
+}
+
+/// A covered unsafe block inside safe code.
+pub fn read_first(items: &[u32]) -> u32 {
+    if items.is_empty() {
+        return 0;
+    }
+    // SAFETY: bounds checked on the line above; 0 < items.len().
+    unsafe { *items.as_ptr() }
+}

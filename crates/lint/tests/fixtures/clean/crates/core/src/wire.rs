@@ -1,0 +1,36 @@
+//! Clean fixture for the panic and determinism zones: trigger tokens in
+//! strings and comments (must not fire), a correctly-waived site, and a
+//! cfg(test) module that is allowed to panic.
+
+/// The docs may freely discuss `.unwrap()` and `panic!` — comments are
+/// not code. /* Neither are block comments mentioning todo!() */
+pub fn parse(input: &str) -> Result<u32, String> {
+    // Strings containing trigger tokens are not code either:
+    let manual = "call .unwrap() or panic!(now) or Instant::now()";
+    let raw = r#"HashMap::new() and unimplemented!()"#;
+    if input == manual || input == raw {
+        return Err("reserved".to_string());
+    }
+    input.parse::<u32>().map_err(|e| e.to_string())
+}
+
+/// A proven-unreachable panic site carrying a well-formed waiver.
+pub fn checked_first(items: &[u32]) -> u32 {
+    if items.is_empty() {
+        return 0;
+    }
+    // rv-lint: allow(panic) — unreachable: the empty case returned above.
+    *items.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("tests are exempt");
+        }
+    }
+}

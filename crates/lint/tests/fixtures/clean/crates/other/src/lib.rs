@@ -1,0 +1,9 @@
+//! Clean fixture: an ordinary crate root with the blanket forbid.
+
+#![forbid(unsafe_code)]
+
+/// Ordinary safe code; `Instant::now()` is fine outside the
+/// determinism zone.
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    start.elapsed().as_millis()
+}

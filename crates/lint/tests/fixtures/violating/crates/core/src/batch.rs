@@ -1,0 +1,12 @@
+//! Violating fixture for the determinism rule: hash collections and
+//! wall-clock reads in a report-feeding module.
+
+use std::collections::HashMap;
+
+/// Iteration order of the map below is nondeterministic.
+pub fn totals(by_class: &HashMap<String, u64>) -> u64 {
+    let started = std::time::Instant::now();
+    let sum = by_class.values().sum();
+    let _ = started.elapsed();
+    sum
+}

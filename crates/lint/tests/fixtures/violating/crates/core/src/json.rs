@@ -1,0 +1,6 @@
+//! Violating fixture for the float-format determinism lint.
+
+/// A float parameter rendered with bare `{}`.
+pub fn f64(v: f64) -> String {
+    format!("{v}")
+}

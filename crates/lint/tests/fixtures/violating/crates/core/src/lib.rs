@@ -1,0 +1,5 @@
+//! Violating fixture: the core-shaped root missing both the deny and
+//! the module-scoped allow.
+
+pub mod parallel;
+pub mod wire;

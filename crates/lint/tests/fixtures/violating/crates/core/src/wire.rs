@@ -1,0 +1,18 @@
+//! Violating fixture for the panic rule: a bare unwrap, a todo, and a
+//! waiver with no justification (fail-closed).
+
+/// Line 6 below: `.unwrap()` with no waiver.
+pub fn first(items: &[u32]) -> u32 {
+    *items.first().unwrap()
+}
+
+/// `todo!` is just as banned as `panic!`.
+pub fn later() -> u32 {
+    todo!()
+}
+
+/// A waiver with no justification must NOT suppress the finding.
+pub fn bad_waiver(items: &[u32]) -> u32 {
+    // rv-lint: allow(panic)
+    *items.last().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Violating fixture: an ordinary crate root with no
+//! `#![forbid(unsafe_code)]`.
+
+/// Nothing else wrong with this crate.
+pub fn answer() -> u32 {
+    42
+}

@@ -10,6 +10,7 @@
 //! * the exception sets `S1`/`S2` of Section 4, and
 //! * seeded per-class random generators for the experiment harness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod classify;

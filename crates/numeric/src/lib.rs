@@ -37,6 +37,7 @@
 //! Space (geometry) deliberately stays in `f64` — see the precision policy
 //! in `DESIGN.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod int;

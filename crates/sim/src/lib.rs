@@ -8,6 +8,7 @@
 //! extension), stop-on-sight freezing, distance traces for figures, and
 //! time/segment budgets.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

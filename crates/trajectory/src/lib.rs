@@ -8,6 +8,7 @@
 //! absolute-time piecewise-linear [`Segment`] stream with **exact rational
 //! event times**.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod instr;

@@ -21,6 +21,8 @@
 //! assert!(outcome.met());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rv_baselines as baselines;
 pub use rv_core as core;
 pub use rv_geometry as geometry;

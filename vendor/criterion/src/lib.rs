@@ -12,6 +12,8 @@
 //! which is what the ROADMAP's perf PRs need. `cargo bench` runs the
 //! harness; `cargo bench --no-run` just compiles it.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

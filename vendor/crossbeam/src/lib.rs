@@ -8,6 +8,8 @@
 //! `std::thread::scope`) rather than surfacing as `Err`, which is strictly
 //! stricter and keeps `.expect("worker panicked")` call sites honest.
 
+#![forbid(unsafe_code)]
+
 use std::thread;
 
 /// Handle for spawning threads inside a [`scope`] invocation.

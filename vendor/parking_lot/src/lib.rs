@@ -6,6 +6,8 @@
 //! panicked while holding the lock does not poison it — the next locker
 //! simply proceeds, matching `parking_lot` semantics.
 
+#![forbid(unsafe_code)]
+
 use std::sync;
 
 /// A mutex whose `lock` never returns a poison error.

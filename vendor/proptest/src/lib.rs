@@ -18,6 +18,8 @@
 //! deterministic per test name, so failures reproduce exactly), and
 //! rejection sampling is bounded rather than tracked globally.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

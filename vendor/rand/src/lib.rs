@@ -11,6 +11,8 @@
 //! bit-compatible with the real `rand` crate; seeds only promise
 //! determinism within this workspace.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source: everything derives from `next_u64`.
 pub trait RngCore {
     /// Returns the next 64 uniformly random bits.
