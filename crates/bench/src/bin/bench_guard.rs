@@ -1,19 +1,27 @@
 //! `bench-guard` — the CI bench-regression gate.
 //!
-//! Compares a freshly generated `BENCH_campaign.json` against the
-//! committed baseline (`crates/bench/BENCH_baseline.json`) and fails
-//! (exit 1) when any `exec_backends` entry regressed by more than the
-//! threshold (default 25% throughput, i.e. median time > 1.25× the
-//! baseline's).
+//! Compares freshly generated bench artifacts against the committed
+//! baselines and fails (exit 1) when any guarded entry regressed by
+//! more than the threshold (default 25% throughput, i.e. median time
+//! > 1.25× the baseline's). Two guarded groups:
+//!
+//! - **`exec_backends/`** from `BENCH_campaign.json` vs
+//!   `crates/bench/BENCH_baseline.json` (required);
+//! - **`serve/`** from `BENCH_serve.json` (the `rv-serve bench`
+//!   loadtest) vs `crates/bench/BENCH_serve_baseline.json` — compared
+//!   only when that baseline exists, skipped silently otherwise so
+//!   the guard keeps working on trees predating the campaign service.
 //!
 //! Raw nanoseconds are not comparable across machines, so every entry
-//! is normalized by its own file's `exec_backends/local_64x20k` median
-//! before comparing: the guard asks "did this backend get slower
-//! *relative to the in-process engine on the same box*", which is the
-//! overhead the executor layer owns.
+//! is normalized by its own file's reference median before comparing
+//! (`exec_backends/local_64x20k` and `serve/campaign_1client`
+//! respectively): the guard asks "did this entry get slower *relative
+//! to the single-runner case on the same box*", which is the overhead
+//! the layer under test owns.
 //!
 //! ```text
 //! bench-guard [--fresh PATH] [--baseline PATH] [--threshold PCT]
+//!             [--serve-fresh PATH] [--serve-baseline PATH]
 //! ```
 //!
 //! Exit codes: 0 = within threshold, 1 = regression, 2 = missing or
@@ -21,10 +29,28 @@
 
 use rv_core::wire::Value;
 
-/// The group whose entries the guard compares.
-const GROUP: &str = "exec_backends/";
-/// The entry every other one is normalized by.
-const REFERENCE: &str = "exec_backends/local_64x20k";
+/// One guarded comparison: the entries under `prefix`, normalized by
+/// `reference`.
+struct Group {
+    /// Human-readable label for the report.
+    label: &'static str,
+    /// Only ids starting with this prefix are compared.
+    prefix: &'static str,
+    /// The id every other one is normalized by.
+    reference: &'static str,
+}
+
+const EXEC_GROUP: Group = Group {
+    label: "exec_backends",
+    prefix: "exec_backends/",
+    reference: "exec_backends/local_64x20k",
+};
+
+const SERVE_GROUP: Group = Group {
+    label: "serve",
+    prefix: "serve/",
+    reference: "serve/campaign_1client",
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("bench-guard: {msg}");
@@ -67,48 +93,41 @@ fn entries(path: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// The `exec_backends` entries of one artifact, normalized by that
-/// artifact's reference median (so cross-machine clock speed cancels).
-fn normalized(path: &str) -> Vec<(String, f64)> {
+/// The group's entries of one artifact, normalized by that artifact's
+/// reference median (so cross-machine clock speed cancels).
+fn normalized(path: &str, group: &Group) -> Vec<(String, f64)> {
     let all = entries(path);
     let reference = all
         .iter()
-        .find(|(id, _)| id == REFERENCE)
+        .find(|(id, _)| id == group.reference)
         .map(|(_, m)| *m)
         .unwrap_or_else(|| {
             fail(&format!(
-                "{path}: missing the {REFERENCE:?} reference entry"
+                "{path}: missing the {:?} reference entry",
+                group.reference
             ))
         });
     if reference.is_nan() || reference <= 0.0 {
         fail(&format!("{path}: non-positive reference median"));
     }
     all.into_iter()
-        .filter(|(id, _)| id.starts_with(GROUP) && id != REFERENCE)
+        .filter(|(id, _)| id.starts_with(group.prefix) && id != group.reference)
         .map(|(id, median)| (id, median / reference))
         .collect()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let manifest = env!("CARGO_MANIFEST_DIR");
-    let fresh = flag_value(&args, "--fresh")
-        .unwrap_or_else(|| format!("{manifest}/../../target/BENCH_campaign.json"));
-    let baseline = flag_value(&args, "--baseline")
-        .unwrap_or_else(|| format!("{manifest}/BENCH_baseline.json"));
-    let threshold: f64 = flag_value(&args, "--threshold")
-        .map(|raw| {
-            raw.parse()
-                .unwrap_or_else(|_| fail(&format!("bad --threshold {raw:?}")))
-        })
-        .unwrap_or(25.0);
+/// Prints the comparison table for one group and returns how many
+/// entries regressed beyond the threshold.
+fn compare(group: &Group, fresh: &str, baseline: &str, threshold: f64) -> usize {
     let allowed = 1.0 + threshold / 100.0;
-
-    let fresh_rows = normalized(&fresh);
-    let base_rows = normalized(&baseline);
+    let fresh_rows = normalized(fresh, group);
+    let base_rows = normalized(baseline, group);
 
     let mut regressions = 0usize;
-    println!("bench-guard: exec_backends vs baseline (threshold +{threshold}%)");
+    println!(
+        "bench-guard: {} vs baseline (threshold +{threshold}%)",
+        group.label
+    );
     println!(
         "{:<34} {:>10} {:>10} {:>8}",
         "entry", "baseline", "fresh", "ratio"
@@ -134,6 +153,39 @@ fn main() {
         if !base_rows.iter().any(|(b, _)| b == id) {
             // New entries have no baseline yet: report, never fail.
             println!("{id:<34} {:>10} {fresh_norm:>10.3} {:>8}  (new)", "-", "-");
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let fresh = flag_value(&args, "--fresh")
+        .unwrap_or_else(|| format!("{manifest}/../../target/BENCH_campaign.json"));
+    let baseline = flag_value(&args, "--baseline")
+        .unwrap_or_else(|| format!("{manifest}/BENCH_baseline.json"));
+    let serve_fresh = flag_value(&args, "--serve-fresh")
+        .unwrap_or_else(|| format!("{manifest}/../../target/BENCH_serve.json"));
+    let serve_baseline = flag_value(&args, "--serve-baseline")
+        .unwrap_or_else(|| format!("{manifest}/BENCH_serve_baseline.json"));
+    let threshold: f64 = flag_value(&args, "--threshold")
+        .map(|raw| {
+            raw.parse()
+                .unwrap_or_else(|_| fail(&format!("bad --threshold {raw:?}")))
+        })
+        .unwrap_or(25.0);
+
+    let mut regressions = compare(&EXEC_GROUP, &fresh, &baseline, threshold);
+
+    // The serve group is guarded only once its baseline is committed;
+    // a tree without one (or a CI leg that skipped the loadtest) is
+    // not an error.
+    if std::path::Path::new(&serve_baseline).is_file() {
+        if std::path::Path::new(&serve_fresh).is_file() {
+            regressions += compare(&SERVE_GROUP, &serve_fresh, &serve_baseline, threshold);
+        } else {
+            println!("bench-guard: serve baseline present but no fresh {serve_fresh}; skipping the serve group");
         }
     }
 

@@ -58,6 +58,7 @@
 //! against the single-process run.
 
 use crate::batch::{CampaignReport, CampaignStats, RunRecord, StatsAccumulator};
+use crate::json;
 use crate::shard::{
     plan, plan_units, CampaignSpec, ShardError, ShardResult, ShardSpec, UnitTask, UnitTelemetry,
 };
@@ -133,6 +134,12 @@ pub enum ExecError {
         /// What failed to reconcile.
         what: String,
     },
+    /// The caller's [`RecordSink`] reported itself closed
+    /// ([`RecordSink::is_closed`]) mid-campaign: its consumer hung up and
+    /// can never observe another record, so the subprocess backends abort
+    /// the remaining work through the kill switch instead of draining it
+    /// into the void. No retry can help — the observer is gone.
+    SinkClosed,
 }
 
 impl fmt::Display for ExecError {
@@ -147,6 +154,9 @@ impl fmt::Display for ExecError {
                 "shard {shard_id} failed all {attempts} attempt(s); last error: {last}"
             ),
             ExecError::Coverage { what } => write!(f, "gather integrity failure: {what}"),
+            ExecError::SinkClosed => {
+                write!(f, "record sink closed mid-campaign (consumer hung up)")
+            }
         }
     }
 }
@@ -155,7 +165,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Exhausted { last, .. } => Some(last),
-            ExecError::Coverage { .. } => None,
+            ExecError::Coverage { .. } | ExecError::SinkClosed => None,
         }
     }
 }
@@ -428,6 +438,19 @@ impl SubprocessExecutor {
                         if lock(&fatal).is_some() {
                             break;
                         }
+                        // A closed sink means the consumer is gone for
+                        // good: fail the run and kill in-flight workers
+                        // rather than drain the rest of the queue into
+                        // the void.
+                        if sink.as_ref().is_some_and(|s| s.is_closed()) {
+                            let mut f = lock(&fatal);
+                            if f.is_none() {
+                                *f = Some(ExecError::SinkClosed);
+                                drop(f);
+                                kills.abort();
+                            }
+                            break;
+                        }
                         match lock(&queue).pop_front() {
                             Some(t) => t,
                             None => break,
@@ -672,8 +695,9 @@ pub struct PoolExecutor {
     /// serializes concurrent `execute` calls on one pool.
     pool: Mutex<Vec<Option<PoolWorker>>>,
     /// Telemetry gathered during the most recent execution (cleared at
-    /// the start of each).
-    telemetry: Mutex<Vec<UnitTelemetry>>,
+    /// the start of each), tagged with the worker slot index that ran
+    /// the unit.
+    telemetry: Mutex<Vec<(usize, UnitTelemetry)>>,
 }
 
 impl PoolExecutor {
@@ -718,8 +742,19 @@ impl PoolExecutor {
     /// timing is worker-side wall time. A side channel: nothing here
     /// feeds the campaign report.
     pub fn take_telemetry(&self) -> Vec<UnitTelemetry> {
+        self.take_worker_telemetry()
+            .into_iter()
+            .map(|(_, u)| u)
+            .collect()
+    }
+
+    /// [`PoolExecutor::take_telemetry`] keeping the worker slot index
+    /// each unit ran on — the raw material of a per-worker
+    /// [`UtilizationReport`]. Sorted by `(task_id, attempt)` like the
+    /// untagged form.
+    pub fn take_worker_telemetry(&self) -> Vec<(usize, UnitTelemetry)> {
         let mut t = std::mem::take(&mut *lock(&self.telemetry));
-        t.sort_by_key(|u| (u.task_id, u.attempt));
+        t.sort_by_key(|(_, u)| (u.task_id, u.attempt));
         t
     }
 
@@ -766,10 +801,22 @@ impl PoolExecutor {
             let units = &units;
             let sink = &sink;
             let telemetry = &self.telemetry;
-            for slot in pool.iter_mut() {
+            for (widx, slot) in pool.iter_mut().enumerate() {
                 scope.spawn(move || loop {
                     let (k, attempt) = {
                         if lock(fatal).is_some() {
+                            break;
+                        }
+                        // Same contract as the one-shot backend: a
+                        // closed sink aborts the run promptly through
+                        // the kill switch.
+                        if sink.as_ref().is_some_and(|s| s.is_closed()) {
+                            let mut f = lock(fatal);
+                            if f.is_none() {
+                                *f = Some(ExecError::SinkClosed);
+                                drop(f);
+                                kills.abort();
+                            }
                             break;
                         }
                         match lock(queue).pop_front() {
@@ -796,7 +843,7 @@ impl PoolExecutor {
                                 outcome.records = Vec::new();
                             }
                             lock(slots)[k] = Some(outcome);
-                            lock(telemetry).push(unit_telemetry);
+                            lock(telemetry).push((widx, unit_telemetry));
                         }
                         Err(last) => {
                             if attempt >= self.retries {
@@ -857,6 +904,92 @@ impl Executor for PoolExecutor {
 
     fn name(&self) -> &'static str {
         "pool"
+    }
+}
+
+/// How much work one pool worker slot did during an execution — folded
+/// from the worker-tagged unit telemetry
+/// ([`PoolExecutor::take_worker_telemetry`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerUtilization {
+    /// Worker slot index (`0..workers`).
+    pub worker: usize,
+    /// Units this worker completed successfully.
+    pub units: usize,
+    /// Total worker-side wall time across those units, in nanoseconds.
+    pub total_wall_ns: u64,
+    /// Mean per-unit wall time in nanoseconds (`0` with no units).
+    pub mean_wall_ns: f64,
+    /// Slowest single unit in nanoseconds (`0` with no units).
+    pub max_wall_ns: u64,
+}
+
+/// Per-worker utilization breakdown of one pool execution: how evenly
+/// the work stealing spread the campaign across the worker slots. A
+/// side channel like the telemetry it folds — nothing here feeds the
+/// campaign report — and the first observable slice of telemetry-driven
+/// scheduling: a slot with outsized `total_wall_ns` is the straggler a
+/// smarter unit size would split around.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilizationReport {
+    /// One row per worker slot, in slot order (workers that stole no
+    /// units still appear, with zero counts).
+    pub workers: Vec<WorkerUtilization>,
+}
+
+impl UtilizationReport {
+    /// Folds worker-tagged unit telemetry into per-slot summaries.
+    /// `workers` is the pool's slot count; tags outside `0..workers`
+    /// (impossible from a well-behaved pool) are ignored rather than
+    /// panicking.
+    pub fn from_worker_telemetry(
+        workers: usize,
+        telemetry: &[(usize, UnitTelemetry)],
+    ) -> UtilizationReport {
+        let mut rows: Vec<WorkerUtilization> = (0..workers)
+            .map(|worker| WorkerUtilization {
+                worker,
+                units: 0,
+                total_wall_ns: 0,
+                mean_wall_ns: 0.0,
+                max_wall_ns: 0,
+            })
+            .collect();
+        for (widx, unit) in telemetry {
+            let Some(row) = rows.get_mut(*widx) else {
+                continue;
+            };
+            row.units += 1;
+            row.total_wall_ns = row.total_wall_ns.saturating_add(unit.wall_ns);
+            row.max_wall_ns = row.max_wall_ns.max(unit.wall_ns);
+        }
+        for row in &mut rows {
+            if row.units > 0 {
+                row.mean_wall_ns = row.total_wall_ns as f64 / row.units as f64;
+            }
+        }
+        UtilizationReport { workers: rows }
+    }
+
+    /// Renders the report as one JSON line (schema-2 artifact style,
+    /// like [`CampaignStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"worker\": {}, \"units\": {}, \"total_wall_ns\": {}, \
+                     \"mean_wall_ns\": {}, \"max_wall_ns\": {}}}",
+                    w.worker,
+                    w.units,
+                    w.total_wall_ns,
+                    json::f64(w.mean_wall_ns),
+                    w.max_wall_ns,
+                )
+            })
+            .collect();
+        format!("{{\"utilization\": [{}]}}", rows.join(", "))
     }
 }
 
@@ -1515,6 +1648,64 @@ mod tests {
             ref other => panic!("expected Exhausted, got {other}"),
         }
         assert!(exec.take_telemetry().is_empty());
+    }
+
+    #[test]
+    fn utilization_report_folds_worker_tagged_telemetry() {
+        let t = |task_id: u32, wall_ns: u64| UnitTelemetry {
+            task_id,
+            attempt: 0,
+            wall_ns,
+        };
+        let telemetry = vec![
+            (0usize, t(0, 100)),
+            (1, t(1, 50)),
+            (0, t(2, 300)),
+            (7, t(3, 999)), // out-of-range tag: ignored, never panics
+        ];
+        let report = UtilizationReport::from_worker_telemetry(3, &telemetry);
+        assert_eq!(report.workers.len(), 3);
+        assert_eq!(report.workers[0].units, 2);
+        assert_eq!(report.workers[0].total_wall_ns, 400);
+        assert_eq!(report.workers[0].mean_wall_ns, 200.0);
+        assert_eq!(report.workers[0].max_wall_ns, 300);
+        assert_eq!(report.workers[1].units, 1);
+        assert_eq!(report.workers[2].units, 0, "idle slot still reported");
+        assert_eq!(report.workers[2].mean_wall_ns, 0.0);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"utilization\": ["), "{json}");
+        assert!(json.contains("\"worker\": 2, \"units\": 0"), "{json}");
+    }
+
+    #[test]
+    fn closed_sink_aborts_instead_of_draining_the_queue() {
+        use crate::stream::ChannelSink;
+        // Receiver dropped before the run: the sink latches closed at the
+        // first delivered record, and the pool must fail with SinkClosed
+        // instead of draining all remaining units. The worker command is
+        // irrelevant — the closed-sink check fires before the first task
+        // pull — so even a nonexistent binary never gets spawned.
+        let (sink, rx) = ChannelSink::new();
+        sink.record(0, &spec().run_local(0, 1).records[0].clone());
+        drop(rx);
+        sink.record(0, &spec().run_local(0, 1).records[0].clone());
+        assert!(sink.is_closed());
+        let sink: Arc<dyn RecordSink> = Arc::new(sink);
+
+        let pool = PoolExecutor::new(WorkerCommand::new("/nonexistent/rv-shard-worker"))
+            .workers(2)
+            .unit(1);
+        let err = pool
+            .execute(&spec(), 1, 64, Some(Arc::clone(&sink)))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::SinkClosed), "{err}");
+        assert!(err.to_string().contains("sink closed"), "{err}");
+        assert!(std::error::Error::source(&err).is_none());
+
+        let one_shot =
+            SubprocessExecutor::new(WorkerCommand::new("/nonexistent/rv-shard-worker")).shards(4);
+        let err = one_shot.execute(&spec(), 1, 64, Some(sink)).unwrap_err();
+        assert!(matches!(err, ExecError::SinkClosed), "{err}");
     }
 
     #[test]

@@ -69,12 +69,12 @@ pub use aur::{
 pub use batch::{Campaign, CampaignReport, CampaignStats, ClassStats, RunRecord, StatsAccumulator};
 pub use exec::{
     CommandExecutor, ExecError, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor,
-    WorkerCommand,
+    UtilizationReport, WorkerCommand, WorkerUtilization,
 };
 pub use parallel::{par_map, par_map_indexed};
 pub use shard::{
-    CampaignSpec, ShardError, ShardResult, ShardSpec, SolverSpec, UnitDone, UnitTask,
-    UnitTelemetry, UnknownSolver,
+    CampaignRequest, CampaignSpec, ShardError, ShardResult, ShardSpec, SolverSpec, TransportSpec,
+    UnitDone, UnitTask, UnitTelemetry, UnknownSolver, UnknownTransport,
 };
 pub use solver::{Aur, Closure, Dedicated, FixedPair, Solver, Visibility};
 pub use stream::{ChannelSink, JsonLinesSink, RecordSink, VecSink};

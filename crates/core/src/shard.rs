@@ -96,6 +96,92 @@ impl fmt::Display for UnknownSolver {
 
 impl std::error::Error for UnknownSolver {}
 
+/// Which executor backend a campaign-service request asks for. Like
+/// [`SolverSpec`], this is the closed, reconstructible subset that can
+/// cross a process boundary: arbitrary [`crate::exec::Executor`] values
+/// cannot travel over the wire, so a request names one of these and the
+/// server builds the backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportSpec {
+    /// [`crate::exec::LocalExecutor`] — the server's own threads.
+    Local,
+    /// [`crate::exec::PoolExecutor`] — persistent session workers with
+    /// driver-side work stealing.
+    Pool,
+    /// [`crate::exec::SubprocessExecutor`] — one-shot shard workers.
+    Subprocess,
+}
+
+impl TransportSpec {
+    /// Every valid wire name, in declaration order (what
+    /// [`UnknownTransport`] lists back to the user).
+    pub const NAMES: [&'static str; 3] = ["local", "pool", "subprocess"];
+
+    /// Stable wire name (round-trips through
+    /// [`TransportSpec::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportSpec::Local => "local",
+            TransportSpec::Pool => "pool",
+            TransportSpec::Subprocess => "subprocess",
+        }
+    }
+
+    /// Parses a wire name back, case-insensitively. The error names the
+    /// rejected input *and* the valid set, mirroring
+    /// [`SolverSpec::from_name`].
+    pub fn from_name(name: &str) -> Result<TransportSpec, UnknownTransport> {
+        match name.to_ascii_lowercase().as_str() {
+            "local" => Ok(TransportSpec::Local),
+            "pool" => Ok(TransportSpec::Pool),
+            "subprocess" => Ok(TransportSpec::Subprocess),
+            _ => Err(UnknownTransport {
+                given: name.to_string(),
+            }),
+        }
+    }
+}
+
+/// Typed rejection of a transport name: carries what was given and
+/// displays the full valid set ([`TransportSpec::NAMES`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownTransport {
+    /// The rejected input, verbatim.
+    pub given: String,
+}
+
+impl fmt::Display for UnknownTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown transport {:?} (valid: {})",
+            self.given,
+            TransportSpec::NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownTransport {}
+
+/// One campaign-service request: how many indices to run and which
+/// executor backend to run them on. Travels as the `request` wire line
+/// right after a `campaign_spec` line opens (or re-keys) a service
+/// session — see the "Campaign service over TCP" section of `WIRE.md`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignRequest {
+    /// Campaign size: the server executes indices `0..n`.
+    pub n: usize,
+    /// Which executor backend runs the campaign.
+    pub transport: TransportSpec,
+    /// Worker count for the subprocess transports (pool workers or
+    /// scatter shards; `0` = server default). Ignored by `local`.
+    pub workers: usize,
+    /// Steal-unit size in indices for the pool transport (`0` = auto).
+    pub unit: usize,
+    /// Per-shard/per-unit retry budget for the subprocess transports.
+    pub retries: u32,
+}
+
 /// A reconstructible description of a seeded campaign: everything a
 /// worker process needs to rebuild instance `i` and solve it exactly as
 /// the single-process run would.

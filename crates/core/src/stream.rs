@@ -34,6 +34,17 @@ pub trait RecordSink: Send + Sync {
     /// computed the record. Must not panic; keep it cheap — it sits on
     /// the workers' hot path.
     fn record(&self, index: usize, rec: &RunRecord);
+
+    /// Whether the consumer behind this sink is gone for good (hung-up
+    /// channel, dead socket, failed writer). Latching: once `true` it
+    /// must stay `true`. Drivers poll this to abort a campaign whose
+    /// observer will never see another record
+    /// ([`crate::exec::ExecError::SinkClosed`]) instead of draining the
+    /// remaining work into the void. The default — for sinks that cannot
+    /// lose their consumer, like [`VecSink`] — is `false` forever.
+    fn is_closed(&self) -> bool {
+        false
+    }
 }
 
 /// A [`RecordSink`] that forwards `(index, record)` pairs over an
@@ -78,6 +89,12 @@ impl RecordSink for ChannelSink {
         if self.tx.send((index, rec.clone())).is_err() {
             self.disconnected.store(true, Ordering::Relaxed);
         }
+    }
+
+    /// A hung-up receiver is a closed consumer
+    /// ([`ChannelSink::is_disconnected`]).
+    fn is_closed(&self) -> bool {
+        self.is_disconnected()
     }
 }
 
@@ -177,6 +194,12 @@ impl<W: Write + Send> RecordSink for JsonLinesSink<W> {
             self.failed.store(true, Ordering::Relaxed);
         }
     }
+
+    /// A writer that has failed once is a closed consumer
+    /// ([`JsonLinesSink::failed`]).
+    fn is_closed(&self) -> bool {
+        self.failed()
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +233,19 @@ mod tests {
         assert!(sink.is_disconnected());
         sink.record(2, &rec(2));
         assert!(sink.is_disconnected(), "latch must stay set");
+        assert!(sink.is_closed(), "hangup is a closed consumer");
+    }
+
+    #[test]
+    fn is_closed_default_and_overrides() {
+        let vec_sink = VecSink::new();
+        vec_sink.record(0, &rec(0));
+        assert!(!vec_sink.is_closed(), "VecSink can never lose its consumer");
+
+        let broken = JsonLinesSink::new(Broken);
+        assert!(!broken.is_closed());
+        broken.record(0, &rec(0));
+        assert!(broken.is_closed(), "write failure closes the sink");
     }
 
     #[test]

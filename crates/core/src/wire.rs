@@ -16,10 +16,17 @@
 //! | `task`           | a [`UnitTask`] (one pool work unit)              |
 //! | `unit_telemetry` | a [`UnitTelemetry`] (per-unit wall time)         |
 //! | `unit_done`      | a [`UnitDone`] (id, start, accumulator)          |
+//! | `request`        | a [`CampaignRequest`] (campaign-service ask)     |
+//! | `campaign_report`| a [`CampaignStats`] summary (service answer)     |
+//! | `error`          | an [`ErrorLine`] (typed service failure)         |
 //!
-//! The last four kinds form the persistent-worker session protocol of
-//! [`crate::exec::PoolExecutor`] (spec once, then a task/answer stream —
-//! see `WIRE.md` for the session grammar).
+//! The `campaign_spec`/`task`/`unit_telemetry`/`unit_done` kinds form the
+//! persistent-worker session protocol of [`crate::exec::PoolExecutor`]
+//! (spec once, then a task/answer stream — see `WIRE.md` for the session
+//! grammar). The last three kinds belong to the TCP campaign service
+//! (`rv-serve`): a client sends `campaign_spec` + `request`, the server
+//! answers with streamed `record`s and a final `campaign_report`, or an
+//! `error` line.
 //!
 //! Numbers are lossless: `u64`/`usize` are emitted as decimal integers and
 //! re-parsed from the raw lexeme (never through `f64`), finite floats use
@@ -39,10 +46,11 @@
 //! protocol the executors drive (see [`crate::exec`]) — lives in
 //! `WIRE.md` at the repository root.
 
-use crate::batch::{ClassStats, RunRecord, StatsAccumulator, CLASS_ORDER};
+use crate::batch::{CampaignStats, ClassStats, RunRecord, StatsAccumulator, CLASS_ORDER};
 use crate::json;
 use crate::shard::{
-    CampaignSpec, ShardResult, ShardSpec, SolverSpec, UnitDone, UnitTask, UnitTelemetry,
+    CampaignRequest, CampaignSpec, ShardResult, ShardSpec, SolverSpec, TransportSpec, UnitDone,
+    UnitTask, UnitTelemetry,
 };
 use rv_model::{Classification, TargetClass};
 use std::fmt;
@@ -737,15 +745,18 @@ pub fn encode_class_stats(cs: &ClassStats) -> String {
     )
 }
 
+fn class_stats_of(v: &Value) -> Result<ClassStats, WireError> {
+    Ok(ClassStats {
+        class: get_classification(v, "class")?,
+        n: get_usize(v, "n")?,
+        met: get_usize(v, "met")?,
+        median_time: get_opt_f64(v, "median_time")?,
+    })
+}
+
 /// Decodes a `kind: "class_stats"` line.
 pub fn decode_class_stats(line: &str) -> Result<ClassStats, WireError> {
-    let v = header(line, "class_stats")?;
-    Ok(ClassStats {
-        class: get_classification(&v, "class")?,
-        n: get_usize(&v, "n")?,
-        met: get_usize(&v, "met")?,
-        median_time: get_opt_f64(&v, "median_time")?,
-    })
+    class_stats_of(&header(line, "class_stats")?)
 }
 
 // ---------------------------------------------------------------------------
@@ -1079,6 +1090,255 @@ pub fn decode_unit_done(line: &str) -> Result<UnitDone, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Campaign service: CampaignRequest / CampaignStats / ErrorLine
+// ---------------------------------------------------------------------------
+
+/// Encodes a campaign-service request as a `kind: "request"` line — what
+/// a client sends right after the `campaign_spec` line that opens (or
+/// re-keys) a service session.
+pub fn encode_request(req: &CampaignRequest) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"request\", \"n\": {}, \
+         \"transport\": {}, \"workers\": {}, \"unit\": {}, \"retries\": {}}}",
+        req.n,
+        json::string(req.transport.name()),
+        req.workers,
+        req.unit,
+        req.retries,
+    )
+}
+
+/// Decodes a `kind: "request"` line.
+pub fn decode_request(line: &str) -> Result<CampaignRequest, WireError> {
+    let v = header(line, "request")?;
+    let transport =
+        TransportSpec::from_name(get_str(&v, "transport")?).map_err(|e| WireError::Field {
+            field: "transport",
+            what: e.to_string(),
+        })?;
+    Ok(CampaignRequest {
+        n: get_usize(&v, "n")?,
+        transport,
+        workers: get_usize(&v, "workers")?,
+        unit: get_usize(&v, "unit")?,
+        retries: get_u32(&v, "retries")?,
+    })
+}
+
+fn stats_body(stats: &CampaignStats) -> String {
+    let per_class: Vec<String> = stats
+        .per_class
+        .iter()
+        .map(|cs| {
+            format!(
+                "{{\"class\": {}, \"n\": {}, \"met\": {}, \"median_time\": {}}}",
+                json::string(&cs.class.to_string()),
+                cs.n,
+                cs.met,
+                opt_float(cs.median_time),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"n\": {}, \"met\": {}, \"infeasible\": {}, \"median_time\": {}, \
+         \"p90_time\": {}, \"max_time\": {}, \"median_segments\": {}, \
+         \"p90_segments\": {}, \"max_segments\": {}, \"min_dist_over_r\": {}, \
+         \"per_class\": [{}]}}",
+        stats.n,
+        stats.met,
+        stats.infeasible,
+        opt_float(stats.median_time),
+        opt_float(stats.p90_time),
+        opt_float(stats.max_time),
+        stats.median_segments,
+        stats.p90_segments,
+        stats.max_segments,
+        float(stats.min_dist_over_r),
+        per_class.join(", "),
+    )
+}
+
+fn stats_of(v: &Value) -> Result<CampaignStats, WireError> {
+    let per_class = get_arr(v, "per_class")?
+        .iter()
+        .map(class_stats_of)
+        .collect::<Result<Vec<ClassStats>, WireError>>()?;
+    let stats = CampaignStats {
+        n: get_usize(v, "n")?,
+        met: get_usize(v, "met")?,
+        infeasible: get_usize(v, "infeasible")?,
+        median_time: get_opt_f64(v, "median_time")?,
+        p90_time: get_opt_f64(v, "p90_time")?,
+        max_time: get_opt_f64(v, "max_time")?,
+        median_segments: get_u64(v, "median_segments")?,
+        p90_segments: get_u64(v, "p90_segments")?,
+        max_segments: get_u64(v, "max_segments")?,
+        min_dist_over_r: get_f64(v, "min_dist_over_r")?,
+        per_class,
+    };
+    // Same spirit as the accumulator cross-check: a corrupted-but-
+    // well-formed report must not silently misreport its own counts.
+    let inconsistent = stats.met > stats.n
+        || stats.infeasible > stats.n
+        || stats.per_class.iter().map(|cs| cs.n).sum::<usize>() > stats.n
+        || stats.per_class.iter().any(|cs| cs.met > cs.n);
+    if inconsistent {
+        return Err(WireError::Field {
+            field: "stats",
+            what: "internally inconsistent report (counts do not reconcile)".into(),
+        });
+    }
+    Ok(stats)
+}
+
+/// Encodes a finished campaign's summary statistics as a
+/// `kind: "campaign_report"` line — the last line a campaign server
+/// writes for a successful request. The float sentinels keep the payload
+/// lossless (e.g. `min_dist_over_r` is `inf` for an empty campaign), so
+/// the decoded [`CampaignStats`] renders the byte-identical
+/// [`CampaignStats::to_json`] artifact client-side.
+pub fn encode_campaign_report(stats: &CampaignStats) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"campaign_report\", \"stats\": {}}}",
+        stats_body(stats),
+    )
+}
+
+/// Decodes a `kind: "campaign_report"` line.
+pub fn decode_campaign_report(line: &str) -> Result<CampaignStats, WireError> {
+    stats_of(field(&header(line, "campaign_report")?, "stats")?)
+}
+
+/// Machine-readable category of a campaign-service failure. The code is
+/// what clients and tests dispatch on; the accompanying message is for
+/// humans only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The server is at its concurrent-campaign limit; retry later.
+    Busy,
+    /// A line failed schema-3 decoding ([`WireError`] detail in the
+    /// message).
+    Wire,
+    /// The line sequence violated the session grammar (e.g. missing
+    /// `request` line, binary junk, truncated final line).
+    Protocol,
+    /// A partial line stalled past the server's read timeout
+    /// (slow-loris defense).
+    Timeout,
+    /// A line exceeded the server's size cap before its newline arrived.
+    Oversized,
+    /// Campaign execution failed ([`crate::exec::ExecError`] detail in
+    /// the message).
+    Exec,
+    /// The server is draining for shutdown and admits no new campaigns.
+    Shutdown,
+    /// The request named a transport this server cannot provide (e.g.
+    /// `pool` with no worker binary configured).
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// Every valid wire name, in declaration order.
+    pub const NAMES: [&'static str; 8] = [
+        "busy",
+        "wire",
+        "protocol",
+        "timeout",
+        "oversized",
+        "exec",
+        "shutdown",
+        "unsupported",
+    ];
+
+    /// Stable wire name (round-trips through [`ErrorCode::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Wire => "wire",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Exec => "exec",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Unsupported => "unsupported",
+        }
+    }
+
+    /// Parses a wire name back (exact match; codes are lowercase).
+    pub fn from_name(name: &str) -> Option<ErrorCode> {
+        match name {
+            "busy" => Some(ErrorCode::Busy),
+            "wire" => Some(ErrorCode::Wire),
+            "protocol" => Some(ErrorCode::Protocol),
+            "timeout" => Some(ErrorCode::Timeout),
+            "oversized" => Some(ErrorCode::Oversized),
+            "exec" => Some(ErrorCode::Exec),
+            "shutdown" => Some(ErrorCode::Shutdown),
+            "unsupported" => Some(ErrorCode::Unsupported),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed campaign-service failure: the terminal line of a session that
+/// cannot (or may not) continue. Always followed by the server closing
+/// the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorLine {
+    /// What went wrong, as a closed machine-readable set.
+    pub code: ErrorCode,
+    /// Human-readable detail (never needed for dispatch).
+    pub message: String,
+}
+
+impl ErrorLine {
+    /// Builds an error line from a code and anything displayable.
+    pub fn new(code: ErrorCode, message: impl fmt::Display) -> ErrorLine {
+        ErrorLine {
+            code,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ErrorLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)
+    }
+}
+
+impl std::error::Error for ErrorLine {}
+
+/// Encodes a typed service failure as a `kind: "error"` line.
+pub fn encode_error(err: &ErrorLine) -> String {
+    format!(
+        "{{\"schema\": {SCHEMA}, \"kind\": \"error\", \"code\": {}, \"message\": {}}}",
+        json::string(err.code.name()),
+        json::string(&err.message),
+    )
+}
+
+/// Decodes a `kind: "error"` line.
+pub fn decode_error(line: &str) -> Result<ErrorLine, WireError> {
+    let v = header(line, "error")?;
+    let code_name = get_str(&v, "code")?;
+    let code = ErrorCode::from_name(code_name).ok_or_else(|| WireError::Field {
+        field: "code",
+        what: format!("unknown error code {code_name:?}"),
+    })?;
+    Ok(ErrorLine {
+        code,
+        message: get_str(&v, "message")?.to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Stream dispatch
 // ---------------------------------------------------------------------------
 
@@ -1115,6 +1375,12 @@ pub enum Line {
     UnitTelemetry(UnitTelemetry),
     /// A unit's gathered output.
     UnitDone(UnitDone),
+    /// A campaign-service request (follows a session's `campaign_spec`).
+    Request(CampaignRequest),
+    /// A finished campaign's summary statistics.
+    CampaignReport(CampaignStats),
+    /// A typed campaign-service failure.
+    Error(ErrorLine),
 }
 
 /// Decodes any schema-3 line by its `"kind"` header.
@@ -1132,6 +1398,9 @@ pub fn decode_line(line: &str) -> Result<Line, WireError> {
         "task" => decode_task(line).map(Line::Task),
         "unit_telemetry" => decode_unit_telemetry(line).map(Line::UnitTelemetry),
         "unit_done" => decode_unit_done(line).map(Line::UnitDone),
+        "request" => decode_request(line).map(Line::Request),
+        "campaign_report" => decode_campaign_report(line).map(Line::CampaignReport),
+        "error" => decode_error(line).map(Line::Error),
         other => Err(WireError::Kind {
             found: other.to_string(),
         }),
@@ -1218,6 +1487,103 @@ mod tests {
         assert_eq!(opt_float(None), "null");
         let v = Value::parse("\"-inf\"").unwrap();
         assert_eq!(float_of(&v, "x"), Ok(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = CampaignRequest {
+            n: 4096,
+            transport: TransportSpec::Pool,
+            workers: 6,
+            unit: 128,
+            retries: 2,
+        };
+        let line = encode_request(&req);
+        assert_eq!(decode_request(&line), Ok(req.clone()));
+        assert_eq!(decode_line(&line), Ok(Line::Request(req)));
+        let bad = line.replace("\"pool\"", "\"carrier-pigeon\"");
+        assert!(matches!(
+            decode_request(&bad),
+            Err(WireError::Field {
+                field: "transport",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn transport_names_round_trip() {
+        for name in TransportSpec::NAMES {
+            let t = TransportSpec::from_name(name).unwrap();
+            assert_eq!(t.name(), name);
+        }
+        assert_eq!(
+            TransportSpec::from_name("Pool"),
+            Ok(TransportSpec::Pool),
+            "names are case-insensitive like SolverSpec"
+        );
+        assert!(TransportSpec::from_name("tokio").is_err());
+    }
+
+    #[test]
+    fn campaign_report_round_trips_including_non_finite_stats() {
+        use rv_model::TargetClass;
+        // A real empty campaign has min_dist_over_r == inf — exactly the
+        // value the schema-2 artifact form cannot carry.
+        let empty = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 1_000)
+            .run_local(7, 0)
+            .stats;
+        assert!(empty.min_dist_over_r.is_infinite());
+        for stats in [
+            empty,
+            CampaignSpec::new(
+                SolverSpec::Aur,
+                vec![TargetClass::Type3, TargetClass::S1],
+                2_000,
+            )
+            .run_local(11, 16)
+            .stats,
+        ] {
+            let line = encode_campaign_report(&stats);
+            let back = decode_campaign_report(&line).expect("own encoding must decode");
+            assert_eq!(format!("{back:?}"), format!("{stats:?}"));
+            assert_eq!(encode_campaign_report(&back), line, "fixed point");
+            assert_eq!(back.to_json(), stats.to_json(), "artifact byte-identity");
+        }
+    }
+
+    #[test]
+    fn campaign_report_rejects_inconsistent_counts() {
+        let stats = CampaignSpec::new(SolverSpec::Aur, vec![rv_model::TargetClass::Type3], 1_000)
+            .run_local(3, 8)
+            .stats;
+        let line = encode_campaign_report(&stats);
+        let bad = line.replacen("\"met\": ", "\"met\": 9", 1);
+        assert!(matches!(
+            decode_campaign_report(&bad),
+            Err(WireError::Field { .. })
+        ));
+    }
+
+    #[test]
+    fn error_lines_round_trip() {
+        for code in [
+            ErrorCode::Busy,
+            ErrorCode::Wire,
+            ErrorCode::Protocol,
+            ErrorCode::Timeout,
+            ErrorCode::Oversized,
+            ErrorCode::Exec,
+            ErrorCode::Shutdown,
+            ErrorCode::Unsupported,
+        ] {
+            assert_eq!(ErrorCode::from_name(code.name()), Some(code));
+            let err = ErrorLine::new(code, "quote \" and newline \n survive");
+            let line = encode_error(&err);
+            assert_eq!(decode_error(&line), Ok(err.clone()));
+            assert_eq!(decode_line(&line), Ok(Line::Error(err)));
+        }
+        assert_eq!(ErrorCode::from_name("panic"), None);
     }
 
     #[test]

@@ -22,18 +22,24 @@
 //!                   [--classes type3,s1,...] [--segments M]
 //!                   [--transport local|subprocess|command|pool] [--local]
 //!                   [--retries R] [--max-inflight M] [--unit U]
-//!                   [--wrap "ssh host --"]
+//!                   [--wrap "ssh host --"] [--utilization]
 //!     Run the seeded campaign through the chosen executor backend and
 //!     print the gathered CampaignStats JSON — byte-identical on every
 //!     backend. --local is shorthand for --transport local; --wrap
 //!     (which implies --transport command) prefixes every worker
 //!     invocation with the given command, e.g. an ssh hop. With
 //!     --transport pool, --shards sets the persistent worker count and
-//!     --unit the steal-unit size in indices (0 = auto).
+//!     --unit the steal-unit size in indices (0 = auto), and
+//!     --utilization prints a second JSON line after the stats — the
+//!     per-worker utilization fold of the pool's unit telemetry
+//!     (UtilizationReport; idle workers report zero units). The stats
+//!     line itself is unaffected. --utilization with any other
+//!     transport is a usage error (only the pool has worker slots).
 //! ```
 
 use rv_core::exec::{
-    CommandExecutor, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor, ATTEMPT_ENV,
+    CommandExecutor, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor, UtilizationReport,
+    ATTEMPT_ENV,
 };
 use rv_core::shard::{CampaignSpec, ShardResult, ShardSpec, SolverSpec, UnitDone, UnitTelemetry};
 use rv_core::wire::Line;
@@ -54,7 +60,8 @@ fn main() {
                  rv-shard campaign --n N [--shards K] [--seed S] [--solver aur|dedicated] \
                  [--classes a,b,...] [--segments M] \
                  [--transport local|subprocess|command|pool] \
-                 [--local] [--retries R] [--max-inflight M] [--unit U] [--wrap CMD]"
+                 [--local] [--retries R] [--max-inflight M] [--unit U] [--wrap CMD] \
+                 [--utilization]"
             );
             std::process::exit(2);
         }
@@ -307,6 +314,13 @@ fn campaign(args: &[String]) {
         eprintln!("rv-shard campaign: --wrap conflicts with --transport {transport} (or --local)");
         std::process::exit(2);
     }
+    let utilization = args.iter().any(|a| a == "--utilization");
+    if utilization && transport != "pool" {
+        // Only the pool has persistent worker slots to report on;
+        // silently ignoring the flag would look like "all workers idle".
+        eprintln!("rv-shard campaign: --utilization requires --transport pool");
+        std::process::exit(2);
+    }
     // Split the host's cores over the workers that actually run at once:
     // the in-flight cap when one is set, else one worker per planned
     // shard (plan clamps the shard count to n, so clamp here too).
@@ -337,13 +351,35 @@ fn campaign(args: &[String]) {
         }
         // Pool transport: --shards is the persistent worker count and
         // --unit the steal-unit size; max_inflight has no meaning (the
-        // pool is its own concurrency bound, one unit per worker).
-        "pool" => Box::new(
-            PoolExecutor::new(worker_command(&own_binary(), concurrency))
+        // pool is its own concurrency bound, one unit per worker). Kept
+        // concrete (not boxed) so --utilization can read the
+        // worker-tagged telemetry back off the executor afterwards.
+        "pool" => {
+            let pool = PoolExecutor::new(worker_command(&own_binary(), concurrency))
                 .workers(shards)
                 .unit(unit)
-                .retries(retries),
-        ),
+                .retries(retries);
+            match pool.execute_stats(&spec, seed, n, None) {
+                Ok(stats) => {
+                    println!("{}", stats.to_json());
+                    if utilization {
+                        // One row per pool slot, idle workers included —
+                        // the slot count mirrors PoolExecutor::workers'
+                        // clamp to at least one.
+                        let report = UtilizationReport::from_worker_telemetry(
+                            shards.max(1),
+                            &pool.take_worker_telemetry(),
+                        );
+                        println!("{}", report.to_json());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("rv-shard campaign [{}]: {e}", pool.name());
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         other => {
             eprintln!(
                 "rv-shard campaign: unknown transport {other:?} \

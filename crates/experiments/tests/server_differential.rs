@@ -1,0 +1,261 @@
+//! The campaign-service differential: a campaign served over a real TCP
+//! socket must be **byte-identical** to the in-process reference — the
+//! streamed `record` wire lines match `wire::encode_record` of
+//! `CampaignSpec::run_local`'s records line for line, and the decoded
+//! `campaign_report`'s `CampaignStats::to_json` matches the local
+//! artifact byte for byte — on the local, pool, and subprocess
+//! transports, for concurrent clients, and across serial re-keyed
+//! campaigns on one connection. The overload and hangup paths are
+//! pinned too: a full server answers a typed `busy` error, and a client
+//! that hangs up mid-stream frees its campaign slot promptly (the
+//! sink-closed abort) instead of draining the rest of the campaign into
+//! the void.
+
+use rv_core::shard::{CampaignRequest, CampaignSpec, SolverSpec, TransportSpec};
+use rv_core::wire::{self, ErrorCode};
+use rv_model::TargetClass;
+use rv_serve::{CampaignRun, Client, ClientError, ServeConfig, Server, ShutdownHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The worker binary for process-backed transports, built by cargo for
+/// this test run.
+const WORKER: &str = env!("CARGO_BIN_EXE_rv-shard");
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new(
+        SolverSpec::Dedicated,
+        vec![
+            TargetClass::Type1,
+            TargetClass::Type3,
+            TargetClass::S1,
+            TargetClass::InfeasibleShift,
+        ],
+        10_000,
+    )
+}
+
+fn request(n: usize, transport: TransportSpec, workers: usize) -> CampaignRequest {
+    CampaignRequest {
+        n,
+        transport,
+        workers,
+        unit: 0,
+        retries: 0,
+    }
+}
+
+fn start(config: ServeConfig) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle, join)
+}
+
+fn with_worker() -> ServeConfig {
+    ServeConfig {
+        worker: Some(WORKER.into()),
+        ..ServeConfig::default()
+    }
+}
+
+/// The byte-identity check: streamed record lines == locally encoded
+/// record lines (after index reordering), and the decoded report's
+/// to_json == the local stats artifact.
+fn assert_served_matches_local(
+    run: &CampaignRun,
+    spec: &CampaignSpec,
+    seed: u64,
+    n: usize,
+    ctx: &str,
+) {
+    let local = spec.run_local(seed, n);
+
+    let mut streamed: Vec<(usize, &String)> = run
+        .records
+        .iter()
+        .map(|(i, _)| *i)
+        .zip(run.record_lines.iter())
+        .collect();
+    streamed.sort_by_key(|(i, _)| *i);
+    assert_eq!(streamed.len(), n, "{ctx}: record count");
+    for (expect, (index, line)) in streamed.iter().enumerate() {
+        assert_eq!(*index, expect, "{ctx}: exactly-once index coverage");
+        assert_eq!(
+            **line,
+            wire::encode_record(*index, &local.records[*index]),
+            "{ctx}: record line {index} must be byte-identical"
+        );
+    }
+    assert_eq!(
+        run.stats.to_json(),
+        local.stats.to_json(),
+        "{ctx}: stats artifact must be byte-identical"
+    );
+    assert_eq!(run.stats, local.stats, "{ctx}: decoded stats struct");
+}
+
+#[test]
+fn served_local_campaign_is_byte_identical() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let run = client
+        .run_campaign(&spec(), 42, &request(64, TransportSpec::Local, 0))
+        .expect("served campaign");
+    assert_served_matches_local(&run, &spec(), 42, 64, "local transport");
+    assert!(run.telemetry.is_empty(), "local transport has no units");
+    drop(client);
+    handle.shutdown();
+    join.join().expect("join");
+}
+
+#[test]
+fn served_pool_campaign_is_byte_identical_with_telemetry() {
+    let (addr, handle, join) = start(with_worker());
+    let mut client = Client::connect(addr).expect("connect");
+    let mut req = request(48, TransportSpec::Pool, 2);
+    req.unit = 8;
+    let run = client
+        .run_campaign(&spec(), 7, &req)
+        .expect("served pool campaign");
+    assert_served_matches_local(&run, &spec(), 7, 48, "pool transport");
+    assert_eq!(
+        run.telemetry.len(),
+        48 / 8,
+        "one telemetry row per pool unit"
+    );
+    drop(client);
+    handle.shutdown();
+    join.join().expect("join");
+}
+
+#[test]
+fn served_subprocess_campaign_is_byte_identical() {
+    let (addr, handle, join) = start(with_worker());
+    let mut client = Client::connect(addr).expect("connect");
+    let run = client
+        .run_campaign(&spec(), 9, &request(32, TransportSpec::Subprocess, 2))
+        .expect("served subprocess campaign");
+    assert_served_matches_local(&run, &spec(), 9, 32, "subprocess transport");
+    drop(client);
+    handle.shutdown();
+    join.join().expect("join");
+}
+
+#[test]
+fn concurrent_clients_each_get_byte_identical_streams() {
+    let (addr, handle, join) = start(ServeConfig {
+        local_threads: 1,
+        ..ServeConfig::default()
+    });
+    let mut clients = Vec::new();
+    for c in 0..8u64 {
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let n = 16 + (c as usize % 3) * 8;
+            let run = client
+                .run_campaign(&spec(), 100 + c, &request(n, TransportSpec::Local, 0))
+                .expect("served campaign");
+            assert_served_matches_local(&run, &spec(), 100 + c, n, &format!("client {c}"));
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    handle.shutdown();
+    join.join().expect("join");
+}
+
+#[test]
+fn serial_campaigns_rekey_the_session_byte_identically() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Distinct specs AND seeds per campaign: the second answer must
+    // reflect the re-keyed spec, not a stale session.
+    let second_spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 20_000);
+    let run1 = client
+        .run_campaign(&spec(), 1, &request(24, TransportSpec::Local, 0))
+        .expect("first campaign");
+    assert_served_matches_local(&run1, &spec(), 1, 24, "first campaign");
+    let run2 = client
+        .run_campaign(&second_spec, 2, &request(16, TransportSpec::Local, 0))
+        .expect("re-keyed campaign");
+    assert_served_matches_local(&run2, &second_spec, 2, 16, "re-keyed campaign");
+
+    drop(client);
+    handle.shutdown();
+    join.join().expect("join");
+}
+
+#[test]
+fn full_server_answers_typed_busy() {
+    let (addr, handle, join) = start(ServeConfig {
+        max_campaigns: 0,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    match client.run_campaign(&spec(), 1, &request(8, TransportSpec::Local, 0)) {
+        Err(ClientError::Server(err)) => {
+            assert_eq!(err.code, ErrorCode::Busy);
+            assert!(err.message.contains("limit"), "message: {}", err.message);
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    handle.shutdown();
+    join.join().expect("join");
+}
+
+#[test]
+fn hangup_mid_campaign_frees_the_slot_promptly_and_server_stays_healthy() {
+    // One campaign slot total: the follow-up campaign can only be
+    // admitted if the hung-up campaign's slot was released by the
+    // sink-closed abort — not after draining all 512 pool units.
+    let (addr, handle, join) = start(ServeConfig {
+        max_campaigns: 1,
+        ..with_worker()
+    });
+
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        let opener = wire::encode_campaign_spec(&spec(), 5);
+        let mut req = request(512, TransportSpec::Pool, 2);
+        req.unit = 1; // 512 single-index units: a full drain is long.
+        let request_line = wire::encode_request(&req);
+        raw.write_all(format!("{opener}\n{request_line}\n").as_bytes())
+            .expect("send");
+        // Read a few streamed records to prove the campaign is live,
+        // then hang up without warning.
+        let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+        for _ in 0..3 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0);
+            wire::decode_record(line.trim()).expect("a record line");
+        }
+    } // <- both halves dropped: the client is gone mid-stream.
+
+    let started = Instant::now();
+    let deadline = Duration::from_secs(60);
+    let mut served = None;
+    while started.elapsed() < deadline {
+        let mut client = Client::connect(addr).expect("connect");
+        match client.run_campaign(&spec(), 6, &request(8, TransportSpec::Local, 0)) {
+            Ok(run) => {
+                served = Some(run);
+                break;
+            }
+            // Slot still held: the abort hasn't landed yet. Retry.
+            Err(ClientError::Server(err)) if err.code == ErrorCode::Busy => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => panic!("server unhealthy after hangup: {other:?}"),
+        }
+    }
+    let run = served.expect("slot was never freed within an abort-sized deadline");
+    assert_served_matches_local(&run, &spec(), 6, 8, "post-hangup campaign");
+
+    handle.shutdown();
+    join.join().expect("join");
+}

@@ -11,11 +11,12 @@
 //!   wire parser, shard planner, JSON encoder, and worker protocol
 //!   loops). Proven-unreachable cases carry an inline waiver:
 //!   `// rv-lint: allow(panic) — <justification>`.
-//! - **`unsafe`** — `unsafe` only in allowlisted files (today just
-//!   `core/parallel.rs`), every site immediately preceded by a
-//!   `// SAFETY:` comment, and every other crate root carrying
-//!   `#![forbid(unsafe_code)]` (`rv-core` gets `#![deny(unsafe_code)]`
-//!   plus a module-scoped `#[allow]` on `parallel`).
+//! - **`unsafe`** — `unsafe` only in allowlisted files (today
+//!   `core/parallel.rs` and `serve/signal.rs`), every site immediately
+//!   preceded by a `// SAFETY:` comment, and every other crate root
+//!   carrying `#![forbid(unsafe_code)]` (crates with an audited unsafe
+//!   module — `rv-core`'s `parallel`, `rv-serve`'s `signal` — get
+//!   `#![deny(unsafe_code)]` plus a module-scoped `#[allow]` instead).
 //! - **`determinism`** — no `HashMap`/`HashSet`, no `Instant::now` /
 //!   `SystemTime::now`, and no direct `{}`-formatting of
 //!   float-typed values in the report-feeding modules; canonical float
@@ -89,12 +90,11 @@ pub struct Config {
     pub unsafe_allow: Vec<String>,
     /// Files where nondeterministic constructs are banned.
     pub determinism_zone: Vec<String>,
-    /// The crate root that scopes `unsafe` down with deny + module allow
-    /// instead of a blanket forbid.
-    pub deny_unsafe_root: String,
-    /// The module inside [`Config::deny_unsafe_root`] that carries the
+    /// Crate roots that scope `unsafe` down with deny + module allow
+    /// instead of a blanket forbid: `(crate root path, module name)`
+    /// pairs, the module being the one carrying the
     /// `#[allow(unsafe_code)]`.
-    pub unsafe_module: String,
+    pub deny_unsafe_roots: Vec<(String, String)>,
 }
 
 impl Default for Config {
@@ -106,16 +106,27 @@ impl Default for Config {
                 "crates/core/src/json.rs".into(),
                 "crates/core/src/exec.rs".into(),
                 "crates/experiments/src/bin/rv_shard.rs".into(),
+                // The whole campaign server: hostile input must come
+                // back as typed error lines, never as a worker panic.
+                "crates/serve/src/lib.rs".into(),
+                "crates/serve/src/signal.rs".into(),
+                "crates/serve/src/bench.rs".into(),
+                "crates/serve/src/bin/rv_serve.rs".into(),
             ],
-            unsafe_allow: vec!["crates/core/src/parallel.rs".into()],
+            unsafe_allow: vec![
+                "crates/core/src/parallel.rs".into(),
+                "crates/serve/src/signal.rs".into(),
+            ],
             determinism_zone: vec![
                 "crates/core/src/batch.rs".into(),
                 "crates/core/src/solver.rs".into(),
                 "crates/core/src/wire.rs".into(),
                 "crates/core/src/json.rs".into(),
             ],
-            deny_unsafe_root: "crates/core/src/lib.rs".into(),
-            unsafe_module: "parallel".into(),
+            deny_unsafe_roots: vec![
+                ("crates/core/src/lib.rs".into(), "parallel".into()),
+                ("crates/serve/src/lib.rs".into(), "signal".into()),
+            ],
         }
     }
 }
@@ -585,7 +596,12 @@ fn check_crate_root(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     let lines = scanner::split(source);
     let code_has = |needle: &str| lines.iter().any(|l| l.code.contains(needle));
     let mut findings = Vec::new();
-    if rel == cfg.deny_unsafe_root {
+    let deny_pair = cfg
+        .deny_unsafe_roots
+        .iter()
+        .find(|(root, _)| root == rel)
+        .map(|(_, module)| module.as_str());
+    if let Some(unsafe_module) = deny_pair {
         if !code_has("#![deny(unsafe_code)]") {
             findings.push(Finding {
                 file: rel.to_string(),
@@ -597,7 +613,7 @@ fn check_crate_root(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             });
         }
         // The allow must sit in the attribute run right above `mod <unsafe_module>;`.
-        let mod_decl = format!("mod {};", cfg.unsafe_module);
+        let mod_decl = format!("mod {unsafe_module};");
         for (i, l) in lines.iter().enumerate() {
             if !l.code.contains(&mod_decl) {
                 continue;
@@ -619,9 +635,8 @@ fn check_crate_root(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
                     line: i + 1,
                     rule: rules::FORBID,
                     message: format!(
-                        "`mod {}` must carry `#[allow(unsafe_code)]` so the deny \
-                         at the crate root scopes the unsafe core precisely",
-                        cfg.unsafe_module
+                        "`mod {unsafe_module}` must carry `#[allow(unsafe_code)]` so the \
+                         deny at the crate root scopes the unsafe core precisely"
                     ),
                 });
             }
@@ -855,6 +870,22 @@ mod tests {
         assert_eq!(f.len(), 2);
         let good = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\npub mod parallel;\n";
         assert!(check_crate_root("crates/core/src/lib.rs", good, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn serve_root_needs_deny_plus_signal_module_allow() {
+        // The second deny/allow pair: rv-serve's crate root with its
+        // `signal` module. A `parallel`-style allow is not accepted —
+        // the module name is part of the pair.
+        let bad = "#![deny(unsafe_code)]\npub mod signal;\n";
+        let f = check_crate_root("crates/serve/src/lib.rs", bad, &cfg());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mod signal"));
+        let good = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\npub mod signal;\n";
+        assert!(check_crate_root("crates/serve/src/lib.rs", good, &cfg()).is_empty());
+        // A blanket-forbid crate is still fine and unaffected.
+        let forbid = "#![forbid(unsafe_code)]\npub mod bench;\n";
+        assert!(check_crate_root("crates/bench/src/lib.rs", forbid, &cfg()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Minimal SIGTERM/SIGINT latch for graceful drain, with no libc crate
+//! (the offline vendor set has none): the C `signal` entry point is
+//! declared directly and the handler does nothing but flip a static
+//! atomic — the only thing a signal handler may safely do.
+//!
+//! [`install`] is idempotent and best-effort; on non-Unix targets it is
+//! a no-op and shutdown is driven purely by
+//! [`crate::ShutdownHandle::shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched `true` by the first SIGTERM/SIGINT after [`install`].
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed. Latching: once
+/// `true`, stays `true` for the life of the process.
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// C89 `signal(2)`: installs `handler` for `signum`, returning
+        /// the previous disposition as an opaque pointer-sized value.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// The handler body is a single atomic store — async-signal-safe
+    /// (no allocation, no locks, no formatting).
+    extern "C" fn on_terminate(_signum: i32) {
+        super::TERMINATION.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the C standard library's handler
+        // registration; the arguments are a valid signal number and a
+        // non-unwinding `extern "C"` function whose body is a single
+        // atomic store, which is async-signal-safe. The opaque return
+        // value (the previous handler) is discarded, never called.
+        unsafe {
+            signal(SIGTERM, on_terminate);
+        }
+        // SAFETY: as above, for SIGINT.
+        unsafe {
+            signal(SIGINT, on_terminate);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handlers (Unix; no-op elsewhere). Call
+/// once at server start, before [`crate::Server::run`].
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_install_is_idempotent() {
+        // The latch must not trip from merely installing the handlers.
+        install();
+        install();
+        assert!(!termination_requested());
+    }
+}

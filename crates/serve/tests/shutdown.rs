@@ -1,0 +1,120 @@
+//! Graceful drain of the real `rv-serve` binary: SIGTERM while a
+//! campaign is streaming must let that campaign finish byte-perfectly,
+//! refuse new work, and exit 0 — the supervisor-facing contract.
+
+#![cfg(unix)]
+
+use rv_core::shard::{CampaignRequest, CampaignSpec, SolverSpec, TransportSpec};
+use rv_model::TargetClass;
+use rv_serve::{Client, ClientError};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SERVER: &str = env!("CARGO_BIN_EXE_rv-serve");
+
+/// A campaign big enough to be mid-stream when the signal lands, small
+/// enough for a debug-build test.
+fn spec() -> CampaignSpec {
+    CampaignSpec::new(
+        SolverSpec::Aur,
+        vec![TargetClass::Type3, TargetClass::S1],
+        30_000,
+    )
+}
+
+fn request(n: usize) -> CampaignRequest {
+    CampaignRequest {
+        n,
+        transport: TransportSpec::Local,
+        workers: 0,
+        unit: 0,
+        retries: 0,
+    }
+}
+
+/// Waits for the child to exit, with a hard deadline so a hung drain
+/// fails the test instead of wedging CI.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let started = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if started.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("rv-serve did not drain within {deadline:?} after SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn sigterm_drains_in_flight_campaign_and_exits_zero() {
+    let mut child = Command::new(SERVER)
+        .args(["--addr", "127.0.0.1:0", "--local-threads", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn rv-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout);
+    let mut ready = String::new();
+    lines.read_line(&mut ready).expect("readiness line");
+    let addr = ready
+        .trim()
+        .strip_prefix("rv-serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line {ready:?}"))
+        .to_string();
+
+    // Start a campaign, then SIGTERM the server while it streams.
+    let campaign = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr.as_str()).expect("connect");
+            client.run_campaign(&spec(), 77, &request(96))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(150));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+
+    // The in-flight campaign completes correctly despite the drain.
+    let run = campaign
+        .join()
+        .expect("campaign thread")
+        .expect("in-flight campaign must complete through the drain");
+    let local = spec().run_local(77, 96);
+    let mut sorted = run.records.clone();
+    sorted.sort_by_key(|(i, _)| *i);
+    assert_eq!(sorted.len(), 96);
+    for (expect, (index, rec)) in sorted.iter().enumerate() {
+        assert_eq!(*index, expect, "exactly-once coverage through the drain");
+        assert_eq!(rec, &local.records[*index]);
+    }
+    assert_eq!(run.stats.to_json(), local.stats.to_json());
+
+    // New work is refused while draining / after exit: either the
+    // connection no longer completes a campaign, or a typed shutdown
+    // error comes back. (The TCP backlog may still accept the
+    // handshake, so a plain connect succeeding proves nothing.)
+    match Client::connect(addr.as_str()).map(|mut c| c.run_campaign(&spec(), 1, &request(4))) {
+        Ok(Ok(run)) => panic!(
+            "drained server served a new campaign: {} records",
+            run.records.len()
+        ),
+        Ok(Err(ClientError::Server(err))) => {
+            assert_eq!(err.code, rv_core::wire::ErrorCode::Shutdown)
+        }
+        Ok(Err(_)) | Err(_) => {} // closed / refused: also a correct drain
+    }
+
+    let status = wait_with_deadline(&mut child, Duration::from_secs(60));
+    assert!(
+        status.success(),
+        "rv-serve must exit 0 after a graceful drain, got {status:?}"
+    );
+}
