@@ -11,12 +11,14 @@
 
 use criterion::{black_box, Criterion};
 use rv_core::batch::{mix_seed, Campaign, RunRecord};
+use rv_core::cache::{CacheKey, CachedExecutor, ResultCache};
 use rv_core::exec::{Executor, LocalExecutor, PoolExecutor, SubprocessExecutor, WorkerCommand};
 use rv_core::shard::{CampaignSpec, SolverSpec};
 use rv_core::{json, par_map, wire, Budget, Dedicated, FixedPair, StatsAccumulator};
 use rv_model::{Classification, Instance, TargetClass};
 use rv_numeric::{ratio, Ratio};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A small type-3 pool (clock mismatch ⇒ AUR meets within a few phases).
 fn instances(n: usize) -> Vec<Instance> {
@@ -134,6 +136,52 @@ fn bench_shard_gather(c: &mut Criterion) {
         b.iter(|| black_box(wire::encode_record(512, &records[512])).len())
     });
     g.finish();
+}
+
+/// The content-addressed result cache head to head with itself: the cold
+/// path (lookup miss + full local run + write-through store) against the
+/// warm path (decode + validate + replay, no simulation at all). Both use
+/// `CachedExecutor<LocalExecutor>`, so the rows never need a worker
+/// binary and the warm/cold ratio the bench guard watches is exactly the
+/// replay speedup the cache exists for.
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.sample_size(10);
+    let spec = CampaignSpec::new(
+        SolverSpec::Dedicated,
+        vec![TargetClass::Type3, TargetClass::S1],
+        20_000,
+    );
+    let (seed, n) = (0xB7, 64);
+    let dir = std::env::temp_dir().join(format!("rv-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(ResultCache::open(&dir).expect("bench cache dir"));
+    let entry = cache.entry_path(CacheKey::derive(&spec, seed, &(0..n)));
+    let exec = CachedExecutor::new(LocalExecutor::new(), Arc::clone(&cache));
+
+    // Cold: evict the entry each iteration so every sample pays the
+    // miss, the simulation, and the atomic write-through publish.
+    g.bench_function("cold_64x20k", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&entry);
+            black_box(exec.execute(&spec, seed, n, None).expect("cold"))
+                .stats
+                .met
+        })
+    });
+
+    // Warm: the last cold iteration left the entry published; every
+    // sample replays it byte-identically from disk.
+    exec.execute(&spec, seed, n, None).expect("prewarm");
+    g.bench_function("warm_64x20k", |b| {
+        b.iter(|| {
+            black_box(exec.execute(&spec, seed, n, None).expect("warm"))
+                .stats
+                .met
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Locates a release-built `rv-shard` worker binary: `RV_SHARD_BIN`
@@ -269,6 +317,7 @@ fn main() {
     bench_par_map(&mut criterion);
     bench_campaign(&mut criterion);
     bench_shard_gather(&mut criterion);
+    bench_cache(&mut criterion);
     bench_exec_backends(&mut criterion);
 
     // Bench binaries run with CWD = the package dir; anchor the default

@@ -10,18 +10,24 @@
 //! - **`serve/`** from `BENCH_serve.json` (the `rv-serve bench`
 //!   loadtest) vs `crates/bench/BENCH_serve_baseline.json` — compared
 //!   only when that baseline exists, skipped silently otherwise so
-//!   the guard keeps working on trees predating the campaign service.
+//!   the guard keeps working on trees predating the campaign service;
+//! - **`cache/`** from the same `BENCH_campaign.json` vs
+//!   `crates/bench/BENCH_cache_baseline.json` — the result cache's
+//!   warm-replay row, gated on its baseline the same way.
 //!
 //! Raw nanoseconds are not comparable across machines, so every entry
 //! is normalized by its own file's reference median before comparing
-//! (`exec_backends/local_64x20k` and `serve/campaign_1client`
-//! respectively): the guard asks "did this entry get slower *relative
-//! to the single-runner case on the same box*", which is the overhead
-//! the layer under test owns.
+//! (`exec_backends/local_64x20k`, `serve/campaign_1client`, and
+//! `cache/cold_64x20k` respectively): the guard asks "did this entry
+//! get slower *relative to the single-runner case on the same box*",
+//! which is the overhead the layer under test owns. For the cache
+//! group that is the warm/cold ratio — replay cost relative to
+//! recomputation.
 //!
 //! ```text
 //! bench-guard [--fresh PATH] [--baseline PATH] [--threshold PCT]
 //!             [--serve-fresh PATH] [--serve-baseline PATH]
+//!             [--cache-baseline PATH]
 //! ```
 //!
 //! Exit codes: 0 = within threshold, 1 = regression, 2 = missing or
@@ -50,6 +56,12 @@ const SERVE_GROUP: Group = Group {
     label: "serve",
     prefix: "serve/",
     reference: "serve/campaign_1client",
+};
+
+const CACHE_GROUP: Group = Group {
+    label: "cache",
+    prefix: "cache/",
+    reference: "cache/cold_64x20k",
 };
 
 fn fail(msg: &str) -> ! {
@@ -169,6 +181,8 @@ fn main() {
         .unwrap_or_else(|| format!("{manifest}/../../target/BENCH_serve.json"));
     let serve_baseline = flag_value(&args, "--serve-baseline")
         .unwrap_or_else(|| format!("{manifest}/BENCH_serve_baseline.json"));
+    let cache_baseline = flag_value(&args, "--cache-baseline")
+        .unwrap_or_else(|| format!("{manifest}/BENCH_cache_baseline.json"));
     let threshold: f64 = flag_value(&args, "--threshold")
         .map(|raw| {
             raw.parse()
@@ -187,6 +201,12 @@ fn main() {
         } else {
             println!("bench-guard: serve baseline present but no fresh {serve_fresh}; skipping the serve group");
         }
+    }
+
+    // Likewise for the result cache's rows, which live in the campaign
+    // artifact itself: guarded once crates/bench commits their baseline.
+    if std::path::Path::new(&cache_baseline).is_file() {
+        regressions += compare(&CACHE_GROUP, &fresh, &cache_baseline, threshold);
     }
 
     if regressions > 0 {

@@ -1,0 +1,758 @@
+//! Content-addressed on-disk cache for finished campaign shards.
+//!
+//! Rendezvous campaigns are pure functions of `(spec, seed, range)`:
+//! instance `i` is generated from `mix_seed(seed, i)` and the class
+//! rotation alone, and the accumulator merge is partition-invariant.
+//! That purity makes finished shards cacheable *byte-identically* — a
+//! replayed shard is indistinguishable from a re-executed one, down to
+//! the last float lexeme, because the schema-3 wire encoding is a fixed
+//! point (encode ∘ decode ∘ encode = encode).
+//!
+//! # Entry layout
+//!
+//! One entry per `(spec, seed, start..end)`, stored as a schema-3
+//! JSON-lines file named by the entry's [`CacheKey`]:
+//!
+//! ```text
+//! <dir>/<key:016x>.jsonl
+//!   line 1      — the canonical `campaign_spec` line (the key preimage)
+//!   lines 2..   — one `record` line per index, ascending over the range
+//!   last line   — a `unit_done` line (task_id 0) with the accumulator
+//! ```
+//!
+//! Entries are written to a temporary file in the same directory and
+//! published with [`std::fs::rename`] — readers racing a writer observe
+//! either no entry or a complete one, never a partial prefix.
+//!
+//! # Key derivation
+//!
+//! The key is a 64-bit FNV-1a hash of the canonical `campaign_spec`
+//! wire bytes ([`crate::wire::encode_campaign_spec`]), folded with the
+//! little-endian bytes of `seed`, `start`, and `end`. Any spec
+//! difference that survives canonicalisation (solver, classes,
+//! segments, seed) or any range difference yields a different key, so
+//! invalidation is automatic: a changed shard simply misses.
+//!
+//! # Totality
+//!
+//! Every read is total. A truncated, bit-flipped, wrong-schema, or
+//! wrong-key entry decodes to a typed [`CacheError`]; the convenience
+//! path [`ResultCache::lookup`] additionally evicts the corrupt file
+//! and reports a miss, so callers fall back to recomputation — never a
+//! panic, never stale bytes. This module is in rv-lint's panic-free
+//! zone.
+//!
+//! ```no_run
+//! use rv_core::cache::ResultCache;
+//! use rv_core::shard::{CampaignSpec, SolverSpec};
+//! use rv_model::TargetClass;
+//! use std::sync::Arc;
+//!
+//! let cache = Arc::new(ResultCache::open("cache-dir").unwrap());
+//! let spec = CampaignSpec::new(SolverSpec::Aur, vec![TargetClass::Type3], 60_000);
+//! assert!(cache.lookup(&spec, 42, &(0..100)).is_none()); // cold
+//! ```
+
+use crate::batch::{CampaignReport, CampaignStats, RunRecord, StatsAccumulator};
+use crate::exec::{ExecError, Executor};
+use crate::shard::{CampaignSpec, UnitDone};
+use crate::stream::RecordSink;
+use crate::wire::{self, Line, WireError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a state.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The content address of one cached shard: a 64-bit FNV-1a hash of the
+/// canonical `campaign_spec` wire bytes plus `(seed, start, end)`.
+///
+/// Displayed (and used as the entry file stem) as 16 lowercase hex
+/// digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Derives the key for `(spec, seed, range)`.
+    pub fn derive(spec: &CampaignSpec, seed: u64, range: &Range<usize>) -> CacheKey {
+        let line = wire::encode_campaign_spec(spec, seed);
+        let mut state = fnv1a(FNV_OFFSET, line.as_bytes());
+        state = fnv1a(state, &seed.to_le_bytes());
+        state = fnv1a(state, &(range.start as u64).to_le_bytes());
+        state = fnv1a(state, &(range.end as u64).to_le_bytes());
+        CacheKey(state)
+    }
+
+    /// The raw 64-bit hash.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// The entry file name this key addresses (`<16 hex digits>.jsonl`).
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.jsonl", self.0)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Why a cache operation failed. Every variant is recoverable by
+/// recomputing the shard; [`ResultCache::lookup`] does exactly that
+/// (evict, then miss).
+#[derive(Debug)]
+pub enum CacheError {
+    /// The cache directory path exists but is not a directory.
+    NotADirectory {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// An I/O operation on a cache file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A line in an entry failed schema-3 decoding (bit-flip, wrong
+    /// schema, truncation mid-line, …).
+    Wire {
+        /// The entry file.
+        path: PathBuf,
+        /// One-based line number of the offending line.
+        line: usize,
+        /// The underlying wire error.
+        source: WireError,
+    },
+    /// The entry ended before the full record range and the accumulator
+    /// line arrived (truncation at a line boundary).
+    Truncated {
+        /// The entry file.
+        path: PathBuf,
+        /// What was missing.
+        what: String,
+    },
+    /// The entry's stored `campaign_spec` preimage does not match the
+    /// key being looked up — a hash collision or a tampered entry.
+    KeyMismatch {
+        /// The entry file.
+        path: PathBuf,
+        /// What disagreed.
+        what: String,
+    },
+    /// The entry decoded but its shape is wrong: unexpected line kind,
+    /// out-of-range or out-of-order record index, or an accumulator
+    /// that does not cover the range.
+    Layout {
+        /// The entry file.
+        path: PathBuf,
+        /// What was malformed.
+        what: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::NotADirectory { path } => {
+                write!(f, "cache path {} is not a directory", path.display())
+            }
+            CacheError::Io { path, source } => {
+                write!(f, "cache I/O on {} failed: {source}", path.display())
+            }
+            CacheError::Wire { path, line, source } => write!(
+                f,
+                "cache entry {} line {line} failed to decode: {source}",
+                path.display()
+            ),
+            CacheError::Truncated { path, what } => {
+                write!(f, "cache entry {} is truncated: {what}", path.display())
+            }
+            CacheError::KeyMismatch { path, what } => {
+                write!(f, "cache entry {} key mismatch: {what}", path.display())
+            }
+            CacheError::Layout { path, what } => {
+                write!(f, "cache entry {} is malformed: {what}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io { source, .. } => Some(source),
+            CacheError::Wire { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One cached shard, loaded and fully validated: records sorted and
+/// contiguous over the requested range, accumulator covering exactly
+/// that range.
+#[derive(Clone, Debug)]
+pub struct CachedShard {
+    /// The shard's records, `(global index, record)` in index order.
+    pub records: Vec<(usize, RunRecord)>,
+    /// The shard's finished-state accumulator (mergeable).
+    pub acc: StatsAccumulator,
+}
+
+/// Counters describing a cache's traffic since it was opened. Snapshot
+/// via [`ResultCache::stats`]; all counts are monotone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that replayed a valid entry.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries written (published via rename).
+    pub stores: u64,
+    /// Corrupt entries removed by [`ResultCache::lookup`].
+    pub evictions: u64,
+}
+
+/// A content-addressed store of finished campaign shards in one
+/// directory. Cheap to share (`Arc`) between executors; all operations
+/// take `&self` and are safe under concurrent use from multiple threads
+/// *and* multiple processes (writes are tmp-file + atomic rename).
+pub struct ResultCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory at `dir`.
+    ///
+    /// Fails with [`CacheError::NotADirectory`] when `dir` exists but is
+    /// not a directory, and with [`CacheError::Io`] when it cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ResultCache, CacheError> {
+        let dir = dir.into();
+        if dir.exists() && !dir.is_dir() {
+            return Err(CacheError::NotADirectory { path: dir });
+        }
+        fs::create_dir_all(&dir).map_err(|source| CacheError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        Ok(ResultCache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this cache stores entries in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The path an entry for `key` would live at.
+    pub fn entry_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Loads and fully validates the entry for `(spec, seed, range)`.
+    ///
+    /// `Ok(None)` is a miss (no entry). `Err` means an entry exists but
+    /// cannot be trusted — the typed error says why; the file is left in
+    /// place (use [`ResultCache::lookup`] for the evict-and-recompute
+    /// path, or [`ResultCache::evict`] explicitly).
+    pub fn load(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        range: &Range<usize>,
+    ) -> Result<Option<CachedShard>, CacheError> {
+        let key = CacheKey::derive(spec, seed, range);
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(CacheError::Io { path, source }),
+        };
+        self.decode_entry(&path, &text, spec, seed, range).map(Some)
+    }
+
+    /// Decodes and validates one entry body against the expected
+    /// `(spec, seed, range)`.
+    fn decode_entry(
+        &self,
+        path: &Path,
+        text: &str,
+        spec: &CampaignSpec,
+        seed: u64,
+        range: &Range<usize>,
+    ) -> Result<CachedShard, CacheError> {
+        let layout = |what: String| CacheError::Layout {
+            path: path.to_path_buf(),
+            what,
+        };
+        let expected_spec_line = wire::encode_campaign_spec(spec, seed);
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+
+        let Some((_, first)) = lines.next() else {
+            return Err(CacheError::Truncated {
+                path: path.to_path_buf(),
+                what: "empty entry (no campaign_spec preimage line)".into(),
+            });
+        };
+        // The preimage check is byte equality against the canonical
+        // encoding — strictly stronger than re-hashing, and what makes a
+        // colliding or renamed entry a typed error instead of stale bytes.
+        if first != expected_spec_line {
+            // Decode it anyway so a bit-flipped preimage surfaces as the
+            // more precise Wire error when it no longer parses at all.
+            if let Err(source) = wire::decode_campaign_spec(first) {
+                return Err(CacheError::Wire {
+                    path: path.to_path_buf(),
+                    line: 1,
+                    source,
+                });
+            }
+            return Err(CacheError::KeyMismatch {
+                path: path.to_path_buf(),
+                what: "stored campaign_spec preimage differs from the requested key".into(),
+            });
+        }
+
+        let mut records: Vec<(usize, RunRecord)> = Vec::with_capacity(range.len());
+        let mut done: Option<UnitDone> = None;
+        for (idx, line) in lines {
+            if done.is_some() {
+                return Err(layout("lines after the unit_done accumulator".into()));
+            }
+            match wire::decode_line(line).map_err(|source| CacheError::Wire {
+                path: path.to_path_buf(),
+                line: idx + 1,
+                source,
+            })? {
+                Line::Record { index, record } => {
+                    let expected = range.start + records.len();
+                    if index != expected {
+                        return Err(layout(format!(
+                            "record index {index} where {expected} was expected \
+                             (range {range:?})"
+                        )));
+                    }
+                    records.push((index, record));
+                }
+                Line::UnitDone(d) => done = Some(d),
+                other => {
+                    return Err(layout(format!("unexpected line kind: {other:?}")));
+                }
+            }
+        }
+        let Some(done) = done else {
+            return Err(CacheError::Truncated {
+                path: path.to_path_buf(),
+                what: format!(
+                    "no unit_done accumulator after {} of {} records",
+                    records.len(),
+                    range.len()
+                ),
+            });
+        };
+        if records.len() != range.len() {
+            return Err(layout(format!(
+                "{} records for a range of {}",
+                records.len(),
+                range.len()
+            )));
+        }
+        if done.start != range.start || done.acc.len() != range.len() {
+            return Err(layout(format!(
+                "accumulator covers {} records from {}, expected {} from {}",
+                done.acc.len(),
+                done.start,
+                range.len(),
+                range.start
+            )));
+        }
+        Ok(CachedShard {
+            records,
+            acc: done.acc,
+        })
+    }
+
+    /// The total convenience path executors use: load, treating a
+    /// corrupt entry as a miss after evicting it. Never fails, never
+    /// panics; counts a hit, a miss, or a miss + eviction.
+    pub fn lookup(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        range: &Range<usize>,
+    ) -> Option<CachedShard> {
+        match self.load(spec, seed, range) {
+            Ok(Some(hit)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            Ok(None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.evict(CacheKey::derive(spec, seed, range));
+                None
+            }
+        }
+    }
+
+    /// Removes the entry for `key` (best-effort; missing is fine).
+    pub fn evict(&self, key: CacheKey) {
+        if fs::remove_file(self.entry_path(key)).is_ok() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores a finished shard for `(spec, seed, range)`.
+    ///
+    /// `records` must be the shard's full record list in index order and
+    /// `acc` its accumulator — exactly what a validated gather holds.
+    /// Inputs that do not cover the range are rejected with
+    /// [`CacheError::Layout`] rather than poisoning the cache. The entry
+    /// is written to a temporary file and published with an atomic
+    /// rename, so concurrent readers (and writers racing on the same
+    /// key, which by content addressing write identical bytes) are safe.
+    pub fn store(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        range: &Range<usize>,
+        records: &[(usize, RunRecord)],
+        acc: &StatsAccumulator,
+    ) -> Result<CacheKey, CacheError> {
+        let key = CacheKey::derive(spec, seed, range);
+        let path = self.entry_path(key);
+        if records.len() != range.len() || acc.len() != range.len() {
+            return Err(CacheError::Layout {
+                path,
+                what: format!(
+                    "refusing to store {} records / {}-record accumulator \
+                     for a range of {}",
+                    records.len(),
+                    acc.len(),
+                    range.len()
+                ),
+            });
+        }
+
+        let mut body = String::new();
+        body.push_str(&wire::encode_campaign_spec(spec, seed));
+        body.push('\n');
+        for (index, rec) in records {
+            body.push_str(&wire::encode_record(*index, rec));
+            body.push('\n');
+        }
+        body.push_str(&wire::encode_unit_done(&UnitDone {
+            task_id: 0,
+            start: range.start,
+            acc: acc.clone(),
+        }));
+        body.push('\n');
+
+        // Unique per process *and* per call, so concurrent writers never
+        // share a temporary file.
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            key.file_name(),
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+        ));
+        let io_err = |path: &Path, source| CacheError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        fs::write(&tmp, body.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(io_err(&path, e));
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(key)
+    }
+}
+
+/// Whole-campaign caching over any inner [`Executor`]: the full
+/// `0..n` range is one cache entry. A warm `execute` (or
+/// `execute_stats`) replays the entry through the caller's sink and
+/// never touches the inner executor; a cold one runs the inner executor
+/// with records materialised, stores the result, and returns it.
+///
+/// This is the right wrapper when the inner backend has no shard
+/// structure to exploit ([`crate::exec::LocalExecutor`]) or when the
+/// campaign is re-run as a unit. The subprocess and pool backends also
+/// take a cache directly ([`crate::exec::SubprocessExecutor::cache`],
+/// [`crate::exec::PoolExecutor::cache`]) for shard-granular reuse —
+/// there a spec tweak re-executes only the shards whose key changed.
+///
+/// Note the memory trade: a cold `execute_stats` materialises the
+/// record list once to populate the cache, so it holds O(n) memory
+/// where the uncached path holds O(shard).
+pub struct CachedExecutor<E> {
+    inner: E,
+    cache: Arc<ResultCache>,
+}
+
+impl<E: Executor> CachedExecutor<E> {
+    /// Wraps `inner`, storing and replaying whole campaigns in `cache`.
+    pub fn new(inner: E, cache: Arc<ResultCache>) -> CachedExecutor<E> {
+        CachedExecutor { inner, cache }
+    }
+
+    /// The wrapped cache (for stats and explicit eviction).
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// The inner executor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Replays a hit through `sink`, exactly once per index.
+    fn replay(hit: &CachedShard, sink: &Option<Arc<dyn RecordSink>>) {
+        if let Some(sink) = sink {
+            for (index, rec) in &hit.records {
+                sink.record(*index, rec);
+            }
+        }
+    }
+
+    /// Runs the inner executor cold and write-through-caches the result.
+    fn execute_cold(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignReport, ExecError> {
+        let report = self.inner.execute(spec, seed, n, sink)?;
+        // Records arrive in index order; rebuilding the accumulator in
+        // that order reproduces the single-process accumulator bytes.
+        let mut acc = StatsAccumulator::new();
+        let mut pairs = Vec::with_capacity(report.records.len());
+        for (index, rec) in report.records.iter().enumerate() {
+            acc.push(rec);
+            pairs.push((index, rec.clone()));
+        }
+        // Best-effort write-through: a full disk must not fail the run.
+        let _ = self.cache.store(spec, seed, &(0..n), &pairs, &acc);
+        Ok(report)
+    }
+}
+
+impl<E: Executor> Executor for CachedExecutor<E> {
+    fn execute(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignReport, ExecError> {
+        if let Some(sink) = &sink {
+            if sink.is_closed() {
+                return Err(ExecError::SinkClosed);
+            }
+        }
+        if let Some(hit) = self.cache.lookup(spec, seed, &(0..n)) {
+            Self::replay(&hit, &sink);
+            return Ok(CampaignReport {
+                records: hit.records.into_iter().map(|(_, rec)| rec).collect(),
+                stats: hit.acc.finish(),
+            });
+        }
+        self.execute_cold(spec, seed, n, sink)
+    }
+
+    fn execute_stats(
+        &self,
+        spec: &CampaignSpec,
+        seed: u64,
+        n: usize,
+        sink: Option<Arc<dyn RecordSink>>,
+    ) -> Result<CampaignStats, ExecError> {
+        if let Some(sink) = &sink {
+            if sink.is_closed() {
+                return Err(ExecError::SinkClosed);
+            }
+        }
+        if let Some(hit) = self.cache.lookup(spec, seed, &(0..n)) {
+            Self::replay(&hit, &sink);
+            return Ok(hit.acc.finish());
+        }
+        self.execute_cold(spec, seed, n, sink)
+            .map(|report| report.stats)
+    }
+
+    fn name(&self) -> &'static str {
+        "cached"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::LocalExecutor;
+    use crate::shard::SolverSpec;
+    use crate::stream::VecSink;
+    use rv_model::TargetClass;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new(
+            SolverSpec::Dedicated,
+            vec![TargetClass::Type3, TargetClass::S1],
+            30_000,
+        )
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rv-cache-test-{tag}-{}-{:p}",
+            std::process::id(),
+            &tag
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_are_stable_and_range_sensitive() {
+        let spec = spec();
+        let a = CacheKey::derive(&spec, 7, &(0..10));
+        assert_eq!(a, CacheKey::derive(&spec, 7, &(0..10)));
+        assert_ne!(a, CacheKey::derive(&spec, 8, &(0..10)));
+        assert_ne!(a, CacheKey::derive(&spec, 7, &(0..11)));
+        assert_ne!(a, CacheKey::derive(&spec, 7, &(1..10)));
+        assert_eq!(a.file_name(), format!("{a}.jsonl"));
+    }
+
+    #[test]
+    fn store_load_round_trips_and_counts() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let spec = spec();
+        let report = spec.run_local(11, 6);
+        let mut acc = StatsAccumulator::new();
+        let pairs: Vec<(usize, RunRecord)> = report
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                acc.push(r);
+                (i, r.clone())
+            })
+            .collect();
+        assert!(cache.lookup(&spec, 11, &(0..6)).is_none(), "cold miss");
+        cache.store(&spec, 11, &(0..6), &pairs, &acc).unwrap();
+        let hit = cache.lookup(&spec, 11, &(0..6)).expect("warm hit");
+        assert_eq!(hit.records.len(), 6);
+        assert_eq!(hit.acc.finish().to_json(), report.stats.to_json());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_rejects_short_inputs() {
+        let dir = tmp_dir("short");
+        let cache = ResultCache::open(&dir).unwrap();
+        let spec = spec();
+        let err = cache
+            .store(&spec, 1, &(0..3), &[], &StatsAccumulator::new())
+            .unwrap_err();
+        assert!(matches!(err, CacheError::Layout { .. }), "{err}");
+        assert!(cache.lookup(&spec, 1, &(0..3)).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_files() {
+        let dir = tmp_dir("notdir");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain-file");
+        fs::write(&file, b"x").unwrap();
+        let err = ResultCache::open(&file).unwrap_err();
+        assert!(matches!(err, CacheError::NotADirectory { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_executor_replays_byte_identically() {
+        let dir = tmp_dir("cached-exec");
+        let spec = spec();
+        let baseline = spec.run_local(5, 12);
+        let cache = Arc::new(ResultCache::open(&dir).unwrap());
+        let exec = CachedExecutor::new(LocalExecutor::new(), Arc::clone(&cache));
+        assert_eq!(exec.name(), "cached");
+
+        let cold = exec.execute(&spec, 5, 12, None).unwrap();
+        assert_eq!(cold.stats.to_json(), baseline.stats.to_json());
+        assert_eq!(cache.stats().stores, 1);
+
+        let sink = Arc::new(VecSink::new());
+        let warm = exec
+            .execute(&spec, 5, 12, Some(sink.clone() as Arc<dyn RecordSink>))
+            .unwrap();
+        assert_eq!(warm.stats.to_json(), baseline.stats.to_json());
+        assert_eq!(
+            format!("{:?}", warm.records),
+            format!("{:?}", baseline.records)
+        );
+        let seen = sink.take_sorted();
+        assert_eq!(seen.len(), 12, "exactly once per index on replay");
+        assert_eq!(cache.stats().hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

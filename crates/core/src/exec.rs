@@ -58,6 +58,7 @@
 //! against the single-process run.
 
 use crate::batch::{CampaignReport, CampaignStats, RunRecord, StatsAccumulator};
+use crate::cache::ResultCache;
 use crate::json;
 use crate::shard::{
     plan, plan_units, CampaignSpec, ShardError, ShardResult, ShardSpec, UnitTask, UnitTelemetry,
@@ -67,6 +68,7 @@ use crate::wire::{self, Line};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::ops::Range;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -355,6 +357,7 @@ pub struct SubprocessExecutor {
     shards: usize,
     retries: u32,
     max_inflight: usize,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl SubprocessExecutor {
@@ -366,6 +369,7 @@ impl SubprocessExecutor {
             shards: 1,
             retries: 0,
             max_inflight: 0,
+            cache: None,
         }
     }
 
@@ -399,6 +403,17 @@ impl SubprocessExecutor {
         self
     }
 
+    /// Attaches a content-addressed result cache
+    /// ([`crate::cache::ResultCache`]): shards whose
+    /// `(spec, seed, range)` key is already stored replay through the
+    /// caller's sink without spawning a worker, and shards that do run
+    /// write their outcome through on success. A spec tweak re-executes
+    /// only the shards whose key changed.
+    pub fn cache(mut self, cache: Arc<ResultCache>) -> SubprocessExecutor {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The scatter/gather core. One drain thread per in-flight slot pulls
     /// shard tasks off a shared queue, runs each in a subprocess, and
     /// either stores the shard's outcome or re-queues the task with the
@@ -416,19 +431,39 @@ impl SubprocessExecutor {
         keep_records: bool,
     ) -> Result<Vec<Option<ShardOutcome>>, ExecError> {
         assert!(!self.workers.is_empty(), "executor needs a worker command");
+        if sink.as_ref().is_some_and(|s| s.is_closed()) {
+            // The consumer is already gone; don't replay cached shards
+            // (or spawn workers) into the void.
+            return Err(ExecError::SinkClosed);
+        }
         let specs = plan(spec, seed, n, self.shards);
 
+        // Cache fast path: cached shards are replayed into their slots
+        // (and the sink) before any worker spawns; only the misses are
+        // queued, so a fully warm run forks nothing.
+        let ranges: Vec<Range<usize>> = specs.iter().map(|s| s.range.clone()).collect();
+        let mut slot_init: Vec<Option<ShardOutcome>> = vec![None; specs.len()];
+        let pending = cache_prepass(
+            self.cache.as_deref(),
+            spec,
+            seed,
+            &ranges,
+            &sink,
+            keep_records,
+            &mut slot_init,
+        );
+        let pending_len = pending.len();
+
         // task = (index into specs, attempt number)
-        let queue: Mutex<VecDeque<(usize, u32)>> =
-            Mutex::new((0..specs.len()).map(|k| (k, 0)).collect());
-        let slots: Mutex<Vec<Option<ShardOutcome>>> = Mutex::new(vec![None; specs.len()]);
+        let queue: Mutex<VecDeque<(usize, u32)>> = Mutex::new(pending);
+        let slots: Mutex<Vec<Option<ShardOutcome>>> = Mutex::new(slot_init);
         let failed_workers: Mutex<Vec<bool>> = Mutex::new(vec![false; self.workers.len()]);
         let fatal: Mutex<Option<ExecError>> = Mutex::new(None);
         let kills = KillSwitch::new();
 
         let drains = match self.max_inflight {
-            0 => specs.len(),
-            cap => cap.min(specs.len()),
+            0 => pending_len,
+            cap => cap.min(pending_len),
         };
 
         std::thread::scope(|scope| {
@@ -467,6 +502,18 @@ impl SubprocessExecutor {
                                 for (index, rec) in &outcome.records {
                                     sink.record(*index, rec);
                                 }
+                            }
+                            // Write-through before the buffer drops; a
+                            // full disk must not fail the run, so store
+                            // errors are ignored.
+                            if let Some(cache) = &self.cache {
+                                let _ = cache.store(
+                                    spec,
+                                    seed,
+                                    &shard.range,
+                                    &outcome.records,
+                                    &outcome.result.acc,
+                                );
                             }
                             if !keep_records {
                                 outcome.records = Vec::new();
@@ -629,6 +676,13 @@ impl CommandExecutor {
         self.inner = self.inner.max_inflight(max_inflight);
         self
     }
+
+    /// Attaches a content-addressed result cache (see
+    /// [`SubprocessExecutor::cache`]).
+    pub fn cache(mut self, cache: Arc<ResultCache>) -> CommandExecutor {
+        self.inner = self.inner.cache(cache);
+        self
+    }
 }
 
 impl Executor for CommandExecutor {
@@ -690,6 +744,7 @@ pub struct PoolExecutor {
     workers: usize,
     unit: usize,
     retries: u32,
+    cache: Option<Arc<ResultCache>>,
     /// One slot per worker; `None` = not spawned (or torn down after a
     /// failure). Locked for the whole of `scatter_gather`, which also
     /// serializes concurrent `execute` calls on one pool.
@@ -709,6 +764,7 @@ impl PoolExecutor {
             workers: 1,
             unit: 0,
             retries: 0,
+            cache: None,
             pool: Mutex::new(Vec::new()),
             telemetry: Mutex::new(Vec::new()),
         }
@@ -734,6 +790,16 @@ impl PoolExecutor {
     /// task, not a shard).
     pub fn retries(mut self, retries: u32) -> PoolExecutor {
         self.retries = retries;
+        self
+    }
+
+    /// Attaches a content-addressed result cache (see
+    /// [`SubprocessExecutor::cache`]); here the cacheable unit of work
+    /// is an index unit. Cached units spawn no worker and emit no
+    /// telemetry line (nothing ran, so there is no wall time to
+    /// report).
+    pub fn cache(mut self, cache: Arc<ResultCache>) -> PoolExecutor {
+        self.cache = Some(cache);
         self
     }
 
@@ -772,6 +838,11 @@ impl PoolExecutor {
         sink: Option<Arc<dyn RecordSink>>,
         keep_records: bool,
     ) -> Result<Vec<Option<ShardOutcome>>, ExecError> {
+        if sink.as_ref().is_some_and(|s| s.is_closed()) {
+            // Same early-out as the one-shot backend: never replay
+            // cached units (or feed workers) for a consumer that hung up.
+            return Err(ExecError::SinkClosed);
+        }
         let unit = match self.unit {
             0 => (n / (self.workers * 4)).max(1),
             u => u,
@@ -786,10 +857,23 @@ impl PoolExecutor {
         }
         lock(&self.telemetry).clear();
 
+        // Cache fast path: cached units replay into their slots before
+        // any worker is fed; a fully warm run touches no worker session
+        // (and spawns none that were not already running).
+        let mut slot_init: Vec<Option<ShardOutcome>> = vec![None; units.len()];
+        let pending = cache_prepass(
+            self.cache.as_deref(),
+            spec,
+            seed,
+            &units,
+            &sink,
+            keep_records,
+            &mut slot_init,
+        );
+
         // task = (index into units, attempt number)
-        let queue: Mutex<VecDeque<(usize, u32)>> =
-            Mutex::new((0..units.len()).map(|k| (k, 0)).collect());
-        let slots: Mutex<Vec<Option<ShardOutcome>>> = Mutex::new(vec![None; units.len()]);
+        let queue: Mutex<VecDeque<(usize, u32)>> = Mutex::new(pending);
+        let slots: Mutex<Vec<Option<ShardOutcome>>> = Mutex::new(slot_init);
         let fatal: Mutex<Option<ExecError>> = Mutex::new(None);
         let kills = KillSwitch::new();
 
@@ -838,6 +922,17 @@ impl PoolExecutor {
                                 for (index, rec) in &outcome.records {
                                     sink.record(*index, rec);
                                 }
+                            }
+                            // Write-through before the buffer drops;
+                            // store errors must not fail the run.
+                            if let Some(cache) = &self.cache {
+                                let _ = cache.store(
+                                    spec,
+                                    seed,
+                                    &units[k],
+                                    &outcome.records,
+                                    &outcome.result.acc,
+                                );
                             }
                             if !keep_records {
                                 outcome.records = Vec::new();
@@ -1295,6 +1390,56 @@ fn run_pool_unit(
 struct ShardOutcome {
     result: ShardResult,
     records: Vec<(usize, RunRecord)>,
+}
+
+/// The scatter backends' shared cache fast path: probes each planned
+/// range, replays hits straight into `slots` (releasing their records
+/// to `sink` exactly once, just as a gathered shard would), and returns
+/// the queue of misses still needing execution. Corrupt entries were
+/// already evicted by [`ResultCache::lookup`], so they come back as
+/// plain misses. Both planners assign ids `0..len`, so slot `k` is
+/// shard/task id `k`.
+fn cache_prepass(
+    cache: Option<&ResultCache>,
+    spec: &CampaignSpec,
+    seed: u64,
+    ranges: &[Range<usize>],
+    sink: &Option<Arc<dyn RecordSink>>,
+    keep_records: bool,
+    slots: &mut [Option<ShardOutcome>],
+) -> VecDeque<(usize, u32)> {
+    let Some(cache) = cache else {
+        return (0..ranges.len()).map(|k| (k, 0)).collect();
+    };
+    let mut misses = VecDeque::new();
+    for (k, range) in ranges.iter().enumerate() {
+        match cache.lookup(spec, seed, range) {
+            Some(hit) => {
+                if let Some(sink) = sink {
+                    for (index, rec) in &hit.records {
+                        sink.record(*index, rec);
+                    }
+                }
+                let records = if keep_records {
+                    hit.records
+                } else {
+                    Vec::new()
+                };
+                if let Some(slot) = slots.get_mut(k) {
+                    *slot = Some(ShardOutcome {
+                        result: ShardResult {
+                            shard_id: k as u32,
+                            start: range.start,
+                            acc: hit.acc,
+                        },
+                        records,
+                    });
+                }
+            }
+            None => misses.push_back((k, 0)),
+        }
+    }
+    misses
 }
 
 /// Reassembles the per-shard outcomes into the campaign report: records

@@ -48,6 +48,7 @@ pub mod analysis;
 mod api;
 mod aur;
 pub mod batch;
+pub mod cache;
 pub mod exec;
 pub mod json;
 // The one audited unsafe core in the workspace: `par_map`'s disjoint
@@ -67,6 +68,7 @@ pub use aur::{
     almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE,
 };
 pub use batch::{Campaign, CampaignReport, CampaignStats, ClassStats, RunRecord, StatsAccumulator};
+pub use cache::{CacheError, CacheKey, CacheStats, CachedExecutor, CachedShard, ResultCache};
 pub use exec::{
     CommandExecutor, ExecError, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor,
     UtilizationReport, WorkerCommand, WorkerUtilization,

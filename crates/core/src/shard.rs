@@ -180,6 +180,11 @@ pub struct CampaignRequest {
     pub unit: usize,
     /// Per-shard/per-unit retry budget for the subprocess transports.
     pub retries: u32,
+    /// Server-side result-cache directory (`None` = uncached). When
+    /// set, the server opens `rv_core::cache::ResultCache` there and
+    /// replays/stores finished shards content-addressed — see the
+    /// "Cached results" section of `WIRE.md`.
+    pub cache: Option<String>,
 }
 
 /// A reconstructible description of a seeded campaign: everything a

@@ -1097,18 +1097,26 @@ pub fn decode_unit_done(line: &str) -> Result<UnitDone, WireError> {
 /// a client sends right after the `campaign_spec` line that opens (or
 /// re-keys) a service session.
 pub fn encode_request(req: &CampaignRequest) -> String {
+    let cache = match &req.cache {
+        Some(dir) => json::string(dir),
+        None => "null".to_string(),
+    };
     format!(
         "{{\"schema\": {SCHEMA}, \"kind\": \"request\", \"n\": {}, \
-         \"transport\": {}, \"workers\": {}, \"unit\": {}, \"retries\": {}}}",
+         \"transport\": {}, \"workers\": {}, \"unit\": {}, \"retries\": {}, \
+         \"cache\": {}}}",
         req.n,
         json::string(req.transport.name()),
         req.workers,
         req.unit,
         req.retries,
+        cache,
     )
 }
 
-/// Decodes a `kind: "request"` line.
+/// Decodes a `kind: "request"` line. `cache` may be a string, `null`,
+/// or absent entirely (requests from pre-cache clients) — the last two
+/// both mean "uncached".
 pub fn decode_request(line: &str) -> Result<CampaignRequest, WireError> {
     let v = header(line, "request")?;
     let transport =
@@ -1116,12 +1124,23 @@ pub fn decode_request(line: &str) -> Result<CampaignRequest, WireError> {
             field: "transport",
             what: e.to_string(),
         })?;
+    let cache = match v.get("cache") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(dir)) => Some(dir.clone()),
+        Some(other) => {
+            return Err(WireError::Field {
+                field: "cache",
+                what: format!("expected string or null, found {other:?}"),
+            })
+        }
+    };
     Ok(CampaignRequest {
         n: get_usize(&v, "n")?,
         transport,
         workers: get_usize(&v, "workers")?,
         unit: get_usize(&v, "unit")?,
         retries: get_u32(&v, "retries")?,
+        cache,
     })
 }
 
@@ -1497,6 +1516,7 @@ mod tests {
             workers: 6,
             unit: 128,
             retries: 2,
+            cache: Some("sweep-cache".into()),
         };
         let line = encode_request(&req);
         assert_eq!(decode_request(&line), Ok(req.clone()));
@@ -1508,6 +1528,23 @@ mod tests {
                 field: "transport",
                 ..
             })
+        ));
+
+        // `cache` is the one optional field: null and absent both mean
+        // uncached, anything but a string is a typed field error.
+        let uncached = CampaignRequest {
+            cache: None,
+            ..decode_request(&line).unwrap()
+        };
+        let null_line = encode_request(&uncached);
+        assert!(null_line.contains("\"cache\": null"));
+        assert_eq!(decode_request(&null_line), Ok(uncached.clone()));
+        let absent = null_line.replace(", \"cache\": null", "");
+        assert_eq!(decode_request(&absent), Ok(uncached));
+        let bad_cache = null_line.replace("\"cache\": null", "\"cache\": 7");
+        assert!(matches!(
+            decode_request(&bad_cache),
+            Err(WireError::Field { field: "cache", .. })
         ));
     }
 

@@ -1,0 +1,94 @@
+//! The cache-key proof obligations (see `rv_core::cache`): the key is a
+//! pure function of the *canonical* `campaign_spec` wire bytes plus
+//! `(seed, start, end)`. Concretely: `encode → decode → re-encode` of
+//! any spec yields the same key (so a spec that travelled the wire
+//! addresses the same entries as the original), and specs differing in
+//! solver, classes, segments, seed, or range address *different*
+//! entries.
+//!
+//! Case counts are capped for CI-friendly wall time; override with
+//! `PROPTEST_CASES` for a deep run.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rv_core::cache::CacheKey;
+use rv_core::shard::{CampaignSpec, SolverSpec};
+use rv_core::wire;
+use rv_model::TargetClass;
+
+fn campaign_strategy() -> impl Strategy<Value = CampaignSpec> {
+    let all = TargetClass::all();
+    (any::<bool>(), vec(0usize..all.len(), 1..5), any::<u64>()).prop_map(
+        move |(aur, class_idx, segments)| CampaignSpec {
+            solver: if aur {
+                SolverSpec::Aur
+            } else {
+                SolverSpec::Dedicated
+            },
+            classes: class_idx.into_iter().map(|i| all[i]).collect(),
+            segments,
+        },
+    )
+}
+
+fn range_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..10_000, 1usize..10_000).prop_map(|(start, len)| (start, start + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The key survives a wire round trip of its spec: whoever decodes
+    /// the canonical `campaign_spec` line derives the same key and hits
+    /// the same entries.
+    #[test]
+    fn key_is_stable_across_wire_round_trips(
+        spec in campaign_strategy(),
+        seed in any::<u64>(),
+        (start, end) in range_strategy(),
+    ) {
+        let key = CacheKey::derive(&spec, seed, &(start..end));
+        let line = wire::encode_campaign_spec(&spec, seed);
+        let (decoded, decoded_seed) = wire::decode_campaign_spec(&line).expect("canonical line");
+        prop_assert_eq!(decoded_seed, seed);
+        let rekey = CacheKey::derive(&decoded, decoded_seed, &(start..end));
+        prop_assert_eq!(key, rekey, "key must be a pure function of the canonical bytes");
+        // And the canonical encoding itself is a fixed point, so the
+        // preimage stored in an entry equals the re-derived line.
+        prop_assert_eq!(line, wire::encode_campaign_spec(&decoded, decoded_seed));
+    }
+
+    /// Any observable difference — solver, classes, segments, seed, or
+    /// range — lands on a different key, so stale entries can never be
+    /// replayed for a tweaked campaign.
+    #[test]
+    fn differing_inputs_yield_distinct_keys(
+        spec in campaign_strategy(),
+        seed in any::<u64>(),
+        (start, end) in range_strategy(),
+    ) {
+        let key = CacheKey::derive(&spec, seed, &(start..end));
+
+        let mut other_solver = spec.clone();
+        other_solver.solver = match spec.solver {
+            SolverSpec::Aur => SolverSpec::Dedicated,
+            SolverSpec::Dedicated => SolverSpec::Aur,
+        };
+        prop_assert_ne!(key, CacheKey::derive(&other_solver, seed, &(start..end)));
+
+        let mut other_segments = spec.clone();
+        other_segments.segments = spec.segments.wrapping_add(1);
+        prop_assert_ne!(key, CacheKey::derive(&other_segments, seed, &(start..end)));
+
+        let mut other_classes = spec.clone();
+        other_classes.classes.push(TargetClass::Type1);
+        prop_assert_ne!(key, CacheKey::derive(&other_classes, seed, &(start..end)));
+
+        prop_assert_ne!(
+            key,
+            CacheKey::derive(&spec, seed.wrapping_add(1), &(start..end))
+        );
+        prop_assert_ne!(key, CacheKey::derive(&spec, seed, &(start..end + 1)));
+        prop_assert_ne!(key, CacheKey::derive(&spec, seed, &(start + 1..end + 1)));
+    }
+}

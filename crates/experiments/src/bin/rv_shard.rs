@@ -22,7 +22,7 @@
 //!                   [--classes type3,s1,...] [--segments M]
 //!                   [--transport local|subprocess|command|pool] [--local]
 //!                   [--retries R] [--max-inflight M] [--unit U]
-//!                   [--wrap "ssh host --"] [--utilization]
+//!                   [--wrap "ssh host --"] [--utilization] [--cache DIR]
 //!     Run the seeded campaign through the chosen executor backend and
 //!     print the gathered CampaignStats JSON — byte-identical on every
 //!     backend. --local is shorthand for --transport local; --wrap
@@ -35,8 +35,14 @@
 //!     (UtilizationReport; idle workers report zero units). The stats
 //!     line itself is unaffected. --utilization with any other
 //!     transport is a usage error (only the pool has worker slots).
+//!     --cache DIR attaches a content-addressed result cache (created
+//!     if missing): a warm re-run replays finished shards from DIR
+//!     byte-identically and only re-executes shards whose spec hash
+//!     changed. A DIR that exists but is not a directory is a usage
+//!     error (exit 2).
 //! ```
 
+use rv_core::cache::{CacheError, CachedExecutor, ResultCache};
 use rv_core::exec::{
     CommandExecutor, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor, UtilizationReport,
     ATTEMPT_ENV,
@@ -61,7 +67,7 @@ fn main() {
                  [--classes a,b,...] [--segments M] \
                  [--transport local|subprocess|command|pool] \
                  [--local] [--retries R] [--max-inflight M] [--unit U] [--wrap CMD] \
-                 [--utilization]"
+                 [--utilization] [--cache DIR]"
             );
             std::process::exit(2);
         }
@@ -321,6 +327,21 @@ fn campaign(args: &[String]) {
         eprintln!("rv-shard campaign: --utilization requires --transport pool");
         std::process::exit(2);
     }
+    // The cache opens (creating DIR if needed) before any worker spawns
+    // or protocol I/O: a path that exists but is not a directory is a
+    // usage error, not a mid-campaign failure.
+    let cache: Option<Arc<ResultCache>> =
+        flag_value(args, "--cache").map(|dir| match ResultCache::open(dir) {
+            Ok(cache) => Arc::new(cache),
+            Err(e @ CacheError::NotADirectory { .. }) => {
+                eprintln!("rv-shard campaign: {e}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("rv-shard campaign: cannot open cache: {e}");
+                std::process::exit(1);
+            }
+        });
     // Split the host's cores over the workers that actually run at once:
     // the in-flight cap when one is set, else one worker per planned
     // shard (plan clamps the shard count to n, so clamp here too).
@@ -330,24 +351,35 @@ fn campaign(args: &[String]) {
         cap => planned.min(cap),
     };
     let executor: Box<dyn Executor> = match transport {
-        "local" => Box::new(LocalExecutor::new()),
-        "subprocess" => Box::new(
-            SubprocessExecutor::new(worker_command(&own_binary(), concurrency))
+        // The local engine has no shard structure to reuse, so --cache
+        // wraps it: the whole campaign is one cache entry.
+        "local" => match &cache {
+            Some(cache) => Box::new(CachedExecutor::new(LocalExecutor::new(), Arc::clone(cache))),
+            None => Box::new(LocalExecutor::new()),
+        },
+        "subprocess" => {
+            let mut exec = SubprocessExecutor::new(worker_command(&own_binary(), concurrency))
                 .shards(shards)
                 .retries(retries)
-                .max_inflight(max_inflight),
-        ),
+                .max_inflight(max_inflight);
+            if let Some(cache) = &cache {
+                exec = exec.cache(Arc::clone(cache));
+            }
+            Box::new(exec)
+        }
         "command" => {
             let wrap = wrap.filter(|w| !w.is_empty()).unwrap_or_else(|| {
                 eprintln!("rv-shard campaign: --transport command needs --wrap CMD");
                 std::process::exit(2);
             });
-            Box::new(
-                CommandExecutor::new(wrap, worker_command(&own_binary(), concurrency))
-                    .shards(shards)
-                    .retries(retries)
-                    .max_inflight(max_inflight),
-            )
+            let mut exec = CommandExecutor::new(wrap, worker_command(&own_binary(), concurrency))
+                .shards(shards)
+                .retries(retries)
+                .max_inflight(max_inflight);
+            if let Some(cache) = &cache {
+                exec = exec.cache(Arc::clone(cache));
+            }
+            Box::new(exec)
         }
         // Pool transport: --shards is the persistent worker count and
         // --unit the steal-unit size; max_inflight has no meaning (the
@@ -355,10 +387,13 @@ fn campaign(args: &[String]) {
         // concrete (not boxed) so --utilization can read the
         // worker-tagged telemetry back off the executor afterwards.
         "pool" => {
-            let pool = PoolExecutor::new(worker_command(&own_binary(), concurrency))
+            let mut pool = PoolExecutor::new(worker_command(&own_binary(), concurrency))
                 .workers(shards)
                 .unit(unit)
                 .retries(retries);
+            if let Some(cache) = &cache {
+                pool = pool.cache(Arc::clone(cache));
+            }
             match pool.execute_stats(&spec, seed, n, None) {
                 Ok(stats) => {
                     println!("{}", stats.to_json());

@@ -13,6 +13,7 @@
 //! under concurrent retries, and the CLI transports are exercised
 //! against real processes too.
 
+use rv_core::cache::ResultCache;
 use rv_core::exec::{
     CommandExecutor, ExecError, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor,
     WorkerCommand,
@@ -22,7 +23,8 @@ use rv_core::stream::VecSink;
 use rv_core::{wire, CampaignReport, CampaignStats, RecordSink};
 use rv_experiments::runner::{run_pooled, run_sharded};
 use rv_model::TargetClass;
-use std::path::Path;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::Arc;
 
@@ -594,6 +596,35 @@ fn campaign_cli_rejects_missing_n_and_dangling_flag_values() {
 }
 
 #[test]
+fn cache_cli_rejects_a_cache_path_that_is_not_a_directory() {
+    // `--cache` pointing at an existing *file* must be a usage error
+    // (exit 2) before any protocol I/O — not an entry-by-entry I/O
+    // failure halfway through a sweep.
+    let file = std::env::temp_dir().join(format!("rv-cache-not-a-dir-{}", std::process::id()));
+    fs::write(&file, b"occupied\n").unwrap();
+    let out = Command::new(WORKER)
+        .arg("campaign")
+        .args(["--solver", "dedicated", "--classes", "type3", "--n", "8"])
+        .args(["--seed", "1", "--segments", "20000", "--shards", "2"])
+        .args(["--cache", file.to_str().unwrap()])
+        .output()
+        .expect("campaign mode");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("is not a directory"), "stderr: {stderr}");
+    assert!(
+        stderr.contains(file.file_name().unwrap().to_str().unwrap()),
+        "stderr should name the offending path: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "no stats on a usage error: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = fs::remove_file(&file);
+}
+
+#[test]
 fn worker_cli_rejects_unknown_flags() {
     use std::process::Stdio;
     // An unknown worker flag used to be silently ignored, so a typo'd
@@ -711,4 +742,165 @@ fn cli_reports_exhaustion_when_the_wrapper_is_broken() {
         "stderr should report exhaustion: {stderr}"
     );
     assert!(stderr.contains("[command]"), "stderr: {stderr}");
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed result cache (`rv_core::cache`) differentials. The
+// `cache_` name prefix routes these into CI's dedicated cache step (see
+// `.github/workflows/ci.yml`).
+// ---------------------------------------------------------------------------
+
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rv-cache-diff-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cache_warm_reruns_replay_byte_identically_and_execute_zero_shards() {
+    let spec = mixed_spec();
+    let (seed, n) = (0xCAC4E, 24);
+    let dir = cache_dir("warm");
+
+    // Cold: four real worker subprocesses fill the cache while producing
+    // the reference bytes (stats, report records, and sink stream are all
+    // checked against the single-process run inside the helper).
+    let cold_cache = Arc::new(ResultCache::open(&dir).expect("open cold"));
+    let exec = SubprocessExecutor::new(worker_cmd())
+        .shards(4)
+        .cache(Arc::clone(&cold_cache));
+    assert_backend_matches(&exec, &spec, seed, n, "cold subprocess");
+    let cold = cold_cache.stats();
+    assert_eq!((cold.hits, cold.misses, cold.stores), (0, 4, 4), "{cold:?}");
+
+    // Warm, same transport — but the worker binary does not exist, so the
+    // run can only succeed if zero shards are re-executed.
+    let warm_cache = Arc::new(ResultCache::open(&dir).expect("open warm"));
+    let broken = WorkerCommand::new("/nonexistent/rv-shard-warm-proof");
+    let exec = SubprocessExecutor::new(broken.clone())
+        .shards(4)
+        .cache(Arc::clone(&warm_cache));
+    assert_backend_matches(&exec, &spec, seed, n, "warm subprocess, broken worker");
+    let warm = warm_cache.stats();
+    assert_eq!(
+        (warm.hits, warm.misses, warm.evictions),
+        (4, 0, 0),
+        "{warm:?}"
+    );
+
+    // Warm across the *other* transport: the pool's 6-instance units
+    // address exactly the (spec, seed, range) entries the subprocess
+    // wrote, so no session worker is ever spawned — with the same broken
+    // binary, success again proves zero executions.
+    let pool_cache = Arc::new(ResultCache::open(&dir).expect("open pool"));
+    let exec = PoolExecutor::new(broken)
+        .workers(2)
+        .unit(6)
+        .cache(Arc::clone(&pool_cache));
+    assert_backend_matches(&exec, &spec, seed, n, "warm pool, broken worker");
+    let pool = pool_cache.stats();
+    assert_eq!((pool.hits, pool.misses), (4, 0), "{pool:?}");
+    assert!(
+        exec.take_telemetry().is_empty(),
+        "cached units never ran, so none may report telemetry"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_spec_tweak_reexecutes_exactly_the_changed_shards() {
+    let spec = mixed_spec();
+    let seed = 0xCAC4E;
+    let dir = cache_dir("tweak");
+
+    // Cold: n = 24 over 4 shards caches the ranges 0..6 … 18..24.
+    let cold_cache = Arc::new(ResultCache::open(&dir).expect("open cold"));
+    let exec = SubprocessExecutor::new(worker_cmd())
+        .shards(4)
+        .cache(Arc::clone(&cold_cache));
+    assert_backend_matches(&exec, &spec, seed, 24, "cold n=24");
+    assert_eq!(cold_cache.stats().stores, 4);
+
+    // Tweak one parameter — n: 24 → 30 over 5 shards keeps the first four
+    // ranges byte-for-byte and appends 24..30. Exactly that one new shard
+    // misses, executes, and is stored; the rest replay from disk.
+    let warm_cache = Arc::new(ResultCache::open(&dir).expect("open warm"));
+    let exec = SubprocessExecutor::new(worker_cmd())
+        .shards(5)
+        .cache(Arc::clone(&warm_cache));
+    assert_backend_matches(&exec, &spec, seed, 30, "tweaked n=30");
+    let s = warm_cache.stats();
+    assert_eq!((s.hits, s.misses, s.stores), (4, 1, 1), "{s:?}");
+
+    // Tweaking the campaign itself (segments) relocates *every* key: the
+    // grown cache dir is useless for it and all shards re-execute.
+    let mut other = spec.clone();
+    other.segments += 1;
+    let moved_cache = Arc::new(ResultCache::open(&dir).expect("open moved"));
+    let exec = SubprocessExecutor::new(worker_cmd())
+        .shards(4)
+        .cache(Arc::clone(&moved_cache));
+    assert_backend_matches(&exec, &other, seed, 24, "segments-tweaked n=24");
+    let m = moved_cache.stats();
+    assert_eq!((m.hits, m.misses, m.stores), (0, 4, 4), "{m:?}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_cli_cold_warm_and_cross_transport_runs_match_byte_for_byte() {
+    let dir = cache_dir("cli");
+    let cache_arg = dir.to_string_lossy().into_owned();
+    let run = |extra: &[&str]| {
+        let out = Command::new(WORKER)
+            .arg("campaign")
+            .args(["--solver", "dedicated", "--classes", "type3,s1"])
+            .args(["--n", "12", "--seed", "9", "--segments", "30000"])
+            .args(extra)
+            .output()
+            .expect("campaign mode");
+        assert!(
+            out.status.success(),
+            "{extra:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // Reference: an uncached local run of the same campaign.
+    let reference = run(&["--local"]);
+
+    // Cold CLI run fills the cache dir (created on demand).
+    let cold = run(&["--shards", "3", "--cache", &cache_arg]);
+    assert_eq!(cold, reference, "cold cached run must not change bytes");
+    assert!(dir.is_dir(), "--cache created the directory");
+
+    // Warm rerun behind a wrapper that cannot possibly run: success
+    // proves the CLI replayed every shard from the cache.
+    let warm = run(&[
+        "--shards",
+        "3",
+        "--cache",
+        &cache_arg,
+        "--wrap",
+        "/nonexistent/rv-wrap-warm-proof",
+    ]);
+    assert_eq!(warm, reference, "warm run must replay identical bytes");
+
+    // The pool transport with aligned 4-instance units replays the same
+    // entries the subprocess transport wrote.
+    let pool = run(&[
+        "--transport",
+        "pool",
+        "--shards",
+        "2",
+        "--unit",
+        "4",
+        "--cache",
+        &cache_arg,
+    ]);
+    assert_eq!(
+        pool, reference,
+        "pool transport must replay the same entries"
+    );
+    let _ = fs::remove_dir_all(&dir);
 }

@@ -43,6 +43,7 @@ fn request(n: usize, transport: TransportSpec, workers: usize) -> CampaignReques
         workers,
         unit: 0,
         retries: 0,
+        cache: None,
     }
 }
 
@@ -206,6 +207,51 @@ fn full_server_answers_typed_busy() {
     }
     handle.shutdown();
     join.join().expect("join");
+}
+
+#[test]
+fn served_cached_campaigns_replay_byte_identically_and_bad_cache_paths_are_typed() {
+    let dir = std::env::temp_dir().join(format!("rv-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let mut req = request(48, TransportSpec::Local, 0);
+    req.cache = Some(dir.to_string_lossy().into_owned());
+
+    // Cold fills the server-side cache; the warm re-key of the same
+    // connection replays it. Both must match the local reference.
+    let cold = client.run_campaign(&spec(), 42, &req).expect("cold");
+    assert_served_matches_local(&cold, &spec(), 42, 48, "cached local (cold)");
+    let warm = client.run_campaign(&spec(), 42, &req).expect("warm");
+    assert_served_matches_local(&warm, &spec(), 42, 48, "cached local (warm)");
+    assert_eq!(
+        cold.record_lines, warm.record_lines,
+        "warm replay streams the same wire bytes"
+    );
+
+    // A requested cache path that exists but is a *file* comes back as
+    // one typed error line, before any executor work.
+    let file = dir.join("occupied");
+    std::fs::write(&file, b"x").expect("occupy");
+    let mut bad = request(8, TransportSpec::Local, 0);
+    bad.cache = Some(file.to_string_lossy().into_owned());
+    let mut other_client = Client::connect(addr).expect("connect 2");
+    match other_client.run_campaign(&spec(), 42, &bad) {
+        Err(ClientError::Server(err)) => {
+            assert_eq!(err.code, ErrorCode::Protocol);
+            assert!(
+                err.message.contains("not a directory"),
+                "message: {}",
+                err.message
+            );
+        }
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    drop(client);
+    drop(other_client);
+    handle.shutdown();
+    join.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

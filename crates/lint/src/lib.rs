@@ -105,6 +105,9 @@ impl Default for Config {
                 "crates/core/src/shard.rs".into(),
                 "crates/core/src/json.rs".into(),
                 "crates/core/src/exec.rs".into(),
+                // Every cache read must be total: corrupt entries come
+                // back as typed CacheError values, never as a panic.
+                "crates/core/src/cache.rs".into(),
                 "crates/experiments/src/bin/rv_shard.rs".into(),
                 // The whole campaign server: hostile input must come
                 // back as typed error lines, never as a worker panic.

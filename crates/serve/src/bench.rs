@@ -77,6 +77,7 @@ fn request(n: usize) -> CampaignRequest {
         workers: 0,
         unit: 0,
         retries: 0,
+        cache: None,
     }
 }
 

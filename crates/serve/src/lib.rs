@@ -52,6 +52,7 @@
 //!     workers: 0,
 //!     unit: 0,
 //!     retries: 0,
+//!     cache: None,
 //! };
 //! let mut client = Client::connect(addr)?;
 //! let run = client.run_campaign(&spec, 42, &req).expect("campaign");
@@ -71,6 +72,7 @@ pub mod bench;
 pub mod signal;
 
 use rv_core::batch::{CampaignStats, RunRecord};
+use rv_core::cache::{CachedExecutor, ResultCache};
 use rv_core::exec::{
     ExecError, Executor, LocalExecutor, PoolExecutor, SubprocessExecutor, WorkerCommand,
 };
@@ -555,19 +557,39 @@ fn run_campaign(
             ErrorLine::new(ErrorCode::Exec, e)
         }
     };
+    // A requested cache directory opens (creating if needed) a
+    // server-side content-addressed result store. A path that cannot
+    // host one is a typed protocol error before any execution starts.
+    let cache = match &req.cache {
+        None => None,
+        Some(dir) => Some(Arc::new(
+            ResultCache::open(dir).map_err(|e| ErrorLine::new(ErrorCode::Protocol, e))?,
+        )),
+    };
     let sink: Arc<dyn RecordSink> = Arc::clone(&out) as Arc<dyn RecordSink>;
     match req.transport {
-        TransportSpec::Local => LocalExecutor::new()
-            .threads(config.local_threads)
-            .execute_stats(spec, seed, req.n, Some(sink))
+        TransportSpec::Local => {
+            let local = LocalExecutor::new().threads(config.local_threads);
+            // The local engine has no shard structure to reuse, so the
+            // whole campaign is one cache entry via the wrapper.
+            match cache {
+                Some(cache) => {
+                    CachedExecutor::new(local, cache).execute_stats(spec, seed, req.n, Some(sink))
+                }
+                None => local.execute_stats(spec, seed, req.n, Some(sink)),
+            }
             .map(|stats| (stats, Vec::new()))
-            .map_err(|e| client_gone(&out, e)),
+            .map_err(|e| client_gone(&out, e))
+        }
         TransportSpec::Pool => {
             let workers = req.workers.max(1);
-            let pool = PoolExecutor::new(worker_command(config, workers)?)
+            let mut pool = PoolExecutor::new(worker_command(config, workers)?)
                 .workers(workers)
                 .unit(req.unit)
                 .retries(req.retries);
+            if let Some(cache) = cache {
+                pool = pool.cache(cache);
+            }
             let stats = pool
                 .execute_stats(spec, seed, req.n, Some(sink))
                 .map_err(|e| client_gone(&out, e))?;
@@ -575,10 +597,13 @@ fn run_campaign(
         }
         TransportSpec::Subprocess => {
             let shards = req.workers.max(1);
-            SubprocessExecutor::new(worker_command(config, shards)?)
+            let mut exec = SubprocessExecutor::new(worker_command(config, shards)?)
                 .shards(shards)
-                .retries(req.retries)
-                .execute_stats(spec, seed, req.n, Some(sink))
+                .retries(req.retries);
+            if let Some(cache) = cache {
+                exec = exec.cache(cache);
+            }
+            exec.execute_stats(spec, seed, req.n, Some(sink))
                 .map(|stats| (stats, Vec::new()))
                 .map_err(|e| client_gone(&out, e))
         }
@@ -749,6 +774,7 @@ mod tests {
             workers: 0,
             unit: 0,
             retries: 0,
+            cache: None,
         }
     }
 

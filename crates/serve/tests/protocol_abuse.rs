@@ -24,6 +24,7 @@ fn request(n: usize) -> CampaignRequest {
         workers: 0,
         unit: 0,
         retries: 0,
+        cache: None,
     }
 }
 
