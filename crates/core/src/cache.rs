@@ -14,7 +14,7 @@
 //! JSON-lines file named by the entry's [`CacheKey`]:
 //!
 //! ```text
-//! <dir>/<key:016x>.jsonl
+//! <dir>/<key:032x>.jsonl
 //!   line 1      — the canonical `campaign_spec` line (the key preimage)
 //!   lines 2..   — one `record` line per index, ascending over the range
 //!   last line   — a `unit_done` line (task_id 0) with the accumulator
@@ -26,12 +26,16 @@
 //!
 //! # Key derivation
 //!
-//! The key is a 64-bit FNV-1a hash of the canonical `campaign_spec`
+//! The key is a 128-bit FNV-1a hash of the canonical `campaign_spec`
 //! wire bytes ([`crate::wire::encode_campaign_spec`]), folded with the
 //! little-endian bytes of `seed`, `start`, and `end`. Any spec
 //! difference that survives canonicalisation (solver, classes,
 //! segments, seed) or any range difference yields a different key, so
-//! invalidation is automatic: a changed shard simply misses.
+//! invalidation is automatic: a changed shard simply misses. The width
+//! matters: two *live* keys colliding would make their entries evict
+//! each other on every lookup (each sees the other's preimage as a
+//! [`CacheError::KeyMismatch`]), so collisions must be negligible, not
+//! merely rare.
 //!
 //! # Totality
 //!
@@ -39,8 +43,10 @@
 //! wrong-key entry decodes to a typed [`CacheError`]; the convenience
 //! path [`ResultCache::lookup`] additionally evicts the corrupt file
 //! and reports a miss, so callers fall back to recomputation — never a
-//! panic, never stale bytes. This module is in rv-lint's panic-free
-//! zone.
+//! panic, never stale bytes. I/O failures are the one exception to
+//! eviction: they may be transient and say nothing about the entry's
+//! content, so they miss without unlinking. This module is in
+//! rv-lint's panic-free zone.
 //!
 //! ```no_run
 //! use rv_core::cache::ResultCache;
@@ -66,25 +72,27 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 
 /// Folds `bytes` into an FNV-1a state.
-fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+fn fnv1a(mut state: u128, bytes: &[u8]) -> u128 {
     for &b in bytes {
-        state ^= b as u64;
+        state ^= b as u128;
         state = state.wrapping_mul(FNV_PRIME);
     }
     state
 }
 
-/// The content address of one cached shard: a 64-bit FNV-1a hash of the
-/// canonical `campaign_spec` wire bytes plus `(seed, start, end)`.
+/// The content address of one cached shard: a 128-bit FNV-1a hash of
+/// the canonical `campaign_spec` wire bytes plus `(seed, start, end)`.
+/// 128 bits keep accidental collisions between live keys negligible;
+/// see the module docs ("Key derivation") for why that matters.
 ///
-/// Displayed (and used as the entry file stem) as 16 lowercase hex
+/// Displayed (and used as the entry file stem) as 32 lowercase hex
 /// digits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct CacheKey(u64);
+pub struct CacheKey(u128);
 
 impl CacheKey {
     /// Derives the key for `(spec, seed, range)`.
@@ -97,20 +105,20 @@ impl CacheKey {
         CacheKey(state)
     }
 
-    /// The raw 64-bit hash.
-    pub fn as_u64(&self) -> u64 {
+    /// The raw 128-bit hash.
+    pub fn as_u128(&self) -> u128 {
         self.0
     }
 
-    /// The entry file name this key addresses (`<16 hex digits>.jsonl`).
+    /// The entry file name this key addresses (`<32 hex digits>.jsonl`).
     pub fn file_name(&self) -> String {
-        format!("{:016x}.jsonl", self.0)
+        format!("{:032x}.jsonl", self.0)
     }
 }
 
 impl fmt::Display for CacheKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:016x}", self.0)
+        write!(f, "{:032x}", self.0)
     }
 }
 
@@ -426,6 +434,12 @@ impl ResultCache {
     /// The total convenience path executors use: load, treating a
     /// corrupt entry as a miss after evicting it. Never fails, never
     /// panics; counts a hit, a miss, or a miss + eviction.
+    ///
+    /// Only *content* errors (`Wire`, `Truncated`, `KeyMismatch`,
+    /// `Layout`) evict: the file itself is the problem and recompute
+    /// will republish it. An [`CacheError::Io`] failure may be
+    /// transient (EACCES, EMFILE, an interrupted read) over a perfectly
+    /// valid entry, so it is a plain miss that leaves the file alone.
     pub fn lookup(
         &self,
         spec: &CampaignSpec,
@@ -441,9 +455,11 @@ impl ResultCache {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            Err(_) => {
+            Err(err) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                self.evict(CacheKey::derive(spec, seed, range));
+                if !matches!(err, CacheError::Io { .. }) {
+                    self.evict(CacheKey::derive(spec, seed, range));
+                }
                 None
             }
         }

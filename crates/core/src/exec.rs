@@ -451,7 +451,7 @@ impl SubprocessExecutor {
             &sink,
             keep_records,
             &mut slot_init,
-        );
+        )?;
         let pending_len = pending.len();
 
         // task = (index into specs, attempt number)
@@ -869,7 +869,7 @@ impl PoolExecutor {
             &sink,
             keep_records,
             &mut slot_init,
-        );
+        )?;
 
         // task = (index into units, attempt number)
         let queue: Mutex<VecDeque<(usize, u32)>> = Mutex::new(pending);
@@ -1399,6 +1399,11 @@ struct ShardOutcome {
 /// already evicted by [`ResultCache::lookup`], so they come back as
 /// plain misses. Both planners assign ids `0..len`, so slot `k` is
 /// shard/task id `k`.
+///
+/// The drain loops' sink contract holds here too: `sink.is_closed()`
+/// is checked per shard, so a consumer that hangs up mid-replay of a
+/// large warm run aborts with [`ExecError::SinkClosed`] instead of
+/// receiving the rest of the replay.
 fn cache_prepass(
     cache: Option<&ResultCache>,
     spec: &CampaignSpec,
@@ -1407,12 +1412,15 @@ fn cache_prepass(
     sink: &Option<Arc<dyn RecordSink>>,
     keep_records: bool,
     slots: &mut [Option<ShardOutcome>],
-) -> VecDeque<(usize, u32)> {
+) -> Result<VecDeque<(usize, u32)>, ExecError> {
     let Some(cache) = cache else {
-        return (0..ranges.len()).map(|k| (k, 0)).collect();
+        return Ok((0..ranges.len()).map(|k| (k, 0)).collect());
     };
     let mut misses = VecDeque::new();
     for (k, range) in ranges.iter().enumerate() {
+        if sink.as_ref().is_some_and(|s| s.is_closed()) {
+            return Err(ExecError::SinkClosed);
+        }
         match cache.lookup(spec, seed, range) {
             Some(hit) => {
                 if let Some(sink) = sink {
@@ -1439,7 +1447,7 @@ fn cache_prepass(
             None => misses.push_back((k, 0)),
         }
     }
-    misses
+    Ok(misses)
 }
 
 /// Reassembles the per-shard outcomes into the campaign report: records

@@ -180,10 +180,12 @@ pub struct CampaignRequest {
     pub unit: usize,
     /// Per-shard/per-unit retry budget for the subprocess transports.
     pub retries: u32,
-    /// Server-side result-cache directory (`None` = uncached). When
-    /// set, the server opens `rv_core::cache::ResultCache` there and
-    /// replays/stores finished shards content-addressed — see the
-    /// "Cached results" section of `WIRE.md`.
+    /// Opaque result-cache *name* (`None` = uncached). The server
+    /// validates it against a safe charset and joins it under its own
+    /// configured cache root, opening `rv_core::cache::ResultCache`
+    /// there to replay/store finished shards content-addressed — a
+    /// client never names a filesystem path. See the "Cached results"
+    /// section of `WIRE.md`.
     pub cache: Option<String>,
 }
 

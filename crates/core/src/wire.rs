@@ -1098,7 +1098,7 @@ pub fn decode_unit_done(line: &str) -> Result<UnitDone, WireError> {
 /// re-keys) a service session.
 pub fn encode_request(req: &CampaignRequest) -> String {
     let cache = match &req.cache {
-        Some(dir) => json::string(dir),
+        Some(name) => json::string(name),
         None => "null".to_string(),
     };
     format!(
@@ -1114,9 +1114,12 @@ pub fn encode_request(req: &CampaignRequest) -> String {
     )
 }
 
-/// Decodes a `kind: "request"` line. `cache` may be a string, `null`,
-/// or absent entirely (requests from pre-cache clients) — the last two
-/// both mean "uncached".
+/// Decodes a `kind: "request"` line. `cache` may be a string (an
+/// opaque cache name the *server* resolves under its configured root —
+/// never a filesystem path), `null`, or absent entirely (requests from
+/// pre-cache clients) — the last two both mean "uncached". Name
+/// validation is the server's job, not the decoder's: the wire layer
+/// stays a pure codec.
 pub fn decode_request(line: &str) -> Result<CampaignRequest, WireError> {
     let v = header(line, "request")?;
     let transport =
@@ -1126,7 +1129,7 @@ pub fn decode_request(line: &str) -> Result<CampaignRequest, WireError> {
         })?;
     let cache = match v.get("cache") {
         None | Some(Value::Null) => None,
-        Some(Value::Str(dir)) => Some(dir.clone()),
+        Some(Value::Str(name)) => Some(name.clone()),
         Some(other) => {
             return Err(WireError::Field {
                 field: "cache",

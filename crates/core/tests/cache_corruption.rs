@@ -196,6 +196,25 @@ fn entry_under_the_wrong_key_is_a_key_mismatch() {
 }
 
 #[test]
+fn io_failures_miss_without_evicting_the_entry() {
+    // An I/O error (here: the entry path reads as a directory, not a
+    // file) says nothing about the entry's content — a transient
+    // EACCES/EMFILE must not delete a valid cached shard. Lookup
+    // reports a plain miss and leaves the path alone.
+    let (cache, path) = seeded_cache("io-miss");
+    fs::remove_file(&path).unwrap();
+    fs::create_dir(&path).unwrap();
+    let err = cache
+        .load(&spec(), SEED, &(0..N))
+        .expect_err("a directory at the entry path is an I/O error");
+    assert!(matches!(err, CacheError::Io { .. }), "{err}");
+    assert!(cache.lookup(&spec(), SEED, &(0..N)).is_none(), "plain miss");
+    assert!(path.exists(), "I/O errors must not evict");
+    assert_eq!(cache.stats().evictions, 0);
+    let _ = fs::remove_dir_all(cache.dir());
+}
+
+#[test]
 fn junk_after_the_accumulator_is_typed_and_recovers() {
     let (cache, path) = seeded_cache("trailing");
     let mut text = fs::read_to_string(&path).unwrap();

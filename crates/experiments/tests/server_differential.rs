@@ -210,18 +210,28 @@ fn full_server_answers_typed_busy() {
 }
 
 #[test]
-fn served_cached_campaigns_replay_byte_identically_and_bad_cache_paths_are_typed() {
-    let dir = std::env::temp_dir().join(format!("rv-serve-cache-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let (addr, handle, join) = start(ServeConfig::default());
+fn served_cached_campaigns_replay_byte_identically_and_bad_cache_names_are_typed() {
+    let root = std::env::temp_dir().join(format!("rv-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("cache root");
+    let (addr, handle, join) = start(ServeConfig {
+        cache_root: Some(root.clone()),
+        ..ServeConfig::default()
+    });
     let mut client = Client::connect(addr).expect("connect");
     let mut req = request(48, TransportSpec::Local, 0);
-    req.cache = Some(dir.to_string_lossy().into_owned());
+    // The wire field is an opaque *name* the server resolves under its
+    // own --cache-root; the client never sees a filesystem path.
+    req.cache = Some("sweep".to_string());
 
     // Cold fills the server-side cache; the warm re-key of the same
     // connection replays it. Both must match the local reference.
     let cold = client.run_campaign(&spec(), 42, &req).expect("cold");
     assert_served_matches_local(&cold, &spec(), 42, 48, "cached local (cold)");
+    assert!(
+        root.join("sweep").is_dir(),
+        "the named cache lives under the server's root"
+    );
     let warm = client.run_campaign(&spec(), 42, &req).expect("warm");
     assert_served_matches_local(&warm, &spec(), 42, 48, "cached local (warm)");
     assert_eq!(
@@ -229,13 +239,32 @@ fn served_cached_campaigns_replay_byte_identically_and_bad_cache_paths_are_typed
         "warm replay streams the same wire bytes"
     );
 
-    // A requested cache path that exists but is a *file* comes back as
-    // one typed error line, before any executor work.
-    let file = dir.join("occupied");
-    std::fs::write(&file, b"x").expect("occupy");
+    // Names that try to escape the root — absolute paths, `..`
+    // traversal, separators, hidden/tmp prefixes — are refused with one
+    // typed error line, before any filesystem or executor work.
+    for escape in ["/tmp/evil", "..", "../sibling", "a/b", ".hidden", ""] {
+        let mut bad = request(8, TransportSpec::Local, 0);
+        bad.cache = Some(escape.to_string());
+        let mut other_client = Client::connect(addr).expect("connect 2");
+        match other_client.run_campaign(&spec(), 42, &bad) {
+            Err(ClientError::Server(err)) => {
+                assert_eq!(err.code, ErrorCode::Protocol, "name {escape:?}");
+                assert!(
+                    err.message.contains("bad cache name"),
+                    "name {escape:?}: message: {}",
+                    err.message
+                );
+            }
+            other => panic!("name {escape:?}: expected a typed protocol error, got {other:?}"),
+        }
+    }
+
+    // A valid name whose slot under the root is occupied by a plain
+    // file is a typed error too (the store refuses to open it).
+    std::fs::write(root.join("occupied"), b"x").expect("occupy");
     let mut bad = request(8, TransportSpec::Local, 0);
-    bad.cache = Some(file.to_string_lossy().into_owned());
-    let mut other_client = Client::connect(addr).expect("connect 2");
+    bad.cache = Some("occupied".to_string());
+    let mut other_client = Client::connect(addr).expect("connect 3");
     match other_client.run_campaign(&spec(), 42, &bad) {
         Err(ClientError::Server(err)) => {
             assert_eq!(err.code, ErrorCode::Protocol);
@@ -251,7 +280,31 @@ fn served_cached_campaigns_replay_byte_identically_and_bad_cache_paths_are_typed
     drop(other_client);
     handle.shutdown();
     join.join().expect("join");
-    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cache_requests_without_a_configured_root_are_unsupported() {
+    // No cache_root in the config: the `cache` field cannot be honoured
+    // and must be refused typed — never opened relative to the server's
+    // cwd.
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let mut req = request(8, TransportSpec::Local, 0);
+    req.cache = Some("sweep".to_string());
+    match client.run_campaign(&spec(), 42, &req) {
+        Err(ClientError::Server(err)) => {
+            assert_eq!(err.code, ErrorCode::Unsupported);
+            assert!(
+                err.message.contains("cache root"),
+                "message: {}",
+                err.message
+            );
+        }
+        other => panic!("expected an unsupported error, got {other:?}"),
+    }
+    handle.shutdown();
+    join.join().expect("join");
 }
 
 #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! rv-serve [--addr HOST:PORT] [--worker PATH] [--max-campaigns N]
 //!          [--read-timeout-secs S] [--max-line-bytes B] [--local-threads T]
+//!          [--cache-root DIR]
 //! rv-serve bench [--clients N] [--campaigns M] [--quick] [--out PATH]
 //! ```
 //!
@@ -10,6 +11,9 @@
 //! printed as `rv-serve: listening on ADDR`), installs the
 //! SIGTERM/SIGINT drain handler, and serves schema-3 campaign sessions
 //! until drained — see `WIRE.md`, "Campaign service over TCP".
+//! `--cache-root DIR` is the server-side home for client-named result
+//! caches (the `request` line's `cache` field); without it, cache
+//! requests are answered `unsupported`.
 //!
 //! `bench` runs the loopback loadtest and writes
 //! `target/BENCH_serve.json` (see [`rv_serve::bench`]).
@@ -27,6 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rv-serve [--addr HOST:PORT] [--worker PATH] [--max-campaigns N]\n\
          \x20               [--read-timeout-secs S] [--max-line-bytes B] [--local-threads T]\n\
+         \x20               [--cache-root DIR]\n\
          \x20      rv-serve bench [--clients N] [--campaigns M] [--quick] [--out PATH]"
     );
     std::process::exit(2);
@@ -86,6 +91,7 @@ fn serve(args: &[String]) -> ! {
             "--read-timeout-secs",
             "--max-line-bytes",
             "--local-threads",
+            "--cache-root",
         ],
         &[],
     );
@@ -104,6 +110,7 @@ fn serve(args: &[String]) -> ! {
         ),
         worker: flag_value(args, "--worker").map(PathBuf::from),
         local_threads: parsed(flag_value(args, "--local-threads"), "--local-threads", 0),
+        cache_root: flag_value(args, "--cache-root").map(PathBuf::from),
     };
 
     signal::install();

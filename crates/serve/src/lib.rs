@@ -123,6 +123,13 @@ pub struct ServeConfig {
     /// servers cap this so concurrent campaigns don't oversubscribe;
     /// thread count never changes campaign bytes.
     pub local_threads: usize,
+    /// Server-side directory under which client-named result caches
+    /// live. The wire `request` line's `cache` field is an opaque cache
+    /// *name* (validated, see [`resolve_cache_name`]) joined under this
+    /// root — clients never choose filesystem paths, exactly like the
+    /// worker binary being server config. `None` answers any cache
+    /// request with an `unsupported` error.
+    pub cache_root: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +140,7 @@ impl Default for ServeConfig {
             max_line_bytes: 1 << 20,
             worker: None,
             local_threads: 0,
+            cache_root: None,
         }
     }
 }
@@ -557,14 +565,13 @@ fn run_campaign(
             ErrorLine::new(ErrorCode::Exec, e)
         }
     };
-    // A requested cache directory opens (creating if needed) a
-    // server-side content-addressed result store. A path that cannot
-    // host one is a typed protocol error before any execution starts.
+    // A requested cache name resolves (creating if needed) to a
+    // server-side content-addressed result store under the configured
+    // cache root. A name the server cannot honour is a typed error
+    // before any execution starts.
     let cache = match &req.cache {
         None => None,
-        Some(dir) => Some(Arc::new(
-            ResultCache::open(dir).map_err(|e| ErrorLine::new(ErrorCode::Protocol, e))?,
-        )),
+        Some(name) => Some(resolve_cache(config, name)?),
     };
     let sink: Arc<dyn RecordSink> = Arc::clone(&out) as Arc<dyn RecordSink>;
     match req.transport {
@@ -608,6 +615,51 @@ fn run_campaign(
                 .map_err(|e| client_gone(&out, e))
         }
     }
+}
+
+/// The bounds a wire-supplied cache name must satisfy before it is
+/// joined under [`ServeConfig::cache_root`]: 1–64 bytes of
+/// `[A-Za-z0-9._-]`, not starting with `.` or `-`. That shuts out
+/// absolute paths, `..` traversal, path separators, hidden files (the
+/// store's own temporaries are dot-prefixed), and flag-shaped names —
+/// a client picks a cache *namespace*, never a filesystem location.
+pub fn validate_cache_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(format!("must be 1-64 bytes, got {}", name.len()));
+    }
+    if name.starts_with('.') || name.starts_with('-') {
+        return Err("must not start with '.' or '-'".to_string());
+    }
+    match name
+        .chars()
+        .find(|c| !c.is_ascii_alphanumeric() && !matches!(c, '.' | '_' | '-'))
+    {
+        Some(bad) => Err(format!("contains {bad:?}; allowed: [A-Za-z0-9._-]")),
+        None => Ok(()),
+    }
+}
+
+/// Resolves a wire-supplied cache name to an open store under the
+/// server's cache root. The name is untrusted socket input: without a
+/// configured root the request is `unsupported`, and a name failing
+/// [`validate_cache_name`] is a `protocol` error — the client never
+/// reaches `ResultCache::open` with a path of its own choosing.
+fn resolve_cache(config: &ServeConfig, name: &str) -> Result<Arc<ResultCache>, ErrorLine> {
+    let Some(root) = &config.cache_root else {
+        return Err(ErrorLine::new(
+            ErrorCode::Unsupported,
+            "no cache root configured; the server serves uncached campaigns only",
+        ));
+    };
+    validate_cache_name(name).map_err(|why| {
+        ErrorLine::new(
+            ErrorCode::Protocol,
+            format!("bad cache name {name:?}: {why}"),
+        )
+    })?;
+    ResultCache::open(root.join(name))
+        .map(Arc::new)
+        .map_err(|e| ErrorLine::new(ErrorCode::Protocol, e))
 }
 
 /// The worker invocation for process-backed transports: the configured
@@ -786,6 +838,28 @@ mod tests {
             server.run().expect("serve");
         });
         (addr, handle, join)
+    }
+
+    #[test]
+    fn cache_names_are_validated_not_treated_as_paths() {
+        for ok in ["sweep", "t1-grid", "a", "x.y_z-9", &"n".repeat(64)] {
+            assert!(validate_cache_name(ok).is_ok(), "{ok:?}");
+        }
+        for bad in [
+            "",
+            "/abs/path",
+            "..",
+            "../up",
+            "a/b",
+            "a\\b",
+            ".hidden",
+            "-flag",
+            "sp ace",
+            "nul\0byte",
+            &"n".repeat(65),
+        ] {
+            assert!(validate_cache_name(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]
