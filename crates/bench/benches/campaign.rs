@@ -14,9 +14,13 @@ use rv_core::batch::{mix_seed, Campaign, RunRecord};
 use rv_core::cache::{CacheKey, CachedExecutor, ResultCache};
 use rv_core::exec::{Executor, LocalExecutor, PoolExecutor, SubprocessExecutor, WorkerCommand};
 use rv_core::shard::{CampaignSpec, SolverSpec};
-use rv_core::{json, par_map, wire, Budget, Dedicated, FixedPair, StatsAccumulator};
+use rv_core::{
+    almost_universal_rv, json, par_map, wire, Aur, Budget, Dedicated, FixedPair, Solver,
+    StatsAccumulator,
+};
 use rv_model::{Classification, Instance, TargetClass};
-use rv_numeric::{ratio, Ratio};
+use rv_numeric::{ratio, Int, Ratio};
+use rv_trajectory::Motion;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -88,6 +92,114 @@ fn bench_campaign(c: &mut Criterion) {
             budget.clone(),
         );
         b.iter(|| black_box(campaign.run(&pool)).stats.n)
+    });
+    g.finish();
+}
+
+/// Per-layer micro-rows for the solver hot path: the exact-rational
+/// primitives (`Ratio` add/mul/cmp, `Int` gcd), the kinematic compiler
+/// stepping the real AUR program, one full engine run at campaign budget,
+/// and the accumulator fold. Together they show *where* the milliseconds
+/// of a `campaign/*` row live, so a perf PR can prove which layer moved.
+fn bench_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+
+    // Mixed operand pool: mostly small rationals (the steady state), plus
+    // a few giant-wait-scale values so the big-int paths are represented
+    // the way an AUR clock past `2^(15·9)` represents them.
+    let vals: Vec<Ratio> = (1..=64i64)
+        .map(|k| {
+            if k % 8 == 0 {
+                &Ratio::pow2(140 + k) + &ratio(k, 3)
+            } else {
+                ratio(3 * k + 1, (k % 7) + 1)
+            }
+        })
+        .collect();
+    g.bench_function("ratio_add_64", |b| {
+        b.iter(|| {
+            let mut acc = Ratio::zero();
+            for v in &vals {
+                acc += v;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("ratio_mul_64", |b| {
+        b.iter(|| {
+            let mut last = Ratio::zero();
+            for v in &vals {
+                last = v * v;
+            }
+            black_box(last)
+        })
+    });
+    g.bench_function("ratio_cmp_64", |b| {
+        b.iter(|| {
+            let mut below = 0usize;
+            for w in vals.windows(2) {
+                if w[0] < w[1] {
+                    below += 1;
+                }
+            }
+            black_box(below)
+        })
+    });
+    g.bench_function("int_gcd_64", |b| {
+        let ints: Vec<Int> = (1..=64i64)
+            .map(|k| Int::from(k * 2 * 3 * 5 * 7 * 11 + (k % 5)))
+            .collect();
+        b.iter(|| {
+            let mut acc = Int::from(0i64);
+            for w in ints.windows(2) {
+                acc = w[0].gcd(&w[1]);
+            }
+            black_box(acc)
+        })
+    });
+
+    // The kinematic compiler on the real strategy: step agent B's motion
+    // through the first 4096 segments of `AlmostUniversalRV`.
+    let inst = instances(1).remove(0);
+    g.bench_function("kinematics_4k", |b| {
+        let attrs = inst.agent_b();
+        b.iter(|| {
+            let mut m = Motion::new(attrs.clone(), almost_universal_rv());
+            let mut x = 0.0;
+            for _ in 0..4096 {
+                x = m.next().map_or(x, |s| s.from.x);
+            }
+            black_box(x)
+        })
+    });
+
+    // One full engine run at the campaign budget — the unit of work every
+    // `campaign/*`, executor, and serve row multiplies.
+    let budget = Budget::default().segments(50_000);
+    g.bench_function("sim_engine_50k", |b| {
+        b.iter(|| black_box(Aur.solve(&inst, &budget)).segments)
+    });
+
+    // The accumulator fold: push 4096 synthetic records and finish.
+    let records: Vec<RunRecord> = (0..4096u64)
+        .map(|i| RunRecord {
+            class: Classification::Type3,
+            feasible: true,
+            met: i % 3 != 0,
+            time: (i % 3 != 0).then_some(i as f64 / 7.0),
+            segments: i * 13 % 997,
+            min_dist: (i % 31) as f64 / 8.0,
+            radius: 2.0,
+        })
+        .collect();
+    g.bench_function("stats_push_finish_4k", |b| {
+        b.iter(|| {
+            let mut acc = StatsAccumulator::new();
+            for r in &records {
+                acc.push(r);
+            }
+            black_box(acc.finish()).n
+        })
     });
     g.finish();
 }
@@ -315,6 +427,7 @@ fn results_json(c: &Criterion) -> String {
 fn main() {
     let mut criterion = Criterion::default();
     bench_par_map(&mut criterion);
+    bench_hotpath(&mut criterion);
     bench_campaign(&mut criterion);
     bench_shard_gather(&mut criterion);
     bench_cache(&mut criterion);

@@ -13,7 +13,11 @@
 //!   the guard keeps working on trees predating the campaign service;
 //! - **`cache/`** from the same `BENCH_campaign.json` vs
 //!   `crates/bench/BENCH_cache_baseline.json` — the result cache's
-//!   warm-replay row, gated on its baseline the same way.
+//!   warm-replay row, gated on its baseline the same way;
+//! - **`hotpath/`** from the same `BENCH_campaign.json` vs
+//!   `crates/bench/BENCH_hotpath_baseline.json` — the per-layer
+//!   micro-bench rows (Ratio ops, kinematics, one engine run, stats
+//!   fold), gated on its baseline the same way.
 //!
 //! Raw nanoseconds are not comparable across machines, so every entry
 //! is normalized by its own file's reference median before comparing
@@ -24,10 +28,17 @@
 //! group that is the warm/cold ratio — replay cost relative to
 //! recomputation.
 //!
+//! With `--record`, the fresh medians are additionally appended as one
+//! JSON line to the tracked history file (`crates/bench/BENCH_history.jsonl`
+//! by default, `--history PATH` to override) before the comparison runs —
+//! CI calls this once per PR so the file accumulates one per-layer
+//! snapshot per merge.
+//!
 //! ```text
 //! bench-guard [--fresh PATH] [--baseline PATH] [--threshold PCT]
 //!             [--serve-fresh PATH] [--serve-baseline PATH]
-//!             [--cache-baseline PATH]
+//!             [--cache-baseline PATH] [--hotpath-baseline PATH]
+//!             [--record] [--history PATH]
 //! ```
 //!
 //! Exit codes: 0 = within threshold, 1 = regression, 2 = missing or
@@ -62,6 +73,12 @@ const CACHE_GROUP: Group = Group {
     label: "cache",
     prefix: "cache/",
     reference: "cache/cold_64x20k",
+};
+
+const HOTPATH_GROUP: Group = Group {
+    label: "hotpath",
+    prefix: "hotpath/",
+    reference: "hotpath/sim_engine_50k",
 };
 
 fn fail(msg: &str) -> ! {
@@ -170,6 +187,30 @@ fn compare(group: &Group, fresh: &str, baseline: &str, threshold: f64) -> usize 
     regressions
 }
 
+/// Appends one JSON line with every fresh median to the history file
+/// (ids sorted so identical runs produce identical lines).
+fn record_history(fresh: &str, history: &str) {
+    let mut rows = entries(fresh);
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let body: Vec<String> = rows
+        .iter()
+        .map(|(id, median)| format!("{{\"id\":{id:?},\"median_ns\":{median}}}"))
+        .collect();
+    let line = format!("{{\"schema\":1,\"rows\":[{}]}}\n", body.join(","));
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .unwrap_or_else(|e| fail(&format!("cannot open {history}: {e}")));
+    file.write_all(line.as_bytes())
+        .unwrap_or_else(|e| fail(&format!("cannot append to {history}: {e}")));
+    println!(
+        "bench-guard: recorded {} medians into {history}",
+        rows.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let manifest = env!("CARGO_MANIFEST_DIR");
@@ -183,12 +224,20 @@ fn main() {
         .unwrap_or_else(|| format!("{manifest}/BENCH_serve_baseline.json"));
     let cache_baseline = flag_value(&args, "--cache-baseline")
         .unwrap_or_else(|| format!("{manifest}/BENCH_cache_baseline.json"));
+    let hotpath_baseline = flag_value(&args, "--hotpath-baseline")
+        .unwrap_or_else(|| format!("{manifest}/BENCH_hotpath_baseline.json"));
+    let history =
+        flag_value(&args, "--history").unwrap_or_else(|| format!("{manifest}/BENCH_history.jsonl"));
     let threshold: f64 = flag_value(&args, "--threshold")
         .map(|raw| {
             raw.parse()
                 .unwrap_or_else(|_| fail(&format!("bad --threshold {raw:?}")))
         })
         .unwrap_or(25.0);
+
+    if args.iter().any(|a| a == "--record") {
+        record_history(&fresh, &history);
+    }
 
     let mut regressions = compare(&EXEC_GROUP, &fresh, &baseline, threshold);
 
@@ -207,6 +256,11 @@ fn main() {
     // artifact itself: guarded once crates/bench commits their baseline.
     if std::path::Path::new(&cache_baseline).is_file() {
         regressions += compare(&CACHE_GROUP, &fresh, &cache_baseline, threshold);
+    }
+
+    // And the per-layer hot-path micro-bench rows, same gating.
+    if std::path::Path::new(&hotpath_baseline).is_file() {
+        regressions += compare(&HOTPATH_GROUP, &fresh, &hotpath_baseline, threshold);
     }
 
     if regressions > 0 {

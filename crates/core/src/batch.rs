@@ -190,10 +190,31 @@ pub(crate) const CLASS_ORDER: [Classification; 8] = [
     Classification::Infeasible,
 ];
 
-/// Upper median (`sorted[len/2]`), matching the pre-campaign table code
-/// so refactored experiments report identical medians.
-fn median_f64(sorted: &[f64]) -> Option<f64> {
-    sorted.get(sorted.len() / 2).copied()
+/// The `k`-th order statistic under `total_cmp`, via linear-time
+/// selection instead of a full sort. Under a total order the `k`-th
+/// smallest element of a multiset is unique (bit-identical for `f64`:
+/// `total_cmp` equality means equal bits), so every quantile below
+/// matches what the former sort-then-index code produced.
+fn kth_f64(values: &mut [f64], k: usize) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(*values.select_nth_unstable_by(k, f64::total_cmp).1)
+}
+
+fn kth_u64(values: &mut [u64], k: usize) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(*values.select_nth_unstable(k).1)
+}
+
+/// Upper median (the `len/2`-th order statistic), matching the
+/// pre-campaign table code so refactored experiments report identical
+/// medians. `None` on empty input — callers decide how to render the
+/// absence, it is never silently a number.
+fn median_f64(values: &mut [f64]) -> Option<f64> {
+    kth_f64(values, values.len() / 2)
 }
 
 /// Nearest-rank quantile: the smallest value with at least `num/den` of
@@ -202,16 +223,24 @@ fn rank(len: usize, num: usize, den: usize) -> usize {
     ((len * num).div_ceil(den)).saturating_sub(1)
 }
 
-fn p90_f64(sorted: &[f64]) -> Option<f64> {
-    sorted.get(rank(sorted.len(), 9, 10)).copied()
+fn p90_f64(values: &mut [f64]) -> Option<f64> {
+    kth_f64(values, rank(values.len(), 9, 10))
 }
 
-fn p90_u64(sorted: &[u64]) -> u64 {
-    sorted.get(rank(sorted.len(), 9, 10)).copied().unwrap_or(0)
+fn max_f64(values: &mut [f64]) -> Option<f64> {
+    kth_f64(values, values.len().saturating_sub(1))
 }
 
-fn median_u64(sorted: &[u64]) -> u64 {
-    sorted.get(sorted.len() / 2).copied().unwrap_or(0)
+fn p90_u64(values: &mut [u64]) -> Option<u64> {
+    kth_u64(values, rank(values.len(), 9, 10))
+}
+
+fn median_u64(values: &mut [u64]) -> Option<u64> {
+    kth_u64(values, values.len() / 2)
+}
+
+fn max_u64(values: &mut [u64]) -> Option<u64> {
+    kth_u64(values, values.len().saturating_sub(1))
 }
 
 /// Incremental, mergeable aggregation state over [`RunRecord`] streams.
@@ -254,6 +283,13 @@ impl StatsAccumulator {
             min_ratio: f64::INFINITY,
             buckets: std::array::from_fn(|_| (0, 0, Vec::new())),
         }
+    }
+
+    /// Pre-reserves push-side capacity for `additional` more records
+    /// (every per-record vector is bounded by the record count).
+    pub fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.segments.reserve(additional);
     }
 
     /// Folds one record in.
@@ -311,7 +347,8 @@ impl StatsAccumulator {
         self.n == 0
     }
 
-    /// Sorts the value multisets and produces the aggregate stats.
+    /// Selects the quantiles out of the value multisets and produces the
+    /// aggregate stats (linear-time selection; no full sorts).
     pub fn finish(self) -> CampaignStats {
         let StatsAccumulator {
             n,
@@ -322,21 +359,16 @@ impl StatsAccumulator {
             min_ratio,
             mut buckets,
         } = self;
-        times.sort_by(|a, b| a.total_cmp(b));
-        segments.sort_unstable();
 
         let per_class = CLASS_ORDER
             .iter()
             .zip(&mut buckets)
             .filter(|(_, (cn, _, _))| *cn > 0)
-            .map(|(&class, (cn, cmet, class_times))| {
-                class_times.sort_by(|a, b| a.total_cmp(b));
-                ClassStats {
-                    class,
-                    n: *cn,
-                    met: *cmet,
-                    median_time: median_f64(class_times),
-                }
+            .map(|(&class, (cn, cmet, class_times))| ClassStats {
+                class,
+                n: *cn,
+                met: *cmet,
+                median_time: median_f64(class_times),
             })
             .collect();
 
@@ -344,12 +376,15 @@ impl StatsAccumulator {
             n,
             met,
             infeasible,
-            median_time: median_f64(&times),
-            p90_time: p90_f64(&times),
-            max_time: times.last().copied(),
-            median_segments: median_u64(&segments),
-            p90_segments: p90_u64(&segments),
-            max_segments: segments.last().copied().unwrap_or(0),
+            median_time: median_f64(&mut times),
+            p90_time: p90_f64(&mut times),
+            max_time: max_f64(&mut times),
+            // The u64 quantiles are `None` only for an empty campaign;
+            // the report schema renders that as 0 (an explicit decision
+            // here, not a default buried in the helpers).
+            median_segments: median_u64(&mut segments).unwrap_or(0),
+            p90_segments: p90_u64(&mut segments).unwrap_or(0),
+            max_segments: max_u64(&mut segments).unwrap_or(0),
             min_dist_over_r: min_ratio,
             per_class,
         }
@@ -361,6 +396,7 @@ impl CampaignStats {
     /// [`StatsAccumulator`] pass plus the quantile sorts.
     pub fn of(records: &[RunRecord]) -> CampaignStats {
         let mut acc = StatsAccumulator::new();
+        acc.reserve(records.len());
         for rec in records {
             acc.push(rec);
         }
@@ -683,6 +719,63 @@ mod tests {
         assert_eq!(report.stats.median_segments, 0);
         assert!(report.stats.min_dist_over_r.is_infinite());
         assert!(report.stats.per_class.is_empty());
+    }
+
+    #[test]
+    fn empty_quantiles_are_none_not_zero() {
+        // The helpers must make the empty case explicit; the 0 in the
+        // report schema is finish()'s rendering decision, not a silent
+        // default that could mask a lost shard.
+        assert_eq!(median_u64(&mut []), None);
+        assert_eq!(p90_u64(&mut []), None);
+        assert_eq!(max_u64(&mut []), None);
+        assert_eq!(median_f64(&mut []), None);
+        assert_eq!(p90_f64(&mut []), None);
+        assert_eq!(max_f64(&mut []), None);
+        // One record: every quantile is that record.
+        assert_eq!(median_u64(&mut [7]), Some(7));
+        assert_eq!(p90_u64(&mut [7]), Some(7));
+        let empty = StatsAccumulator::new().finish();
+        assert_eq!(empty.median_segments, 0);
+        assert_eq!(empty.p90_segments, 0);
+        assert_eq!(empty.max_segments, 0);
+        assert_eq!(empty.median_time, None);
+        assert_eq!(empty.p90_time, None);
+        assert_eq!(empty.max_time, None);
+    }
+
+    #[test]
+    fn selection_quantiles_match_sorted_extraction() {
+        // The select_nth path must agree with the definitional
+        // sort-then-index quantiles on awkward sizes (1, 2, 9, 10, 11),
+        // including duplicate-heavy data.
+        for n in [1usize, 2, 3, 9, 10, 11, 64] {
+            let vals: Vec<u64> = (0..n as u64).map(|k| (k * 7919) % 13).collect();
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let mut scratch = vals.clone();
+            assert_eq!(median_u64(&mut scratch), Some(sorted[n / 2]), "n={n}");
+            let mut scratch = vals.clone();
+            assert_eq!(p90_u64(&mut scratch), Some(sorted[rank(n, 9, 10)]), "n={n}");
+            let mut scratch = vals.clone();
+            assert_eq!(max_u64(&mut scratch), Some(sorted[n - 1]), "n={n}");
+
+            let fvals: Vec<f64> = vals.iter().map(|&v| v as f64 / 3.0).collect();
+            let mut fsorted = fvals.clone();
+            fsorted.sort_by(f64::total_cmp);
+            let mut scratch = fvals.clone();
+            assert_eq!(
+                median_f64(&mut scratch).map(f64::to_bits),
+                Some(fsorted[n / 2].to_bits()),
+                "n={n}"
+            );
+            let mut scratch = fvals.clone();
+            assert_eq!(
+                p90_f64(&mut scratch).map(f64::to_bits),
+                Some(fsorted[rank(n, 9, 10)].to_bits()),
+                "n={n}"
+            );
+        }
     }
 
     #[test]

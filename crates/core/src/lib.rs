@@ -65,7 +65,8 @@ pub use api::{
     DedicatedChoice, Recommendation,
 };
 pub use aur::{
-    almost_universal_rv, aur_phase, block1, block2, block3, block4, phase_duration, MAX_PHASE,
+    almost_universal_rv, aur_phase, block1, block2, block3, block4, compiled_aur, phase_duration,
+    MAX_PHASE,
 };
 pub use batch::{Campaign, CampaignReport, CampaignStats, ClassStats, RunRecord, StatsAccumulator};
 pub use cache::{CacheError, CacheKey, CacheStats, CachedExecutor, CachedShard, ResultCache};

@@ -48,6 +48,7 @@
 //! ```
 
 use crate::api::{recommend, Budget, DedicatedChoice};
+#[cfg(test)]
 use crate::aur::almost_universal_rv;
 use rv_baselines::{beeline, canonical_march};
 use rv_model::Instance;
@@ -134,11 +135,14 @@ pub struct Aur;
 impl Solver for Aur {
     fn solve(&self, inst: &Instance, budget: &Budget) -> SimReport {
         let cfg = budget.sim_config(inst.r.clone(), inst.r.clone());
+        // Replay the process-wide compiled program instead of
+        // regenerating it — the instruction stream is identical.
+        let program = crate::aur::compiled_aur();
         simulate(
             inst.agent_a(),
-            almost_universal_rv(),
+            program.cursor(),
             inst.agent_b(),
-            almost_universal_rv(),
+            program.cursor(),
             &cfg,
         )
     }

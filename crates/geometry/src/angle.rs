@@ -135,9 +135,13 @@ impl Angle {
     /// `φ + χ·θ` (Section 1.2 of the paper).
     pub fn compose_local(&self, theta: &Angle, chi_positive: bool) -> Angle {
         if chi_positive {
-            self.clone() + theta.clone()
+            if self.q.is_zero() {
+                // Identity orientation: `0 + θ` with θ already normalized.
+                return theta.clone();
+            }
+            Angle::from_ratio_pi(&self.q + &theta.q)
         } else {
-            self.clone() - theta.clone()
+            Angle::from_ratio_pi(&self.q - &theta.q)
         }
     }
 
@@ -155,6 +159,12 @@ impl Angle {
 /// Normalizes `q` into `[0, 2)` (mod 2, since the angle is `q·π`).
 fn norm_mod2(q: Ratio) -> Ratio {
     let two = Ratio::from_int(2);
+    if !q.is_negative() && q < two {
+        // Already in range: `k` below would be 0 and the subtraction the
+        // identity. Skip the division (the common case for sums of
+        // normalized angles).
+        return q;
+    }
     let k = (&q / &two).floor();
     &q - &(&two * &Ratio::from_int(k))
 }

@@ -12,7 +12,8 @@ use rv_lint::{scan_tree, Config};
 const USAGE: &str = "usage: rv-lint --workspace | --root <path>\n\
                      \n\
                      Scans crates/*/src (and the umbrella src/) for violations of the\n\
-                     panic-free, unsafe-hygiene, and determinism rule families.\n\
+                     panic-free, unsafe-hygiene, determinism, and hot-path\n\
+                     (allocation-discipline) rule families.\n\
                      Waive a proven-safe site with `// rv-lint: allow(<rule>) — <why>`.";
 
 fn main() {

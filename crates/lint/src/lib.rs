@@ -22,6 +22,13 @@
 //!   float-typed values in the report-feeding modules; canonical float
 //!   encoding must go through the `json.rs` helpers (which are
 //!   themselves the waived canonical sites).
+//! - **`hot`** — no `.clone()`, `Vec::new()`, or `.collect()` in the
+//!   designated hot modules (the sim engine loop, the kinematic
+//!   compiler, and the AUR block builders): per-event allocation and
+//!   value copying is exactly what the profile-guided pass removed, and
+//!   this rule keeps it out. Sites that provably run once per process
+//!   (e.g. inside the compiled-program cache fill) carry
+//!   `// rv-lint: allow(hot) — <justification>`.
 //!
 //! Waivers are fail-closed: a waiver without a justification does not
 //! suppress anything and instead adds a `waiver` finding of its own.
@@ -50,6 +57,8 @@ pub mod rules {
     pub const UNSAFE: &str = "unsafe";
     /// Nondeterministic construct in a report-feeding module.
     pub const DETERMINISM: &str = "determinism";
+    /// Per-event allocation or value copy in a designated hot module.
+    pub const HOT: &str = "hot";
     /// Missing `#![forbid(unsafe_code)]` (or the `rv-core` deny/allow
     /// split) at a crate root.
     pub const FORBID: &str = "forbid";
@@ -90,6 +99,9 @@ pub struct Config {
     pub unsafe_allow: Vec<String>,
     /// Files where nondeterministic constructs are banned.
     pub determinism_zone: Vec<String>,
+    /// Hot modules where `.clone()` / `Vec::new()` / `.collect()` are
+    /// banned (the allocation-free solver inner loop).
+    pub hot_zone: Vec<String>,
     /// Crate roots that scope `unsafe` down with deny + module allow
     /// instead of a blanket forbid: `(crate root path, module name)`
     /// pairs, the module being the one carrying the
@@ -126,6 +138,11 @@ impl Default for Config {
                 "crates/core/src/wire.rs".into(),
                 "crates/core/src/json.rs".into(),
             ],
+            hot_zone: vec![
+                "crates/sim/src/engine.rs".into(),
+                "crates/trajectory/src/kinematics.rs".into(),
+                "crates/core/src/aur.rs".into(),
+            ],
             deny_unsafe_roots: vec![
                 ("crates/core/src/lib.rs".into(), "parallel".into()),
                 ("crates/serve/src/lib.rs".into(), "signal".into()),
@@ -143,6 +160,9 @@ impl Config {
     }
     fn in_determinism_zone(&self, rel: &str) -> bool {
         self.determinism_zone.iter().any(|p| p == rel)
+    }
+    fn in_hot_zone(&self, rel: &str) -> bool {
+        self.hot_zone.iter().any(|p| p == rel)
     }
 }
 
@@ -554,6 +574,47 @@ pub fn scan_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             }
         }
 
+        // --- hot zones --------------------------------------------------
+        if cfg.in_hot_zone(rel_path) {
+            if has_call(code, "clone") {
+                push_with_waiver(
+                    &mut findings,
+                    &map,
+                    idx,
+                    rules::HOT,
+                    "`.clone()` in a hot-path module: exact-arithmetic clones \
+                     heap-allocate once values outgrow i128; borrow, move, or \
+                     take() instead, or add \
+                     `// rv-lint: allow(hot) — <justification>`"
+                        .to_string(),
+                );
+            }
+            if has_call(code, "Vec::new") || has_macro(code, "vec") {
+                push_with_waiver(
+                    &mut findings,
+                    &map,
+                    idx,
+                    rules::HOT,
+                    "vector construction in a hot-path module: per-event \
+                     allocation; hoist the buffer out of the loop or add \
+                     `// rv-lint: allow(hot) — <justification>`"
+                        .to_string(),
+                );
+            }
+            if has_call(code, "collect") {
+                push_with_waiver(
+                    &mut findings,
+                    &map,
+                    idx,
+                    rules::HOT,
+                    "`.collect()` in a hot-path module: materializes per event; \
+                     iterate lazily or add \
+                     `// rv-lint: allow(hot) — <justification>`"
+                        .to_string(),
+                );
+            }
+        }
+
         // Close float scopes whose body has ended.
         for scope in &mut float_scopes {
             if map.depth_after[idx] > scope.depth {
@@ -828,6 +889,51 @@ mod tests {
         let f = scan_file("crates/core/src/batch.rs", src, &cfg());
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, rules::DETERMINISM);
+    }
+
+    const HOT: &str = "crates/sim/src/engine.rs";
+
+    #[test]
+    fn clone_in_hot_zone_fires() {
+        let src = "fn f() { let x = cur.clone(); }\n";
+        let f = scan_file(HOT, src, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rules::HOT);
+        // Same line outside a hot zone is fine.
+        assert!(scan_file("crates/core/src/exec.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn vec_and_collect_in_hot_zone_fire() {
+        let vec_new = "fn f() { let v: Vec<u8> = Vec::new(); }\n";
+        let vec_macro = "fn f() { let v = vec![1, 2]; }\n";
+        let collect = "fn f() { let v: Vec<u8> = it.collect(); }\n";
+        for src in [vec_new, vec_macro, collect] {
+            let f = scan_file(HOT, src, &cfg());
+            assert_eq!(f.len(), 1, "src: {src}");
+            assert_eq!(f[0].rule, rules::HOT);
+        }
+    }
+
+    #[test]
+    fn hot_waiver_with_justification_suppresses() {
+        let src = "fn f() {\n    // rv-lint: allow(hot) — freeze path, runs at most once per run\n    let x = cur.clone();\n}\n";
+        assert!(scan_file(HOT, src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn hot_waiver_without_justification_fails_closed() {
+        let src = "fn f() {\n    // rv-lint: allow(hot)\n    let x = cur.clone();\n}\n";
+        let f = scan_file(HOT, src, &cfg());
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|x| x.rule == rules::HOT));
+        assert!(f.iter().any(|x| x.rule == rules::WAIVER));
+    }
+
+    #[test]
+    fn hot_zone_test_code_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let v: Vec<u8> = it.collect(); let c = x.clone(); }\n}\n";
+        assert!(scan_file(HOT, src, &cfg()).is_empty());
     }
 
     #[test]

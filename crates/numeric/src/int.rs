@@ -189,13 +189,55 @@ impl Int {
         }
     }
 
+    /// Trailing zero bits of the magnitude; `None` for zero.
+    fn trailing_zeros(&self) -> Option<u64> {
+        match self {
+            Int::Small(0) => None,
+            Int::Small(v) => Some(v.unsigned_abs().trailing_zeros() as u64),
+            Int::Big { mag, .. } => mag::trailing_zeros(mag),
+        }
+    }
+
     /// Greatest common divisor of magnitudes; `gcd(0, x) = |x|`.
     pub fn gcd(&self, other: &Int) -> Int {
         match (self, other) {
             (Int::Small(a), Int::Small(b)) => {
                 Int::from_u128(gcd_u128(a.unsigned_abs(), b.unsigned_abs()))
             }
-            _ => Int::from_sign_mag(false, mag::gcd(&self.magnitude(), &other.magnitude())),
+            _ => {
+                if self.is_zero() {
+                    return other.abs();
+                }
+                if other.is_zero() {
+                    return self.abs();
+                }
+                // Dyadic fast path: when either operand is ±2^t the gcd is
+                // 2^min(t, tz(other)) — the dominant big-operand case here,
+                // since every AUR duration is a power of two.
+                let (ta, tb) = (
+                    self.trailing_zeros().expect("nonzero"),
+                    other.trailing_zeros().expect("nonzero"),
+                );
+                if self.bits() == ta + 1 || other.bits() == tb + 1 {
+                    return Int::pow2(ta.min(tb));
+                }
+                // Mixed small/big: one Euclidean step folds the big side
+                // into u128 range (`gcd(a, B) = gcd(a, B mod a)`), avoiding
+                // the limb-vector binary GCD entirely.
+                match (self, other) {
+                    (Int::Small(a), Int::Big { mag, .. })
+                    | (Int::Big { mag, .. }, Int::Small(a)) => {
+                        let a_abs = a.unsigned_abs();
+                        let (_, r) = mag::divrem(mag, &mag::from_u128(a_abs));
+                        let r = mag::to_u128(&r).expect("remainder below a u128 divisor");
+                        Int::from_u128(gcd_u128(a_abs, r))
+                    }
+                    (Int::Big { mag: ma, .. }, Int::Big { mag: mb, .. }) => {
+                        Int::from_sign_mag(false, mag::gcd(ma, mb))
+                    }
+                    _ => unreachable!("small/small handled above"),
+                }
+            }
         }
     }
 
@@ -251,8 +293,40 @@ impl Int {
     }
 }
 
-/// Binary GCD for `u128`.
-fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+/// Binary GCD for `u128`, with a word-sized fast path: almost every
+/// normalization in this workload fits u64, where the same loop runs on
+/// native words instead of double-word arithmetic.
+pub(crate) fn gcd_u128(a: u128, b: u128) -> u128 {
+    if a <= u64::MAX as u128 && b <= u64::MAX as u128 {
+        return gcd_u64(a as u64, b as u64) as u128;
+    }
+    gcd_u128_slow(a, b)
+}
+
+fn gcd_u128_slow(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            break;
+        }
+    }
+    a << shift
+}
+
+/// Binary GCD on native words.
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
     if a == 0 {
         return b;
     }
@@ -291,16 +365,26 @@ impl Ord for Int {
     fn cmp(&self, other: &Self) -> Ordering {
         match (self, other) {
             (Int::Small(a), Int::Small(b)) => a.cmp(b),
-            _ => {
-                let (sa, sb) = (self.signum(), other.signum());
-                if sa != sb {
-                    return sa.cmp(&sb);
-                }
-                let mag_ord = mag::cmp(&self.magnitude(), &other.magnitude());
-                if sa < 0 {
-                    mag_ord.reverse()
+            (Int::Big { neg: na, mag: ma }, Int::Big { neg: nb, mag: mb }) => match (na, nb) {
+                (false, true) => Ordering::Greater,
+                (true, false) => Ordering::Less,
+                (false, false) => mag::cmp(ma, mb),
+                (true, true) => mag::cmp(ma, mb).reverse(),
+            },
+            // Canonical form guarantees a Big magnitude exceeds any i128,
+            // so mixed comparisons are decided by the Big side's sign.
+            (Int::Small(_), Int::Big { neg, .. }) => {
+                if *neg {
+                    Ordering::Greater
                 } else {
-                    mag_ord
+                    Ordering::Less
+                }
+            }
+            (Int::Big { neg, .. }, Int::Small(_)) => {
+                if *neg {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
                 }
             }
         }

@@ -105,6 +105,12 @@ impl Ratio {
             self.den = Int::ONE;
             return;
         }
+        // Integer values are already in lowest terms; skip the gcd (the
+        // dominant case — every absolute AUR clock past the first giant
+        // wait is an integer).
+        if self.den == Int::ONE {
+            return;
+        }
         let g = self.num.gcd(&self.den);
         if g != Int::ONE {
             self.num = self.num.div_rem(&g).0;
@@ -189,6 +195,61 @@ impl Ratio {
         }
     }
 
+    /// Compares by value through borrowed operands, without allocating:
+    /// all-`i128` components cross-multiply into an exact 256-bit
+    /// comparison, and mixed big/small operands are decided by sign and
+    /// bit length whenever possible. Only near-tie big-operand pairs fall
+    /// back to materialized products. `Ord for Ratio` delegates here.
+    pub fn cmp_ref(&self, other: &Ratio) -> Ordering {
+        // Shared denominator (also covers integer vs integer): compare
+        // numerators directly.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
+        let (sa, sb) = (self.num.signum(), other.num.signum());
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        debug_assert!(sa != 0, "zero is canonically 0/1, caught above");
+        if let (Int::Small(a), Int::Small(b), Int::Small(c), Int::Small(d)) =
+            (&self.num, &self.den, &other.num, &other.den)
+        {
+            // a/b vs c/d ⇔ a·d vs c·b (b, d > 0), exact in 256 bits.
+            let lhs = wide_mul_u128(a.unsigned_abs(), d.unsigned_abs());
+            let rhs = wide_mul_u128(c.unsigned_abs(), b.unsigned_abs());
+            return if sa > 0 { lhs.cmp(&rhs) } else { rhs.cmp(&lhs) };
+        }
+        // |a·d| has bits(a)+bits(d) or one fewer; a gap of ≥ 2 decides
+        // without multiplying (the giant-wait vs small-time case).
+        let lhs_bits = self.num.bits() + other.den.bits();
+        let rhs_bits = other.num.bits() + self.den.bits();
+        if lhs_bits + 1 < rhs_bits {
+            return if sa > 0 {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
+        }
+        if rhs_bits + 1 < lhs_bits {
+            return if sa > 0 {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            };
+        }
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+
+    /// The smaller of two borrowed ratios (the first on ties), without
+    /// cloning either.
+    pub fn min_ref<'a>(&'a self, other: &'a Ratio) -> &'a Ratio {
+        if other.cmp_ref(self) == Ordering::Less {
+            other
+        } else {
+            self
+        }
+    }
+
     /// `min` by value.
     pub fn min(self, other: Ratio) -> Ratio {
         if self <= other {
@@ -235,6 +296,21 @@ impl Ratio {
     }
 }
 
+/// `x · y` as a 256-bit `(hi, lo)` pair — exact products of unsigned
+/// 128-bit magnitudes for the allocation-free comparison path.
+fn wide_mul_u128(x: u128, y: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (x0, x1) = (x & MASK, x >> 64);
+    let (y0, y1) = (y & MASK, y >> 64);
+    let ll = x0 * y0;
+    let lh = x0 * y1;
+    let hl = x1 * y0;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (ll & MASK) | (mid << 64);
+    let hi = x1 * y1 + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
 /// `x · 2^e` with saturation, splitting the exponent so the intermediate
 /// power of two never overflows on its own.
 fn scale_by_pow2(x: f64, e: i64) -> f64 {
@@ -261,8 +337,7 @@ impl PartialOrd for Ratio {
 
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b vs c/d  ⇔  a·d vs c·b   (b, d > 0)
-        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+        self.cmp_ref(other)
     }
 }
 
@@ -366,18 +441,83 @@ forward_ratio_binop!(Sub, sub);
 forward_ratio_binop!(Mul, mul);
 forward_ratio_binop!(Div, div);
 
+/// Lowest-terms `Ratio` from raw `i128` components with `den > 0`, staying
+/// on the inline small-int path (no heap).
+fn from_small(num: i128, den: i128) -> Ratio {
+    debug_assert!(den > 0);
+    if num == 0 {
+        return Ratio {
+            num: Int::ZERO,
+            den: Int::ONE,
+        };
+    }
+    // gcd divides the positive i128 `den`, so the cast back is exact.
+    let g = crate::int::gcd_u128(num.unsigned_abs(), den.unsigned_abs()) as i128;
+    Ratio {
+        num: Int::Small(num / g),
+        den: Int::Small(den / g),
+    }
+}
+
+/// All-small components of `(lhs, rhs)`, if both ratios are inline.
+fn small_parts(lhs: &Ratio, rhs: &Ratio) -> Option<(i128, i128, i128, i128)> {
+    match (&lhs.num, &lhs.den, &rhs.num, &rhs.den) {
+        (Int::Small(a), Int::Small(b), Int::Small(c), Int::Small(d)) => Some((*a, *b, *c, *d)),
+        _ => None,
+    }
+}
+
+/// `a/b + c/d` on the small path, or `None` on i128 overflow.
+fn small_add(a: i128, b: i128, c: i128, d: i128) -> Option<Ratio> {
+    let (n, den) = if b == d {
+        (a.checked_add(c)?, b)
+    } else {
+        (
+            a.checked_mul(d)?.checked_add(c.checked_mul(b)?)?,
+            b.checked_mul(d)?,
+        )
+    };
+    Some(from_small(n, den))
+}
+
 impl AddAssign<&Ratio> for Ratio {
     fn add_assign(&mut self, rhs: &Ratio) {
+        if let Some((a, b, c, d)) = small_parts(self, rhs) {
+            if let Some(sum) = small_add(a, b, c, d) {
+                *self = sum;
+                return;
+            }
+        }
         *self = &*self + rhs;
     }
 }
 impl SubAssign<&Ratio> for Ratio {
     fn sub_assign(&mut self, rhs: &Ratio) {
+        if let Some((a, b, c, d)) = small_parts(self, rhs) {
+            if let Some(diff) = c.checked_neg().and_then(|nc| small_add(a, b, nc, d)) {
+                *self = diff;
+                return;
+            }
+        }
         *self = &*self - rhs;
     }
 }
 impl MulAssign<&Ratio> for Ratio {
     fn mul_assign(&mut self, rhs: &Ratio) {
+        if let Some((a, b, c, d)) = small_parts(self, rhs) {
+            // Cross-reduce exactly like `Mul for &Ratio`; the reduced
+            // product of lowest-term inputs is itself in lowest terms.
+            let g1 = crate::int::gcd_u128(a.unsigned_abs(), d.unsigned_abs()).max(1) as i128;
+            let g2 = crate::int::gcd_u128(c.unsigned_abs(), b.unsigned_abs()).max(1) as i128;
+            let prod = (a / g1)
+                .checked_mul(c / g2)
+                .zip((b / g2).checked_mul(d / g1));
+            if let Some((n, den)) = prod {
+                self.num = Int::Small(n);
+                self.den = Int::Small(den);
+                return;
+            }
+        }
         *self = &*self * rhs;
     }
 }

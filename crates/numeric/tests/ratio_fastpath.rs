@@ -1,0 +1,162 @@
+//! Differential property tests for the allocation-free `Ratio` fast
+//! paths added for the hot-path PR: `cmp_ref`, `min_ref`, and the
+//! in-place `+=` / `-=` / `*=` small paths must agree *exactly* with the
+//! allocating reference operations on every operand mix — both inline
+//! (`i128`) components, both big, and the promotion boundary where an
+//! i128 result spills to limbs.
+//!
+//! The reference implementations are the borrowed binary operators
+//! (`&a + &b`, cross-multiplied `cmp`), which the existing `props.rs`
+//! suite already ties to the field axioms. Anything that diverges here is
+//! a silent ordering or rounding bug on the solver's per-event path.
+
+use proptest::prelude::*;
+use rv_numeric::{Int, Ratio};
+use std::cmp::Ordering;
+
+/// Operands spanning the small path, the big path, and the i128→Big
+/// promotion boundary (values within a few ULPs of `i128::MAX`).
+fn int_strategy() -> impl Strategy<Value = Int> {
+    prop_oneof![
+        any::<i64>().prop_map(|v| Int::from(v as i128)),
+        any::<i128>().prop_map(Int::from),
+        // Straddle the promotion boundary: i128::MAX − k and its
+        // neighbourhood, so sums/products land on either side of it.
+        (0i128..1024).prop_map(|k| Int::from(i128::MAX - k)),
+        (0i128..1024).prop_map(|k| Int::from(i128::MIN + k)),
+        // Guaranteed big path: shifted far past 128 bits.
+        (any::<i64>(), 120u64..300).prop_map(|(v, s)| Int::from(v as i128).shl(s)),
+        (any::<i128>(), 1u64..160, any::<i64>())
+            .prop_map(|(v, s, w)| &Int::from(v).shl(s) + &Int::from(w as i128)),
+    ]
+}
+
+fn ratio_strategy() -> impl Strategy<Value = Ratio> {
+    (
+        int_strategy(),
+        int_strategy().prop_filter("nonzero", |d| !d.is_zero()),
+    )
+        .prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+/// The definitional comparison via the allocating subtraction path:
+/// a/b vs c/d has the sign of a/b − c/d.
+fn cmp_reference(lhs: &Ratio, rhs: &Ratio) -> Ordering {
+    let diff = lhs - rhs;
+    if diff.is_zero() {
+        Ordering::Equal
+    } else if diff.is_negative() {
+        Ordering::Less
+    } else {
+        Ordering::Greater
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn cmp_ref_matches_cross_multiplication(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(a.cmp_ref(&b), cmp_reference(&a, &b));
+        // Antisymmetry through the same fast paths.
+        prop_assert_eq!(b.cmp_ref(&a), cmp_reference(&a, &b).reverse());
+        prop_assert_eq!(a.cmp_ref(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn min_ref_matches_value_min(a in ratio_strategy(), b in ratio_strategy()) {
+        let by_ref = a.min_ref(&b).clone();
+        let by_val = a.clone().min(b.clone());
+        prop_assert_eq!(&by_ref, &by_val);
+        // Tie-breaking must match `std::cmp::min`: first argument wins.
+        if a == b {
+            prop_assert!(std::ptr::eq(a.min_ref(&b), &a));
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_add(a in ratio_strategy(), b in ratio_strategy()) {
+        let reference = &a + &b;
+        let mut acc = a;
+        acc += &b;
+        prop_assert_eq!(&acc, &reference);
+        // Normal form must be identical too, not just the value class.
+        prop_assert_eq!(acc.to_f64().to_bits(), reference.to_f64().to_bits());
+    }
+
+    #[test]
+    fn sub_assign_matches_sub(a in ratio_strategy(), b in ratio_strategy()) {
+        let reference = &a - &b;
+        let mut acc = a;
+        acc -= &b;
+        prop_assert_eq!(&acc, &reference);
+    }
+
+    #[test]
+    fn mul_assign_matches_mul(a in ratio_strategy(), b in ratio_strategy()) {
+        let reference = &a * &b;
+        let mut acc = a;
+        acc *= &b;
+        prop_assert_eq!(&acc, &reference);
+        prop_assert_eq!(acc.to_f64().to_bits(), reference.to_f64().to_bits());
+    }
+
+    #[test]
+    fn assign_chain_stays_normalized(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        // A chain of in-place ops must land on the same canonical Ratio
+        // as the equivalent expression tree (lowest terms are unique, so
+        // Eq on the struct is bytewise canonical-form equality).
+        let mut acc = a.clone();
+        acc += &b;
+        acc *= &c;
+        acc -= &b;
+        let reference = &(&(&a + &b) * &c) - &b;
+        prop_assert_eq!(acc, reference);
+    }
+}
+
+#[test]
+fn cmp_ref_promotion_boundary_exact() {
+    // i128::MAX / 1 vs (i128::MAX + 1) / 1: the right side lives on the
+    // Big path, one ULP above the small path's ceiling. The bit-length
+    // shortcut must NOT fire (gap < 2 bits); the fallback must decide.
+    let small_max = Ratio::new(Int::from(i128::MAX), Int::ONE);
+    let just_big = Ratio::new(&Int::from(i128::MAX) + &Int::ONE, Int::ONE);
+    assert_eq!(small_max.cmp_ref(&just_big), Ordering::Less);
+    assert_eq!(just_big.cmp_ref(&small_max), Ordering::Greater);
+
+    // Equal values expressed with big components: 2^140/2 vs 2^139.
+    let a = Ratio::new(Int::ONE.shl(140), Int::from(2));
+    let b = Ratio::new(Int::ONE.shl(139), Int::ONE);
+    assert_eq!(a.cmp_ref(&b), Ordering::Equal);
+
+    // Mixed magnitude where bit-gap decides: 2^200 vs 3/2.
+    let giant = Ratio::new(Int::ONE.shl(200), Int::ONE);
+    let tiny = Ratio::new(Int::from(3), Int::from(2));
+    assert_eq!(giant.cmp_ref(&tiny), Ordering::Greater);
+    assert_eq!(tiny.cmp_ref(&giant), Ordering::Less);
+    let neg_giant = Ratio::new(-&Int::ONE.shl(200), Int::ONE);
+    assert_eq!(neg_giant.cmp_ref(&tiny), Ordering::Less);
+    assert_eq!(
+        neg_giant.cmp_ref(&Ratio::new(Int::from(-3), Int::from(2))),
+        Ordering::Less
+    );
+}
+
+#[test]
+fn assign_overflow_falls_back_to_big() {
+    // Small-path `+=` must hand off to the allocating path when the
+    // cross products overflow i128, and land on the identical canonical
+    // value.
+    let a = Ratio::new(Int::from(i128::MAX - 1), Int::from(3));
+    let b = Ratio::new(Int::from(i128::MAX - 5), Int::from(7));
+    let reference = &a + &b;
+    let mut acc = a;
+    acc += &b;
+    assert_eq!(acc, reference);
+
+    let c = Ratio::new(Int::from(i128::MAX / 2), Int::from(5));
+    let reference_mul = &acc * &c;
+    acc *= &c;
+    assert_eq!(acc, reference_mul);
+}

@@ -125,8 +125,8 @@ pub struct ServeConfig {
     pub local_threads: usize,
     /// Server-side directory under which client-named result caches
     /// live. The wire `request` line's `cache` field is an opaque cache
-    /// *name* (validated, see [`resolve_cache_name`]) joined under this
-    /// root — clients never choose filesystem paths, exactly like the
+    /// *name* (validated by the private `resolve_cache` helper) joined under
+    /// this root — clients never choose filesystem paths, exactly like the
     /// worker binary being server config. `None` answers any cache
     /// request with an `unsupported` error.
     pub cache_root: Option<PathBuf>,

@@ -44,6 +44,11 @@ impl<P: Iterator<Item = Instr>> AgentState<P> {
 
     /// Position at exact time `cur` (must lie within the current segment).
     fn pos_at(&self, cur: &Ratio) -> Vec2 {
+        if self.seg.is_stationary() {
+            // Idle segment: the offset is irrelevant; skip the exact
+            // subtraction (which allocates once clocks go past i128).
+            return self.seg.from;
+        }
         let offset = (cur - &self.seg.start).to_f64();
         self.seg.pos_at_offset(offset)
     }
@@ -80,6 +85,7 @@ impl Tracer {
             stride: 1,
             counter: 0,
             last_time: f64::NEG_INFINITY,
+            // rv-lint: allow(hot) — one tracer per run, not per event.
             samples: Vec::new(),
         }
     }
@@ -168,6 +174,8 @@ where
 
     let r_small = cfg.radius_small();
     let r_big = cfg.radius_big();
+    let detect_small = r_small.to_f64() * (1.0 + cfg.detection_slack);
+    let detect_big = r_big.to_f64() * (1.0 + cfg.detection_slack);
     let asymmetric = r_small != r_big;
     // While `big_pending`, the next threshold to cross is r_big (the
     // far-sighted agent's sight). Once crossed, that agent freezes and the
@@ -204,38 +212,57 @@ where
             }
         }
 
-        // --- Interval end: earliest of the two segment ends and budget. ---
-        let mut bound: Option<Ratio> = match (&a.seg.end, &b.seg.end) {
-            (None, None) => None,
-            (Some(ea), None) => Some(ea.clone()),
-            (None, Some(eb)) => Some(eb.clone()),
-            (Some(ea), Some(eb)) => Some(ea.clone().min(eb.clone())),
+        // --- Interval end: earliest of the two segment ends and budget.
+        // Everything stays borrowed: the bound is a reference into the
+        // live segments (or the configured cap), and which agent(s) end
+        // the interval is decided here so the advance step below can
+        // `take()` the end instead of re-comparing clones.
+        let (mut a_ends, mut b_ends) = (false, false);
+        match (&a.seg.end, &b.seg.end) {
+            (None, None) => {}
+            (Some(_), None) => a_ends = true,
+            (None, Some(_)) => b_ends = true,
+            (Some(ea), Some(eb)) => match ea.cmp_ref(eb) {
+                std::cmp::Ordering::Less => a_ends = true,
+                std::cmp::Ordering::Greater => b_ends = true,
+                std::cmp::Ordering::Equal => {
+                    a_ends = true;
+                    b_ends = true;
+                }
+            },
+        }
+        let seg_bound: Option<&Ratio> = if a_ends {
+            a.seg.end.as_ref()
+        } else {
+            b.seg.end.as_ref()
         };
         let mut time_capped = false;
-        if let Some(mt) = &cfg.max_time {
-            match &bound {
-                Some(be) if be <= mt => {}
-                _ => {
-                    bound = Some(mt.clone());
-                    time_capped = true;
-                }
+        let bound: Option<&Ratio> = match (&cfg.max_time, seg_bound) {
+            (Some(mt), Some(be)) if be <= mt => Some(be),
+            (Some(mt), _) => {
+                time_capped = true;
+                Some(mt)
             }
-        }
+            (None, sb) => sb,
+        };
 
         // --- Geometry of the interval. ---
         let pa = a.pos_at(&cur);
         let pb = b.pos_at(&cur);
         let rel0 = pb - pa;
         let rel_vel = b.seg.vel - a.seg.vel;
-        let dt = match &bound {
+        let dt = match bound {
             None => f64::INFINITY,
             Some(be) => (be - &cur).to_f64(),
         };
         tracer.record(cur.to_f64(), pa, pb);
 
         // --- Threshold detection. ---
-        let threshold = if big_pending { &r_big } else { &r_small };
-        let detect_r = threshold.to_f64() * (1.0 + cfg.detection_slack);
+        let detect_r = if big_pending {
+            detect_big
+        } else {
+            detect_small
+        };
         if let Some(s) = first_within(rel0, rel_vel, detect_r, dt) {
             let hit_a = pa + a.seg.vel * s;
             let hit_b = pb + b.seg.vel * s;
@@ -246,6 +273,8 @@ where
             }
             if !big_pending {
                 let time = SimTime {
+                    // rv-lint: allow(hot) — rendezvous exit: runs once per
+                    // simulation, at the meeting.
                     base: cur.clone(),
                     offset: s,
                 };
@@ -266,8 +295,11 @@ where
             // Section 5: the far-sighted agent sees first and freezes.
             let t_hit = &cur + &Ratio::from_f64_exact(s).unwrap_or_else(Ratio::zero);
             if cfg.radius_a >= cfg.radius_b {
+                // rv-lint: allow(hot) — asymmetric freeze fires at most once
+                // per run (big_pending is cleared right below).
                 a.freeze(t_hit.clone(), hit_a);
             } else {
+                // rv-lint: allow(hot) — same at-most-once freeze as above.
                 b.freeze(t_hit.clone(), hit_b);
             }
             big_pending = false;
@@ -290,54 +322,60 @@ where
         }
 
         // --- Advance. ---
-        match bound {
-            None => {
-                // Both agents halted forever, out of range.
-                return report(
-                    Outcome::Budget(BudgetReason::BothHalted),
-                    min_dist,
-                    min_dist_time,
-                    segments,
-                    tracer,
-                );
+        if bound.is_none() {
+            // Both agents halted forever, out of range.
+            return report(
+                Outcome::Budget(BudgetReason::BothHalted),
+                min_dist,
+                min_dist_time,
+                segments,
+                tracer,
+            );
+        }
+        if time_capped {
+            return report(
+                Outcome::Budget(BudgetReason::Time),
+                min_dist,
+                min_dist_time,
+                segments,
+                tracer,
+            );
+        }
+        // The ending agent's segment end becomes the new clock by move,
+        // not clone — its segment is replaced right after anyway.
+        if a_ends {
+            cur = a.seg.end.take().expect("a_ends ⇒ end present");
+            a.seg = a
+                .motion
+                .next()
+                .expect("finite segments always have a successor");
+            debug_assert_eq!(a.seg.start, cur);
+            segments += 1;
+        }
+        if b_ends {
+            if a_ends {
+                b.seg = b
+                    .motion
+                    .next()
+                    .expect("finite segments always have a successor");
+            } else {
+                cur = b.seg.end.take().expect("b_ends ⇒ end present");
+                b.seg = b
+                    .motion
+                    .next()
+                    .expect("finite segments always have a successor");
             }
-            Some(next) => {
-                if time_capped {
-                    return report(
-                        Outcome::Budget(BudgetReason::Time),
-                        min_dist,
-                        min_dist_time,
-                        segments,
-                        tracer,
-                    );
-                }
-                cur = next;
-                if a.seg.end.as_ref() == Some(&cur) {
-                    a.seg = a
-                        .motion
-                        .next()
-                        .expect("finite segments always have a successor");
-                    debug_assert_eq!(a.seg.start, cur);
-                    segments += 1;
-                }
-                if b.seg.end.as_ref() == Some(&cur) {
-                    b.seg = b
-                        .motion
-                        .next()
-                        .expect("finite segments always have a successor");
-                    debug_assert_eq!(b.seg.start, cur);
-                    segments += 1;
-                }
-                if segments > cfg.max_segments {
-                    return report(
-                        Outcome::Budget(BudgetReason::Segments),
-                        min_dist,
-                        min_dist_time,
-                        segments,
-                        tracer,
-                    );
-                }
-            }
+            debug_assert_eq!(b.seg.start, cur);
+            segments += 1;
+        }
+        if segments > cfg.max_segments {
+            return report(
+                Outcome::Budget(BudgetReason::Segments),
+                min_dist,
+                min_dist_time,
+                segments,
+                tracer,
+            );
         }
     }
 }

@@ -1,0 +1,249 @@
+//! Process-wide compiled instruction cache.
+//!
+//! Generating a rendezvous program is pure — the same instruction stream
+//! comes out every time — yet the solver used to regenerate it from
+//! scratch for **every run** of a campaign (twice per run: once per
+//! agent). [`CompiledProgram`] compiles a program once per process into
+//! shared chunks; [`Cursor`]s then replay it by cloning instructions out
+//! of the cache, which for the AUR program's inline-`i128` rationals is a
+//! flat `memcpy` with no generator arithmetic behind it.
+//!
+//! The cache extends lazily, chunk by chunk, exactly as far as the
+//! deepest cursor has walked — a 100-instruction probe materializes one
+//! chunk, not phase 30. Past [`MAX_MATERIALIZED`] instructions the cache
+//! stops growing and a cursor falls back to a fresh generator skipped
+//! forward to its position: the stream is byte-identical either way, the
+//! deep tail just is not cached. This bounds resident memory for
+//! pathological budgets while keeping the common campaign depths
+//! (tens of thousands of instructions) fully cached.
+
+use crate::instr::Instr;
+use crate::program::BoxProgram;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Instructions per cache chunk.
+const CHUNK: usize = 1024;
+
+/// Cache growth stops at this many instructions (the deepest campaign
+/// budgets in the test/bench suite stay well under it; anything deeper
+/// replays a fresh generator for the tail).
+pub const MAX_MATERIALIZED: usize = 262_144;
+
+/// A program compiled once and shared across runs and threads.
+///
+/// Built from a *factory* (so the tail past the materialization cap can
+/// be regenerated on demand); hand out [`Cursor`]s with
+/// [`cursor`](CompiledProgram::cursor).
+pub struct CompiledProgram {
+    factory: Box<dyn Fn() -> BoxProgram + Send + Sync>,
+    /// The single live generator feeding the cache; `None` once drained.
+    generator: Mutex<Option<BoxProgram>>,
+    chunks: RwLock<Vec<Arc<[Instr]>>>,
+}
+
+enum Fetch {
+    Chunk(Arc<[Instr]>),
+    /// The underlying program ended before this chunk.
+    Exhausted,
+    /// The materialization cap cuts the cache off before this chunk.
+    Capped,
+}
+
+impl CompiledProgram {
+    /// Compiles the program produced by `factory`. Nothing is generated
+    /// until the first cursor pulls.
+    pub fn new<F>(factory: F) -> CompiledProgram
+    where
+        F: Fn() -> BoxProgram + Send + Sync + 'static,
+    {
+        CompiledProgram {
+            factory: Box::new(factory),
+            generator: Mutex::new(None),
+            chunks: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// A fresh iterator over the program from the beginning.
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor {
+            program: self,
+            chunk: None,
+            chunk_idx: 0,
+            offset: 0,
+            pos: 0,
+            overflow: None,
+        }
+    }
+
+    /// Number of instructions materialized so far (cache growth probe).
+    pub fn materialized(&self) -> usize {
+        self.chunks.read().unwrap().iter().map(|c| c.len()).sum()
+    }
+
+    fn fetch(&self, idx: usize) -> Fetch {
+        loop {
+            {
+                let chunks = self.chunks.read().unwrap();
+                if idx < chunks.len() {
+                    return Fetch::Chunk(chunks[idx].clone());
+                }
+            }
+            if idx >= MAX_MATERIALIZED / CHUNK {
+                return Fetch::Capped;
+            }
+            // Extend by one chunk. The generator mutex serializes
+            // extension; re-check under it so a racing extender's chunk
+            // is picked up instead of pulled twice.
+            let mut generator = self.generator.lock().unwrap();
+            if idx < self.chunks.read().unwrap().len() {
+                continue;
+            }
+            let gen = match generator.as_mut() {
+                Some(g) => g,
+                None if self.materialized() == 0 => {
+                    *generator = Some((self.factory)());
+                    generator.as_mut().unwrap()
+                }
+                None => return Fetch::Exhausted,
+            };
+            let mut buf = Vec::with_capacity(CHUNK);
+            let mut drained = false;
+            for _ in 0..CHUNK {
+                match gen.next() {
+                    Some(instr) => buf.push(instr),
+                    None => {
+                        drained = true;
+                        break;
+                    }
+                }
+            }
+            if drained {
+                *generator = None;
+            }
+            if buf.is_empty() {
+                return Fetch::Exhausted;
+            }
+            self.chunks.write().unwrap().push(Arc::from(buf));
+        }
+    }
+}
+
+/// An iterator replaying a [`CompiledProgram`] from the start.
+pub struct Cursor<'a> {
+    program: &'a CompiledProgram,
+    chunk: Option<Arc<[Instr]>>,
+    chunk_idx: usize,
+    offset: usize,
+    /// Absolute instruction index (= instructions already yielded).
+    pos: usize,
+    /// Fallback generator once past the materialization cap.
+    overflow: Option<BoxProgram>,
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        if let Some(tail) = self.overflow.as_mut() {
+            return tail.next();
+        }
+        loop {
+            if let Some(chunk) = &self.chunk {
+                if self.offset < chunk.len() {
+                    let instr = chunk[self.offset].clone();
+                    self.offset += 1;
+                    self.pos += 1;
+                    return Some(instr);
+                }
+                self.chunk = None;
+                self.chunk_idx += 1;
+                self.offset = 0;
+            }
+            match self.program.fetch(self.chunk_idx) {
+                Fetch::Chunk(c) => self.chunk = Some(c),
+                Fetch::Exhausted => return None,
+                Fetch::Capped => {
+                    // Replay a fresh generator skipped to our position;
+                    // identical stream, uncached tail.
+                    let mut tail = (self.program.factory)();
+                    for _ in 0..self.pos {
+                        tail.next();
+                    }
+                    let instr = tail.next();
+                    self.overflow = Some(tail);
+                    return instr;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_numeric::ratio;
+
+    fn counting_program(upto: i64) -> BoxProgram {
+        Box::new((1..=upto).map(|k| Instr::wait(ratio(k, 1))))
+    }
+
+    #[test]
+    fn cursor_replays_generator_exactly() {
+        let compiled = CompiledProgram::new(|| counting_program(5000));
+        let direct: Vec<Instr> = counting_program(5000).collect();
+        let replay: Vec<Instr> = compiled.cursor().collect();
+        assert_eq!(replay, direct);
+        // A second cursor replays from the cache, same stream.
+        let again: Vec<Instr> = compiled.cursor().collect();
+        assert_eq!(again, direct);
+    }
+
+    #[test]
+    fn materialization_is_lazy_and_chunked() {
+        let compiled = CompiledProgram::new(|| counting_program(1_000_000));
+        assert_eq!(compiled.materialized(), 0);
+        let first: Vec<Instr> = compiled.cursor().take(10).collect();
+        assert_eq!(first.len(), 10);
+        // One chunk, not a million instructions.
+        assert_eq!(compiled.materialized(), CHUNK);
+        let _ = compiled.cursor().take(3 * CHUNK + 1).last();
+        assert_eq!(compiled.materialized(), 4 * CHUNK);
+    }
+
+    #[test]
+    fn capped_cursor_falls_back_to_fresh_generator() {
+        let n = (MAX_MATERIALIZED + 2 * CHUNK) as i64;
+        let compiled = CompiledProgram::new(move || counting_program(n));
+        let replay: Vec<Instr> = compiled.cursor().collect();
+        let direct: Vec<Instr> = counting_program(n).collect();
+        assert_eq!(replay, direct);
+        // Cache stopped at the cap; the tail came from the fallback.
+        assert_eq!(compiled.materialized(), MAX_MATERIALIZED);
+    }
+
+    #[test]
+    fn concurrent_cursors_see_identical_streams() {
+        let compiled = std::sync::Arc::new(CompiledProgram::new(|| counting_program(20_000)));
+        let direct: Vec<Instr> = counting_program(20_000).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let compiled = std::sync::Arc::clone(&compiled);
+                let direct = &direct;
+                scope.spawn(move || {
+                    let replay: Vec<Instr> = compiled.cursor().collect();
+                    assert_eq!(&replay, direct);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exhausted_program_yields_none_forever() {
+        let compiled = CompiledProgram::new(|| counting_program(3));
+        let mut cursor = compiled.cursor();
+        assert_eq!(cursor.by_ref().count(), 3);
+        assert!(cursor.next().is_none());
+        let empty = CompiledProgram::new(|| counting_program(0));
+        assert!(empty.cursor().next().is_none());
+    }
+}

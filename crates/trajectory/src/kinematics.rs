@@ -53,6 +53,8 @@ impl AgentAttrs {
     /// The orientation part of the frame.
     pub fn orientation(&self) -> Orientation {
         Orientation {
+            // rv-lint: allow(hot) — once per Motion construction, not per
+            // segment.
             phi: self.phi.clone(),
             chi: self.chi,
         }
@@ -112,6 +114,9 @@ pub struct Motion<P> {
     orientation: Orientation,
     unit_len_f64: f64,
     speed_f64: f64,
+    /// True when `attrs.tau == 1`, letting local durations pass through
+    /// without the (gcd-heavy) rational multiply.
+    tau_is_one: bool,
     clock: Ratio,
     pos: Vec2,
     /// Set once the final infinite segment has been emitted.
@@ -126,6 +131,8 @@ impl<P: Iterator<Item = Instr>> Motion<P> {
         let orientation = attrs.orientation();
         let unit_len_f64 = attrs.unit_len().to_f64();
         let speed_f64 = attrs.speed.to_f64();
+        let tau_is_one = attrs.tau == Ratio::one();
+        // rv-lint: allow(hot) — once per Motion construction.
         let clock = attrs.wake.clone();
         let pos = attrs.origin;
         Motion {
@@ -134,6 +141,7 @@ impl<P: Iterator<Item = Instr>> Motion<P> {
             orientation,
             unit_len_f64,
             speed_f64,
+            tau_is_one,
             clock,
             pos,
             halted: false,
@@ -164,6 +172,7 @@ impl<P: Iterator<Item = Instr>> Iterator for Motion<P> {
             if self.attrs.wake.is_positive() {
                 return Some(Segment {
                     start: Ratio::zero(),
+                    // rv-lint: allow(hot) — wake segment, once per run.
                     end: Some(self.attrs.wake.clone()),
                     from: self.attrs.origin,
                     vel: Vec2::ZERO,
@@ -175,6 +184,8 @@ impl<P: Iterator<Item = Instr>> Iterator for Motion<P> {
                 None => {
                     self.halted = true;
                     return Some(Segment {
+                        // rv-lint: allow(hot) — final halt segment, once
+                        // per run.
                         start: self.clock.clone(),
                         end: None,
                         from: self.pos,
@@ -183,11 +194,18 @@ impl<P: Iterator<Item = Instr>> Iterator for Motion<P> {
                 }
                 Some(instr) if instr.is_empty() => continue,
                 Some(Instr::Wait { dur }) => {
-                    let abs_dur = &dur * &self.attrs.tau;
-                    let start = self.clock.clone();
-                    self.clock = &start + &abs_dur;
+                    let abs_dur = if self.tau_is_one {
+                        dur
+                    } else {
+                        &dur * &self.attrs.tau
+                    };
+                    let end = &self.clock + &abs_dur;
+                    let start = std::mem::replace(&mut self.clock, end);
                     return Some(Segment {
                         start,
+                        // rv-lint: allow(hot) — irreducible: the segment end
+                        // and the running clock are two owners of one value;
+                        // on the inline-i128 path this clone is a memcpy.
                         end: Some(self.clock.clone()),
                         from: self.pos,
                         vel: Vec2::ZERO,
@@ -197,13 +215,19 @@ impl<P: Iterator<Item = Instr>> Iterator for Motion<P> {
                     let abs_dir = self.orientation.to_absolute(&dir);
                     let unit = abs_dir.unit();
                     let abs_len = dist.to_f64() * self.unit_len_f64;
-                    let abs_dur = &dist * &self.attrs.tau;
-                    let start = self.clock.clone();
+                    let abs_dur = if self.tau_is_one {
+                        dist
+                    } else {
+                        &dist * &self.attrs.tau
+                    };
                     let from = self.pos;
-                    self.clock = &start + &abs_dur;
+                    let end = &self.clock + &abs_dur;
+                    let start = std::mem::replace(&mut self.clock, end);
                     self.pos = from + unit * abs_len;
                     return Some(Segment {
                         start,
+                        // rv-lint: allow(hot) — same two-owner clone as the
+                        // wait arm; memcpy on the inline path.
                         end: Some(self.clock.clone()),
                         from,
                         vel: unit * self.speed_f64,

@@ -11,10 +11,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod instr;
 mod kinematics;
 mod program;
 
+pub use compiled::{CompiledProgram, Cursor};
 pub use instr::Instr;
 pub use kinematics::{AgentAttrs, Motion, Segment};
 pub use program::{
